@@ -1,0 +1,85 @@
+"""Ablation — telescope aperture vs detection latency.
+
+The paper's §6 recalls that a large darknet "can detect even moderately
+paced scans within only a few seconds".  This ablation makes the claim
+quantitative: the same scanner population is observed through three
+telescope apertures, and the definition-1 time-to-threshold is measured
+for each.  Although the 10% coverage bar grows linearly with the
+aperture, the darknet *hit rate* of a uniform scan grows linearly too —
+so the time-to-threshold is aperture-invariant for a fixed-rate scan,
+while detection of a *fixed number of probes* improves.  What the sweep
+shows concretely: bigger apertures detect the same scans no later, and
+they catch the *slow* tail of scans that small apertures miss entirely
+within the observation window.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.core.latency import detection_latencies, latency_summary
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import tiny_scenario
+
+PREFIX_LENGTHS = (22, 20, 18)  # 1k, 4k, 16k dark addresses
+
+
+def test_ablation_aperture(benchmark, results_dir):
+    def sweep():
+        out = []
+        for length in PREFIX_LENGTHS:
+            scenario = dataclasses.replace(
+                tiny_scenario(),
+                dark_prefix_length=length,
+                with_isp=False,
+                with_campus=False,
+                flow_days=(),
+                stream_window=None,
+            )
+            result = run_scenario(scenario)
+            records = detection_latencies(
+                result.capture.packets,
+                result.detections[1],
+                result.telescope.size,
+                max_events=300,
+            )
+            out.append(
+                (
+                    result.telescope.size,
+                    len(result.detections[1]),
+                    latency_summary(records),
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for dark_size, ah_count, summary in results:
+        rows.append(
+            [
+                f"{dark_size:,}",
+                str(ah_count),
+                str(summary.get("n", 0)),
+                f"{summary.get('median', float('nan')):,.0f}s",
+                f"{summary.get('p90', float('nan')):,.0f}s",
+            ]
+        )
+    table = format_table(
+        ["dark IPs", "def-1 AH", "events replayed", "median latency", "p90"],
+        rows,
+        title="Ablation: telescope aperture vs def-1 detection latency",
+        align_right=False,
+    )
+    emit(results_dir, "ablation_aperture", table)
+
+    # Bigger apertures never detect later (medians within noise), and
+    # they see at least as many aggressive hitters.
+    medians = [s["median"] for _, _, s in results]
+    counts = [c for _, c, _ in results]
+    assert counts[-1] >= counts[0]
+    # Latency stays within the same order of magnitude across a 16x
+    # aperture change (the invariance the module docstring derives).
+    assert max(medians) < 30 * min(medians)
+    for _, _, summary in results:
+        assert summary["n"] > 10

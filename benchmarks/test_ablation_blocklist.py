@@ -1,0 +1,54 @@
+"""Ablation — blocklist size vs ameliorated AH traffic.
+
+Operationalizes the paper's closing argument (Figure 6 right): because
+AH packet contributions are Zipf-like, "even starting by blocking a
+small amount of AH, a large fraction of the problem is ameliorated" —
+important since operators keep blocklists short to limit collateral
+damage from DHCP churn and NAT.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table, render_percent
+from repro.core.lists import amelioration_curve, blocklist_size_for_share
+
+TARGETS = (0.25, 0.50, 0.75, 0.90, 0.99)
+
+
+def test_ablation_blocklist(benchmark, darknet_2022, results_dir):
+    day = darknet_2022.result.scenario.days // 2
+
+    def build():
+        blocklist = darknet_2022.daily_blocklist(day)
+        curve = amelioration_curve(blocklist)
+        sizes = {t: blocklist_size_for_share(blocklist, t) for t in TARGETS}
+        return blocklist, curve, sizes
+
+    blocklist, curve, sizes = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    total = len(blocklist)
+    rows = [
+        [
+            render_percent(target, 0),
+            str(sizes[target]),
+            render_percent(sizes[target] / total, 1),
+        ]
+        for target in TARGETS
+    ]
+    table = format_table(
+        ["traffic ameliorated", "blocklist entries", "share of day's AH"],
+        rows,
+        title=f"Ablation: blocklist size vs ameliorated traffic (day {day}, {total} AH)",
+        align_right=False,
+    )
+    emit(results_dir, "ablation_blocklist", table)
+
+    assert total > 50
+    # Concentration: half the AH traffic goes away with far fewer than
+    # half the entries.
+    assert sizes[0.50] < 0.4 * total
+    # The curve is a proper CDF over entries.
+    assert len(curve) == total
+    assert curve[-1] == 1.0
+    # Every non-acked entry carries actionable metadata.
+    entry = blocklist.non_acknowledged()[0]
+    assert entry.asn > 0 and len(entry.country) == 2

@@ -1,0 +1,66 @@
+"""Figure 1 — Network impact observed via the mirrored packet streams.
+
+Regenerates the three rows of the figure for both stations (ISP and
+campus): cumulative AH packet fraction from the start of the
+experiment, instantaneous per-second fraction, and total packet rates
+with the high-load seconds flagged.  Expected shape: the ISP fraction
+sits an order of magnitude above the campus one (content caching at the
+ISP shrinks the denominator), the cumulative curve declines as the
+weekend rolls into the week, and instantaneous spikes far exceed the
+average.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import downsample, series_stats, sparkline
+from repro.analysis.tables import format_table, render_percent
+
+
+def test_fig1_stream_impact(benchmark, stream_72h, results_dir):
+    streams = benchmark.pedantic(
+        stream_72h.stream_series, rounds=1, iterations=1
+    )
+
+    blocks = []
+    summaries = {}
+    for name in ("merit", "campus"):
+        series = streams[name]
+        summary = series.summary()
+        summaries[name] = summary
+        cumulative = series.cumulative_fraction()
+        instantaneous = series.instantaneous_fraction()
+        high_load = series.high_load_mask(
+            np.percentile(series.total_pps, 99)
+        )
+        coincident = int(np.count_nonzero(high_load & (instantaneous > summary["overall_fraction"])))
+        rows = [
+            ("overall AH fraction", render_percent(summary["overall_fraction"], 3)),
+            ("final cumulative fraction", render_percent(cumulative[-1], 3)),
+            ("max instantaneous fraction", render_percent(summary["max_instantaneous_fraction"], 2)),
+            ("peak total pps", f"{summary['peak_total_pps']:,}"),
+            ("high-load seconds w/ high AH", str(coincident)),
+            ("cumulative (72h)", sparkline(cumulative, width=48)),
+            ("instantaneous (per min)", sparkline(downsample(instantaneous, 60), width=48)),
+            ("total rate (per min)", sparkline(downsample(series.total_pps, 60), width=48)),
+        ]
+        blocks.append(
+            format_table(
+                ["metric", name],
+                [[k, str(v)] for k, v in rows],
+                title=f"Figure 1: stream impact at {name}",
+                align_right=False,
+            )
+        )
+    emit(results_dir, "fig1_stream_impact", "\n\n".join(blocks))
+
+    merit, campus = summaries["merit"], summaries["campus"]
+    # ISP fraction well above campus (caching effect), both positive.
+    assert merit["overall_fraction"] > 3 * campus["overall_fraction"]
+    assert campus["overall_fraction"] > 0.0
+    # Instantaneous spikes exceed the mean substantially at the ISP.
+    assert merit["max_instantaneous_fraction"] > 1.5 * merit["overall_fraction"]
+    # Cumulative fraction declines from its weekend start into the week.
+    cum = streams["merit"].cumulative_fraction()
+    day = 86_400
+    assert cum[-1] < cum[day - 1]

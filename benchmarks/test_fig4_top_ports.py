@@ -1,0 +1,71 @@
+"""Figure 4 — Top-25 ports targeted by the AH, with tool fingerprints.
+
+Regenerates the service ranking for both years with the
+ZMap/Masscan/Other IP-ID fingerprint split.  Expected shape: Redis
+(6379/TCP) and Telnet (23/TCP) lead, SSH ranks in the top-3, ~20 of the
+top-25 services recur across both years, TCP dominates (only a few UDP
+services), TCP/445 is absent, and the ZMap/Masscan fingerprints are
+prominent (unlike in the 2014 study).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table, render_percent
+from repro.core.characterize import port_overlap
+from repro.packet import Protocol
+from repro.scanners.ports import service_label
+
+
+def _rows(report):
+    ranked = report.top_ports(definition=1, top_n=25)
+    rows = []
+    for rank, row in enumerate(ranked, start=1):
+        total = row.packets
+        rows.append(
+            [
+                f"#{rank}",
+                service_label(row.port, Protocol(row.proto)),
+                f"{total:,}",
+                render_percent(row.zmap_packets / total, 0),
+                render_percent(row.masscan_packets / total, 0),
+                render_percent(row.other_packets / total, 0),
+            ]
+        )
+    return ranked, rows
+
+
+def test_fig4_top_ports(benchmark, darknet_2021, darknet_2022, results_dir):
+    ranked_2021, rows_2021 = benchmark.pedantic(
+        lambda: _rows(darknet_2021), rounds=1, iterations=1
+    )
+    ranked_2022, rows_2022 = _rows(darknet_2022)
+
+    blocks = [
+        format_table(
+            ["rank", "service", "packets", "zmap", "masscan", "other"],
+            rows,
+            title=f"Figure 4: top-25 AH ports — {label}",
+            align_right=False,
+        )
+        for label, rows in (("2021", rows_2021), ("2022", rows_2022))
+    ]
+    emit(results_dir, "fig4_top_ports", "\n\n".join(blocks))
+
+    for ranked in (ranked_2021, ranked_2022):
+        keys = [(r.port, r.proto) for r in ranked]
+        top3_ports = [k[0] for k in keys[:3]]
+        # Redis and Telnet lead; SSH in the top three.
+        assert 6_379 in top3_ports
+        assert 23 in top3_ports
+        assert 22 in [k[0] for k in keys[:5]]
+        # TCP/445 absent from the AH ranking (it lives in small scans).
+        assert 445 not in [k[0] for k in keys]
+        # Few UDP services; TCP dominates.
+        udp = [k for k in keys if k[1] == Protocol.UDP.value]
+        assert len(udp) <= 6
+        # ZMap/Masscan fingerprints are prominent overall.
+        total = sum(r.packets for r in ranked)
+        tooled = sum(r.zmap_packets + r.masscan_packets for r in ranked)
+        assert tooled / total > 0.3
+
+    # Year-over-year stability: ~20 of the top 25 recur.
+    assert port_overlap(ranked_2021, ranked_2022) >= 15

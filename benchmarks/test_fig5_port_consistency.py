@@ -1,0 +1,45 @@
+"""Figure 5 — Per-port AH packet shares: flows vs darknet (2022-10-01).
+
+Regenerates the scatter comparing each service's share of AH packets as
+seen in the darknet against its share in the router flows.  A tight
+diagonal (high rank correlation) is the paper's second consistency
+argument (after Table 3) that the AH flow traffic is scanning.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table, render_percent
+from repro.core.impact import rank_correlation
+from repro.packet import Protocol
+from repro.scanners.ports import service_label
+
+
+def test_fig5_port_consistency(benchmark, flows_day, results_dir):
+    rows_data = benchmark.pedantic(
+        lambda: flows_day.port_consistency(definition=1), rounds=1, iterations=1
+    )
+
+    correlation = rank_correlation(rows_data)
+    rows = [
+        [
+            service_label(port, Protocol(proto)),
+            render_percent(dark_share, 2),
+            render_percent(flow_share, 2),
+        ]
+        for port, proto, dark_share, flow_share in rows_data[:25]
+    ]
+    table = format_table(
+        ["service", "darknet share", "flow share"],
+        rows,
+        title=(
+            "Figure 5: observed ports in Flow and Darknet (2022-10-01), "
+            f"rank correlation = {correlation:.2f}"
+        ),
+        align_right=False,
+    )
+    emit(results_dir, "fig5_port_consistency", table)
+
+    assert len(rows_data) >= 10
+    assert correlation > 0.5
+    # The top darknet port also carries a large flow share.
+    top = rows_data[0]
+    assert top[3] > 0.02

@@ -1,0 +1,45 @@
+"""Table 3 — Protocol mix of AH traffic: darknet vs flows (2022-10-01).
+
+The cross-dataset consistency check: if the AH flow packets at the
+routers have the same TCP-SYN/UDP/ICMP composition as those sources'
+darknet packets, the flow volume really is scanning rather than user
+traffic from co-located hosts.  Expected shape: ~90% TCP-SYN for
+definitions 1-2, ~98% for definition 3, and darknet/flow agreement
+within a few points.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table, render_percent
+
+
+def test_table3_protocols(benchmark, flows_day, results_dir):
+    table_data = benchmark.pedantic(
+        flows_day.protocol_table, rounds=1, iterations=1
+    )
+
+    protocols = ["TCP-SYN", "UDP", "ICMP Ech Rqst"]
+    rows = []
+    for proto in protocols:
+        row = [proto]
+        for definition in (1, 2, 3):
+            dark = table_data[definition]["darknet"][proto]
+            flow = table_data[definition]["flows"][proto]
+            row.append(f"{render_percent(dark, 1)} / {render_percent(flow, 1)}")
+        rows.append(row)
+    table = format_table(
+        ["Protocol", "Def #1 D/F", "Def #2 D/F", "Def #3 D/F"],
+        rows,
+        title="Table 3: Protocols in Darknet (D) and Flow (F) for 2022-10-01",
+        align_right=False,
+    )
+    emit(results_dir, "table3_protocols", table)
+
+    for definition in (1, 2):
+        dark = table_data[definition]["darknet"]
+        flow = table_data[definition]["flows"]
+        # TCP-SYN dominates and the two vantage points agree.
+        assert dark["TCP-SYN"] > 0.75
+        assert abs(dark["TCP-SYN"] - flow["TCP-SYN"]) < 0.1
+        assert dark["UDP"] < 0.25
+    # Definition 3 (vertical scanners) is even more TCP-heavy.
+    assert table_data[3]["darknet"]["TCP-SYN"] > 0.9

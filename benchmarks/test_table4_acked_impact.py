@@ -1,0 +1,40 @@
+"""Table 4 — Network impact attributed to acknowledged scanners.
+
+Regenerates the per-router packet share of "seemingly benign" research
+scanning for the Flows-2 day, per definition.  Expected shape: a
+noticeable but sub-AH toll (the paper reports 0.16-2.56%) — research
+orgs are a small slice of the AH population carrying an outsized packet
+share.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table, render_count, render_percent
+
+
+def test_table4_acked_impact(benchmark, flows_day, results_dir):
+    table_data = benchmark.pedantic(
+        flows_day.acked_impact_table, rounds=1, iterations=1
+    )
+
+    rows = []
+    for definition in (1, 2, 3):
+        row = [f"Definition #{definition}"]
+        for router in sorted(table_data[definition]):
+            packets, fraction = table_data[definition][router]
+            row.append(f"{render_count(packets)} ({render_percent(fraction)})")
+        rows.append(row)
+    table = format_table(
+        ["", "Router-1", "Router-2", "Router-3"],
+        rows,
+        title="Table 4: Network impact attributed to ACKed scanners (2022-10-01)",
+        align_right=False,
+    )
+    emit(results_dir, "table4_acked_impact", table)
+
+    # ACKed impact is positive but smaller than the full AH impact.
+    ah_cells = {c.router: c.fraction for c in flows_day.impact_cells(1)}
+    for definition in (1, 2):
+        fractions = [f for _, f in table_data[definition].values()]
+        assert max(fractions) > 0.0005
+        for router, (_, fraction) in table_data[definition].items():
+            assert fraction <= ah_cells[router] + 0.01

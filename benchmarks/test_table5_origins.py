@@ -1,0 +1,68 @@
+"""Table 5 — Origins of aggressive scanners (definition #1).
+
+Regenerates the top-10 origin networks for both darknet datasets:
+AS-type/country label, unique /32s (with acknowledged counts in
+parentheses), unique /24s, darknet packets, and the top-10 totals row.
+Expected shape: a US cloud provider on top, Chinese ISPs/hosting and
+East-Asian ISPs prominent, and the top-10 covering a large share of all
+AH addresses.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table, render_percent
+
+
+def _origin_rows(report):
+    rows, totals = report.origins_table(definition=1, top_n=10)
+    out = []
+    for row in rows:
+        acked = f" ({row.acked_ips})" if row.acked_ips else ""
+        out.append(
+            [
+                row.label,
+                f"{row.unique_ips}{acked}",
+                str(row.unique_slash24),
+                f"{row.packets:,}",
+            ]
+        )
+    ips, ip_share = totals["ips"]
+    s24, s24_share = totals["slash24"]
+    pkts, pkt_share = totals["packets"]
+    out.append(
+        [
+            "Total (top-10)",
+            f"{ips} ({render_percent(ip_share, 0)})",
+            f"{s24} ({render_percent(s24_share, 0)})",
+            f"{pkts:,} ({render_percent(pkt_share, 0)})",
+        ]
+    )
+    return out, rows, totals
+
+
+def test_table5_origins(benchmark, darknet_2021, darknet_2022, results_dir):
+    out_2021, rows_2021, totals_2021 = benchmark.pedantic(
+        lambda: _origin_rows(darknet_2021), rounds=1, iterations=1
+    )
+    out_2022, rows_2022, totals_2022 = _origin_rows(darknet_2022)
+
+    blocks = []
+    for label, out in (("Darknet-1 (2021)", out_2021), ("Darknet-2 (2022)", out_2022)):
+        blocks.append(
+            format_table(
+                ["AS Type", "unique /32s", "unique /24s", "Pkts"],
+                out,
+                title=f"Table 5: Origins of definition-1 AH — {label}",
+                align_right=False,
+            )
+        )
+    emit(results_dir, "table5_origins", "\n\n".join(blocks))
+
+    for rows, totals in ((rows_2021, totals_2021), (rows_2022, totals_2022)):
+        # A US cloud provider ranks top (the paper: "a certain US-based
+        # cloud provider ranks top in all six definitions/datasets").
+        assert rows[0].label == "Cloud (US)"
+        # Asian ISPs appear in the top-10.
+        labels = {r.label for r in rows}
+        assert labels & {"ISP (CN)", "ISP (TW)", "ISP (KR)"}
+        # The top-10 covers a large share of the AH population.
+        assert totals["ips"][1] > 0.3

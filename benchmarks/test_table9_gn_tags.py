@@ -1,0 +1,41 @@
+"""Table 9 — Honeypot (GreyNoise) tags for the non-ACKed AH.
+
+Regenerates the top-20 behavior tags of the aggressive hitters that are
+*not* acknowledged research scanners, from the simulated distributed
+honeypot database.  Expected shape: botnet/bruteforcer tags (Mirai,
+Telnet/SSH bruteforcers) and tool tags (ZMap Client) dominate.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+
+
+def test_table9_gn_tags(benchmark, darknet_2022, results_dir):
+    rows_data = benchmark.pedantic(
+        lambda: darknet_2022.greynoise_tags_table(definition=1, top_n=20),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [f"#{rank}", tag, str(count)]
+        for rank, (tag, count) in enumerate(rows_data, start=1)
+    ]
+    table = format_table(
+        ["Rank", "GreyNoise Tags", "IP Count"],
+        rows,
+        title="Table 9: GN tags for non-ACKed AH (Darknet-2)",
+        align_right=False,
+    )
+    emit(results_dir, "table9_gn_tags", table)
+
+    tags = dict(rows_data)
+    assert tags, "expected a populated tag table"
+    # Mirai is a leading tag among the miscreant AH; tool fingerprints
+    # (ZMap) and service bruteforcers appear as well.
+    assert "Mirai" in tags
+    assert "ZMap Client" in tags
+    assert any("Bruteforcer" in t or "Worm" in t or "Scanner" in t for t in tags)
+    # Sorted by IP count, descending.
+    counts = [c for _, c in rows_data]
+    assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Daily AH blocklist generation — the paper's operational deliverable.
+
+The paper's authors plan to publish daily lists of aggressive scanners
+(under all three definitions) for operators and threat exchanges.  This
+example produces those artifacts from a simulated darknet: one CSV per
+day, annotated with definitions matched, packet volume, origin AS and
+country, and the acknowledged-scanner flag — plus the Zipf analysis
+showing how short a blocklist gets most of the job done.
+
+Usage::
+
+    python examples/blocklist_generation.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import darknet_year_scenario, run_study
+from repro.analysis.tables import format_table, render_percent
+from repro.core.lists import amelioration_curve, blocklist_size_for_share
+from repro.io.listio import diff_blocklists, save_blocklist
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "blocklists")
+    output_dir.mkdir(exist_ok=True)
+
+    print("Simulating the 2022 darknet dataset (about a minute)...")
+    report = run_study(darknet_year_scenario(2022, days=14))
+
+    rows = []
+    previous = None
+    for day in range(report.result.scenario.days):
+        blocklist = report.daily_blocklist(day)
+        if not len(blocklist):
+            continue
+        date = report.clock.date_of(day).isoformat()
+        save_blocklist(blocklist, output_dir / f"ah-blocklist-{date}.csv")
+
+        # The subscriber's view: the delta against yesterday's list.
+        churn = "-"
+        if previous is not None:
+            diff = diff_blocklists(previous, blocklist)
+            churn = (
+                f"+{len(diff.added)}/-{len(diff.removed)} "
+                f"({render_percent(diff.churn, 0)})"
+            )
+        previous = blocklist
+
+        curve = amelioration_curve(blocklist)
+        k50 = blocklist_size_for_share(blocklist, 0.50)
+        k90 = blocklist_size_for_share(blocklist, 0.90)
+        rows.append(
+            [
+                date,
+                str(len(blocklist)),
+                str(len(blocklist.non_acknowledged())),
+                str(k50),
+                str(k90),
+                render_percent(float(curve[min(9, len(curve) - 1)]), 1),
+                churn,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "date",
+                "entries",
+                "non-ACKed",
+                "k for 50%",
+                "k for 90%",
+                "top-10 share",
+                "delta vs prev",
+            ],
+            rows,
+            title=f"Daily blocklists written to {output_dir}/",
+            align_right=False,
+        )
+    )
+    print(
+        "\nThe Zipf-like concentration means blocking a handful of top "
+        "hitters already removes a large share of the unwanted traffic — "
+        "exactly the short, low-collateral lists operators want."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Network-impact study: the paper's §4 over the Flows-1 week.
+
+Simulates the January 2022 week at the Merit-like ISP: detects the
+aggressive hitters in the darknet, joins them with sampled NetFlow at
+the three core routers, and reports the Table 2/3 views — daily impact
+percentages (note the weekend bump and the router-1 skew) and the
+darknet-vs-flows protocol consistency check.
+
+Usage::
+
+    python examples/network_impact_study.py      # ~1 minute
+"""
+
+from repro import flows_week_scenario, run_study
+from repro.analysis.tables import format_table, render_count, render_percent
+from repro.core.impact import average_impact
+
+
+def main() -> None:
+    print("Simulating the Flows-1 week (this takes about a minute)...")
+    report = run_study(flows_week_scenario())
+
+    # ------------------------------------------------------------------
+    # Table 2: daily AH impact per router.
+    # ------------------------------------------------------------------
+    cells = report.impact_cells(definition=1)
+    by_day = {}
+    for cell in cells:
+        by_day.setdefault(cell.day, {})[cell.router] = cell
+    rows = []
+    for day in sorted(by_day):
+        row = [report.clock.label(day)]
+        for router in sorted(by_day[day]):
+            cell = by_day[day][router]
+            row.append(
+                f"{render_count(cell.ah_packets)} ({render_percent(cell.fraction)})"
+            )
+        rows.append(row)
+    averages = average_impact(cells)
+    rows.append(
+        ["Average"]
+        + [
+            f"{render_count(p)} ({render_percent(f)})"
+            for p, f in averages.values()
+        ]
+    )
+    print()
+    print(
+        format_table(
+            ["Date", "Router-1", "Router-2", "Router-3"],
+            rows,
+            title="Daily AH packet volume and share per core router",
+            align_right=False,
+        )
+    )
+    weekend = [
+        c.fraction for c in cells if c.router == 0 and report.clock.is_weekend(c.day)
+    ]
+    weekday = [
+        c.fraction
+        for c in cells
+        if c.router == 0 and not report.clock.is_weekend(c.day)
+    ]
+    print(
+        f"\nRouter-1 weekend average {render_percent(sum(weekend) / len(weekend))} vs "
+        f"weekday {render_percent(sum(weekday) / len(weekday))} — scanning is "
+        "constant while legitimate traffic dips on weekends."
+    )
+
+    # ------------------------------------------------------------------
+    # Table 3: protocol mix, darknet vs flows.
+    # ------------------------------------------------------------------
+    protocol = report.protocol_table()
+    rows = []
+    for proto in ("TCP-SYN", "UDP", "ICMP Ech Rqst"):
+        row = [proto]
+        for definition in (1, 2, 3):
+            dark = protocol[definition]["darknet"][proto]
+            flow = protocol[definition]["flows"][proto]
+            row.append(f"{render_percent(dark, 1)} / {render_percent(flow, 1)}")
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["Protocol", "Def 1 (D/F)", "Def 2 (D/F)", "Def 3 (D/F)"],
+            rows,
+            title="AH protocol mix: darknet vs router flows (consistency check)",
+            align_right=False,
+        )
+    )
+    print(
+        "\nThe darknet and flow columns agree: the AH flow volume is "
+        "scanning, not legitimate traffic from the same addresses."
+    )
+
+    # ------------------------------------------------------------------
+    # Table 8: how much of the AH population does each router see?
+    # ------------------------------------------------------------------
+    coverage = report.router_coverage_table()[1]
+    rows = [
+        [report.clock.label(r["day"]), str(r["active_ah"])]
+        + [render_percent(f, 1) for f in r["seen_fraction"]]
+        for r in coverage
+    ]
+    print()
+    print(
+        format_table(
+            ["Day", "# AH", "Router-1", "Router-2", "Router-3"],
+            rows,
+            title="Share of the day's active AH observed at each router",
+            align_right=False,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Presentation layer: text renderers for the paper's tables/figures."""
+
+from repro.analysis.tables import format_table, render_percent
+from repro.analysis.figures import sparkline, series_stats
+
+__all__ = ["format_table", "render_percent", "series_stats", "sparkline"]

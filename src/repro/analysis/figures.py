@@ -1,0 +1,74 @@
+"""Series extraction and terminal-friendly rendering for the figures.
+
+The figure benchmarks print the same series the paper plots; for quick
+visual sanity checks a unicode sparkline renderer is included.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a series as a unicode sparkline.
+
+    Args:
+        values: the series.
+        width: optional downsampling width (mean-pooled buckets).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if width is not None and arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _BARS[0] * len(arr)
+    scaled = ((arr - lo) / (hi - lo) * (len(_BARS) - 1)).round().astype(int)
+    return "".join(_BARS[i] for i in scaled)
+
+
+def series_stats(values: Sequence[float]) -> dict:
+    """min/mean/median/p95/max summary of a series."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"n": 0}
+    return {
+        "n": int(arr.size),
+        "min": float(arr.min()),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }
+
+
+def downsample(values: Sequence[float], bucket: int, reduce: str = "mean") -> np.ndarray:
+    """Bucket a long per-second series (e.g. to per-minute points).
+
+    Args:
+        values: the series.
+        bucket: bucket size in samples.
+        reduce: "mean", "max" or "sum".
+    """
+    if bucket < 1:
+        raise ValueError("bucket must be >= 1")
+    arr = np.asarray(list(values), dtype=np.float64)
+    n = (len(arr) // bucket) * bucket
+    if n == 0:
+        return np.empty(0)
+    blocks = arr[:n].reshape(-1, bucket)
+    if reduce == "mean":
+        return blocks.mean(axis=1)
+    if reduce == "max":
+        return blocks.max(axis=1)
+    if reduce == "sum":
+        return blocks.sum(axis=1)
+    raise ValueError(f"unknown reduction {reduce!r}")

@@ -1,0 +1,64 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints each reproduced table in the paper's
+layout; these helpers keep the formatting consistent and dependency
+free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def render_percent(fraction: float, digits: int = 2) -> str:
+    """``0.0415`` -> ``'4.15%'``."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def render_count(value: float) -> str:
+    """Human-scaled count: 15_200_000 -> '15.2M'."""
+    value = float(value)
+    for unit, scale in (("B", 1e9), ("M", 1e6), ("k", 1e3)):
+        if abs(value) >= scale:
+            return f"{value / scale:.1f}{unit}"
+    return f"{value:.0f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    align_right: bool = True,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: column names.
+        rows: row cell values (stringified).
+        title: optional title line above the table.
+        align_right: right-align data columns (numeric tables).
+
+    Returns:
+        The table as one string (no trailing newline).
+    """
+    string_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if align_right else cell.ljust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in string_rows)
+    return "\n".join(lines)

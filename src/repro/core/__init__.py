@@ -1,0 +1,26 @@
+"""The paper's primary contribution: AH detection and impact analysis.
+
+Submodules:
+
+* :mod:`repro.core.events` — darknet events ("logical scans").
+* :mod:`repro.core.ecdf` — empirical CDFs and tail thresholds.
+* :mod:`repro.core.detection` — the three aggressive-hitter definitions.
+* :mod:`repro.core.impact` — network-impact joins (flows and streams).
+* :mod:`repro.core.characterize` — longitudinal characterization.
+* :mod:`repro.core.validation` — ACKed-list and honeypot validation.
+* :mod:`repro.core.lists` — operational daily blocklists.
+* :mod:`repro.core.pipeline` — end-to-end study orchestration.
+"""
+
+from repro.core.detection import DetectionResult, detect_all, jaccard
+from repro.core.ecdf import ECDF
+from repro.core.events import EventTable, build_events
+
+__all__ = [
+    "DetectionResult",
+    "ECDF",
+    "EventTable",
+    "build_events",
+    "detect_all",
+    "jaccard",
+]

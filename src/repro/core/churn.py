@@ -1,0 +1,147 @@
+"""AH-list churn analysis.
+
+The paper's closing discussion (§7) ties the practicality of AH
+blocklists to *IP churn*: DHCP reassignment and NAT mean a scanner's
+address may identify someone else tomorrow, so operators prefer short
+lists of currently-active heavy hitters.  This module quantifies that
+churn from the detection results:
+
+* day-over-day overlap of the active AH set (how stale does yesterday's
+  list get?);
+* survival curves (for how many days does an AH stay active once it
+  appears?);
+* list-freshness statistics for a chosen blocklist refresh interval.
+
+These power the ``repro-scanners`` list-production workflow and the
+churn ablation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.detection import DetectionResult, jaccard
+
+
+@dataclass(frozen=True)
+class ChurnPoint:
+    """Day-over-day comparison of active AH sets."""
+
+    day: int
+    active: int
+    retained: int
+    arrived: int
+    departed: int
+    jaccard_with_previous: float
+
+    @property
+    def retention(self) -> float:
+        """Share of the previous day's actives still active today."""
+        previous = self.retained + self.departed
+        if previous == 0:
+            return 0.0
+        return self.retained / previous
+
+
+def daily_churn(detection: DetectionResult) -> list:
+    """Day-over-day churn series for one definition's active AH."""
+    days = sorted(detection.daily_active)
+    points = []
+    for prev_day, day in zip(days, days[1:]):
+        previous = detection.daily_active[prev_day]
+        current = detection.daily_active[day]
+        retained = len(previous & current)
+        points.append(
+            ChurnPoint(
+                day=int(day),
+                active=len(current),
+                retained=retained,
+                arrived=len(current - previous),
+                departed=len(previous - current),
+                jaccard_with_previous=jaccard(previous, current),
+            )
+        )
+    return points
+
+
+def survival_curve(detection: DetectionResult, max_days: int = 14) -> np.ndarray:
+    """P(an AH is still active k days after first appearing).
+
+    Returns an array ``s`` with ``s[k]`` the fraction of AH active on
+    their appearance day that were also active ``k`` days later
+    (``s[0]`` is 1 by construction; truncated sources — whose window of
+    observation ends within ``max_days`` — are excluded from the
+    at-risk set for later lags, a standard right-censoring guard).
+    """
+    if max_days < 1:
+        raise ValueError("max_days must be >= 1")
+    first_day: Dict[int, int] = {}
+    for day, sources in detection.daily_new.items():
+        for src in sources:
+            if src not in first_day or day < first_day[src]:
+                first_day[src] = day
+    if not first_day:
+        return np.ones(1)
+    last_observed_day = max(detection.daily_active) if detection.daily_active else 0
+
+    counts = np.zeros(max_days + 1, dtype=np.int64)
+    at_risk = np.zeros(max_days + 1, dtype=np.int64)
+    for src, day0 in first_day.items():
+        horizon = min(max_days, last_observed_day - day0)
+        for k in range(0, horizon + 1):
+            at_risk[k] += 1
+            if src in detection.daily_active.get(day0 + k, set()):
+                counts[k] += 1
+    valid = at_risk > 0
+    curve = np.zeros(int(valid.sum()))
+    curve[:] = counts[valid] / at_risk[valid]
+    return curve
+
+
+def staleness(detection: DetectionResult, refresh_days: int) -> float:
+    """Average share of a ``refresh_days``-old list that is still active.
+
+    Models an operator who refreshes the blocklist every
+    ``refresh_days`` days: on each day d, the deployed list is the
+    active set from the most recent refresh; staleness is the mean
+    fraction of deployed entries that are still genuinely active.
+    """
+    if refresh_days < 1:
+        raise ValueError("refresh_days must be >= 1")
+    days = sorted(detection.daily_active)
+    if len(days) <= refresh_days:
+        return 1.0
+    fractions = []
+    for day in days:
+        refresh_day = day - (day % refresh_days)
+        if refresh_day not in detection.daily_active or refresh_day == day:
+            continue
+        deployed = detection.daily_active[refresh_day]
+        if not deployed:
+            continue
+        still_active = len(deployed & detection.daily_active[day])
+        fractions.append(still_active / len(deployed))
+    return float(np.mean(fractions)) if fractions else 1.0
+
+
+def churn_summary(detection: DetectionResult) -> dict:
+    """Headline churn numbers for reports."""
+    points = daily_churn(detection)
+    if not points:
+        return {
+            "days": 0,
+            "mean_retention": 0.0,
+            "mean_jaccard": 0.0,
+            "mean_arrivals": 0.0,
+        }
+    return {
+        "days": len(points),
+        "mean_retention": float(np.mean([p.retention for p in points])),
+        "mean_jaccard": float(
+            np.mean([p.jaccard_with_previous for p in points])
+        ),
+        "mean_arrivals": float(np.mean([p.arrived for p in points])),
+    }

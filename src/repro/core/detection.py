@@ -1,0 +1,247 @@
+"""The three aggressive-hitter definitions (paper §3).
+
+1. **Address dispersion** — any event touching >= 10% of the dark IPs
+   marks its source aggressive.
+2. **Packet volume** — events in the top-alpha tail of the per-event
+   packet ECDF mark their sources aggressive.
+3. **Distinct destination ports** — sources contacting more distinct
+   darknet ports in one day than the ECDF tail threshold.
+
+Each detector returns a :class:`DetectionResult` carrying the source
+set, the threshold used, and daily first-seen/active breakdowns (for
+the Figure 3 time series).  :func:`detect_all` runs all three and
+:func:`definition_overlap` computes the Table 7 intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import DetectionConfig
+from repro.core.ecdf import ECDF
+from repro.core.events import EventTable
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard similarity |a & b| / |a | b| (0 for two empty sets)."""
+    union = len(a | b)
+    if union == 0:
+        return 0.0
+    return len(a & b) / union
+
+
+@dataclass
+class DetectionResult:
+    """Output of one definition over one darknet dataset."""
+
+    definition: int
+    sources: set
+    threshold: float
+    #: day -> sources whose first qualifying activity started that day.
+    daily_new: Dict[int, set] = field(default_factory=dict)
+    #: day -> qualifying sources with any event overlapping that day.
+    daily_active: Dict[int, set] = field(default_factory=dict)
+    #: the qualifying events (definitions 1/2) for packet accounting.
+    qualifying_events: Optional[EventTable] = None
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def active_on(self, day: int) -> set:
+        """Qualifying sources with any event overlapping ``day``."""
+        return self.daily_active.get(day, set())
+
+    def new_on(self, day: int) -> set:
+        """Sources whose first qualifying activity started on ``day``."""
+        return self.daily_new.get(day, set())
+
+
+def _daily_breakdown(
+    events: EventTable,
+    qualifying_mask: np.ndarray,
+    day_seconds: float,
+) -> tuple:
+    """Daily first-seen and active source sets for qualifying sources.
+
+    A source's *daily* appearance is the day its first qualifying event
+    started; it is *active* on every day overlapped by any of its
+    events (the paper: active AH include those that began earlier).
+    """
+    daily_new: Dict[int, set] = {}
+    daily_active: Dict[int, set] = {}
+    if len(events) == 0 or not np.any(qualifying_mask):
+        return daily_new, daily_active
+
+    qualifying_sources = np.unique(events.src[qualifying_mask])
+
+    # First qualifying event day per source.
+    q_src = events.src[qualifying_mask]
+    q_day = np.floor(events.start[qualifying_mask] / day_seconds).astype(np.int64)
+    order = np.lexsort((q_day, q_src))
+    q_src, q_day = q_src[order], q_day[order]
+    first = np.empty(len(q_src), dtype=bool)
+    if len(q_src):
+        first[0] = True
+        first[1:] = q_src[1:] != q_src[:-1]
+    for s, d in zip(q_src[first], q_day[first]):
+        daily_new.setdefault(int(d), set()).add(int(s))
+
+    # Active days: all events of qualifying sources (vectorized
+    # event-day expansion, then unique (day, src) pairs grouped by day).
+    member = np.isin(events.src, qualifying_sources)
+    member_events = events.select(member)
+    event_index, day = member_events._expand_event_days(day_seconds)
+    pair_src = member_events.src[event_index].astype(np.int64)
+    pairs = np.unique(np.stack([day, pair_src], axis=1), axis=0)
+    boundaries = np.concatenate([[0], np.flatnonzero(np.diff(pairs[:, 0])) + 1, [len(pairs)]])
+    for b, e in zip(boundaries[:-1], boundaries[1:]):
+        daily_active[int(pairs[b, 0])] = {int(s) for s in pairs[b:e, 1]}
+    return daily_new, daily_active
+
+
+def detect_dispersion(
+    events: EventTable,
+    dark_size: int,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> DetectionResult:
+    """Definition 1: address dispersion (>= 10% of the dark space)."""
+    config = config or DetectionConfig()
+    threshold = config.dispersion_fraction * dark_size
+    mask = events.unique_dsts >= threshold
+    daily_new, daily_active = _daily_breakdown(events, mask, day_seconds)
+    return DetectionResult(
+        definition=1,
+        sources=events.sources_of(mask),
+        threshold=float(threshold),
+        daily_new=daily_new,
+        daily_active=daily_active,
+        qualifying_events=events.select(mask),
+    )
+
+
+def detect_volume(
+    events: EventTable,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> DetectionResult:
+    """Definition 2: per-event packet volume above the ECDF tail."""
+    config = config or DetectionConfig()
+    if len(events) == 0:
+        return DetectionResult(definition=2, sources=set(), threshold=0.0)
+    ecdf = ECDF(events.packets.astype(np.float64))
+    threshold = max(
+        ecdf.tail_threshold(config.alpha), float(config.min_packet_threshold)
+    )
+    mask = events.packets > threshold
+    daily_new, daily_active = _daily_breakdown(events, mask, day_seconds)
+    return DetectionResult(
+        definition=2,
+        sources=events.sources_of(mask),
+        threshold=threshold,
+        daily_new=daily_new,
+        daily_active=daily_active,
+        qualifying_events=events.select(mask),
+    )
+
+
+def detect_ports(
+    events: EventTable,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> DetectionResult:
+    """Definition 3: distinct darknet ports contacted per day."""
+    config = config or DetectionConfig()
+    counts = events.daily_port_counts(day_seconds)
+    if not counts:
+        return DetectionResult(definition=3, sources=set(), threshold=0.0)
+    sample = np.array(list(counts.values()), dtype=np.float64)
+    ecdf = ECDF(sample)
+    threshold = max(
+        ecdf.tail_threshold(config.alpha), float(config.min_port_threshold)
+    )
+    sources: set = set()
+    daily_new: Dict[int, set] = {}
+    daily_active: Dict[int, set] = {}
+    first_day: Dict[int, int] = {}
+    for (src, day), count in counts.items():
+        if count <= threshold:
+            continue
+        sources.add(src)
+        daily_active.setdefault(day, set()).add(src)
+        if src not in first_day or day < first_day[src]:
+            first_day[src] = day
+    for src, day in first_day.items():
+        daily_new.setdefault(day, set()).add(src)
+    return DetectionResult(
+        definition=3,
+        sources=sources,
+        threshold=threshold,
+        daily_new=daily_new,
+        daily_active=daily_active,
+        qualifying_events=None,
+    )
+
+
+def detect_all(
+    events: EventTable,
+    dark_size: int,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> Dict[int, DetectionResult]:
+    """Run all three definitions over one event table."""
+    config = config or DetectionConfig()
+    return {
+        1: detect_dispersion(events, dark_size, config, day_seconds),
+        2: detect_volume(events, config, day_seconds),
+        3: detect_ports(events, config, day_seconds),
+    }
+
+
+def definition_overlap(results: Dict[int, DetectionResult], registry=None) -> dict:
+    """Table 7: population sizes and intersections across definitions.
+
+    Args:
+        results: output of :func:`detect_all`.
+        registry: optional :class:`repro.net.asn.ASRegistry`; when given,
+            the breakdown also counts distinct ASNs, organizations and
+            countries per definition and intersection.
+
+    Returns:
+        ``{row_label: {column_label: count}}`` with columns D1, D2, D3,
+        D1&D2, D2&D3, D1&D3, D1&D2&D3 and rows IP (always) plus
+        ASN/Org/Country when a registry is supplied.
+    """
+    sets = {d: results[d].sources for d in (1, 2, 3)}
+    combos = {
+        "D1": sets[1],
+        "D2": sets[2],
+        "D3": sets[3],
+        "D1&D2": sets[1] & sets[2],
+        "D2&D3": sets[2] & sets[3],
+        "D1&D3": sets[1] & sets[3],
+        "D1&D2&D3": sets[1] & sets[2] & sets[3],
+    }
+    table: dict = {"IP": {k: len(v) for k, v in combos.items()}}
+    if registry is None:
+        return table
+    asn_rows: dict = {}
+    org_rows: dict = {}
+    country_rows: dict = {}
+    for label, sources in combos.items():
+        if sources:
+            addresses = np.array(sorted(sources), dtype=np.uint32)
+            idx = registry.lookup_index(addresses)
+            systems = [registry.systems[i] for i in idx if i >= 0]
+            asn_rows[label] = len({s.asn for s in systems})
+            org_rows[label] = len({s.org for s in systems})
+            country_rows[label] = len({s.country for s in systems})
+        else:
+            asn_rows[label] = org_rows[label] = country_rows[label] = 0
+    table["ASN"] = asn_rows
+    table["Org"] = org_rows
+    table["Country"] = country_rows
+    return table

@@ -1,0 +1,73 @@
+"""Empirical cumulative distribution functions and tail thresholds.
+
+Definitions 2 and 3 of the paper are percentile rules: compile the ECDF
+of a per-event (or per-source-day) statistic and mark the top-alpha
+tail as aggressive.  ``ECDF`` wraps a sorted sample with evaluation,
+quantile and tail-threshold queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ECDF:
+    """An empirical CDF over a one-dimensional sample."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("ECDF needs at least one observation")
+        if np.any(~np.isfinite(values)):
+            raise ValueError("ECDF sample contains non-finite values")
+        self.values = np.sort(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def evaluate(self, x) -> np.ndarray:
+        """P(X <= x) for scalar or array ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        ranks = np.searchsorted(self.values, x, side="right")
+        result = ranks / len(self.values)
+        return result if result.shape else float(result)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF (lower empirical quantile)."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if q == 0:
+            return float(self.values[0])
+        idx = int(np.ceil(q * len(self.values))) - 1
+        return float(self.values[min(max(idx, 0), len(self.values) - 1)])
+
+    def tail_threshold(self, alpha: float) -> float:
+        """The (1 - alpha)-percentile critical value of the paper.
+
+        Observations strictly above the threshold constitute (at most)
+        the top-``alpha`` tail of the sample.
+        """
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        return self.quantile(1.0 - alpha)
+
+    def tail_mass_above(self, threshold: float) -> float:
+        """Fraction of observations strictly above ``threshold``."""
+        rank = int(np.searchsorted(self.values, threshold, side="right"))
+        return (len(self.values) - rank) / len(self.values)
+
+    def summary(self) -> dict:
+        """Descriptive statistics for reports."""
+        return {
+            "n": len(self.values),
+            "min": float(self.values[0]),
+            "median": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+            "max": float(self.values[-1]),
+        }

@@ -1,0 +1,268 @@
+"""Network-impact analysis (paper §4).
+
+Joins the AH lists produced by the darknet detectors with the ISP's
+sampled flow data and the mirrored packet streams:
+
+* :func:`daily_impact` — Table 2: AH packets and their share of all
+  packets each core router processed per day.
+* :func:`protocol_breakdown` — Table 3: protocol mix of AH traffic in
+  the darknet versus the flow data (the cross-dataset consistency check
+  showing the flow volume really is scanning).
+* :func:`acked_impact` — Table 4: the same join for acknowledged
+  scanners.
+* :func:`router_coverage` — Table 8: how much of the AH population each
+  router observes.
+* :func:`port_consistency` — Figure 5: per-port packet shares, darknet
+  versus flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.flows.netflow import FlowTable
+from repro.packet import PacketBatch, Protocol
+from repro.telescope.capture import DarknetCapture
+
+
+@dataclass(frozen=True)
+class ImpactCell:
+    """One (router, day) impact measurement."""
+
+    router: int
+    day: int
+    ah_packets: int
+    total_packets: int
+
+    @property
+    def fraction(self) -> float:
+        """AH share of the cell's total packets."""
+        if self.total_packets <= 0:
+            return 0.0
+        return self.ah_packets / self.total_packets
+
+
+def daily_impact(
+    flows: FlowTable,
+    totals: Dict[tuple, int],
+    ah_sources: Iterable[int],
+) -> list:
+    """Per-router, per-day AH packet volume and fraction (Table 2).
+
+    Args:
+        flows: scanner flow records (estimated packet counts).
+        totals: (router, day) -> total packets the router processed.
+        ah_sources: the AH list to attribute.
+
+    Returns:
+        List of :class:`ImpactCell`, sorted by (day, router).
+    """
+    ah_flows = flows.for_sources(ah_sources)
+    cells = []
+    for (router, day), total in sorted(totals.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        mask = (ah_flows.router == router) & (ah_flows.day == day)
+        ah_packets = int(ah_flows.packets[mask].sum())
+        cells.append(
+            ImpactCell(
+                router=int(router),
+                day=int(day),
+                ah_packets=ah_packets,
+                total_packets=int(total),
+            )
+        )
+    return cells
+
+
+def average_impact(cells: Sequence[ImpactCell]) -> Dict[int, tuple]:
+    """Per-router averages over days: (mean AH packets, mean fraction)."""
+    by_router: Dict[int, list] = {}
+    for cell in cells:
+        by_router.setdefault(cell.router, []).append(cell)
+    out: Dict[int, tuple] = {}
+    for router, items in sorted(by_router.items()):
+        mean_packets = float(np.mean([c.ah_packets for c in items]))
+        mean_fraction = float(np.mean([c.fraction for c in items]))
+        out[router] = (mean_packets, mean_fraction)
+    return out
+
+
+# ----------------------------------------------------------------------
+def _protocol_shares_from_counts(counts: Dict[int, int]) -> Dict[str, float]:
+    total = sum(counts.values())
+    out = {}
+    for proto in Protocol:
+        share = counts.get(proto.value, 0) / total if total else 0.0
+        out[proto.label()] = share
+    return out
+
+
+def protocol_breakdown(
+    darknet_packets: PacketBatch,
+    flows: FlowTable,
+    ah_sources: Iterable[int],
+) -> Dict[str, Dict[str, float]]:
+    """Table 3: AH protocol mix in the darknet vs the flow data.
+
+    Returns ``{"darknet": {...}, "flows": {...}}`` with per-protocol
+    packet shares.  Agreement between the two columns is the paper's
+    evidence that the AH flow volume is scanning, not co-located user
+    traffic.
+    """
+    wanted = np.asarray(sorted(int(a) for a in ah_sources), dtype=np.uint32)
+    if len(wanted) and len(darknet_packets):
+        mask = np.isin(darknet_packets.src, wanted)
+        dark = darknet_packets.select(mask)
+    else:
+        dark = PacketBatch.empty()
+    dark_counts = {p.value: c for p, c in dark.protocol_counts().items()}
+    flow_counts = flows.for_sources(ah_sources).packets_by_proto()
+    return {
+        "darknet": _protocol_shares_from_counts(dark_counts),
+        "flows": _protocol_shares_from_counts(flow_counts),
+    }
+
+
+def acked_impact(
+    flows: FlowTable,
+    totals: Dict[tuple, int],
+    acked_sources: Iterable[int],
+    day: Optional[int] = None,
+) -> Dict[int, tuple]:
+    """Table 4: acknowledged scanners' per-router packet share.
+
+    Args:
+        flows: scanner flow records.
+        totals: (router, day) -> total packets.
+        acked_sources: AH that matched the acknowledged-scanner lists.
+        day: restrict to one day (the paper uses Flows-2, a single day).
+
+    Returns:
+        router -> (acked packets, fraction of all packets).
+    """
+    acked_flows = flows.for_sources(acked_sources)
+    out: Dict[int, tuple] = {}
+    routers = sorted({router for router, _ in totals})
+    for router in routers:
+        days = [d for r, d in totals if r == router and (day is None or d == day)]
+        total = sum(totals[(router, d)] for d in days)
+        mask = np.isin(acked_flows.day, np.array(days, dtype=acked_flows.day.dtype))
+        mask &= acked_flows.router == router
+        packets = int(acked_flows.packets[mask].sum())
+        out[router] = (packets, packets / total if total else 0.0)
+    return out
+
+
+def router_coverage(
+    flows: FlowTable,
+    daily_active: Dict[int, set],
+    router_count: int,
+) -> list:
+    """Table 8: share of each day's active AH population seen per router.
+
+    Args:
+        flows: scanner flow records.
+        daily_active: day -> active AH sources (from detection).
+        router_count: number of border routers.
+
+    Returns:
+        Rows ``{"day", "active_ah", "seen_fraction": [per router]}``.
+    """
+    rows = []
+    for day in sorted(daily_active):
+        active = daily_active[day]
+        if not active:
+            continue
+        day_flows = flows.select(flows.day == day)
+        fractions = []
+        for router in range(router_count):
+            seen = set(
+                int(s)
+                for s in np.unique(day_flows.src[day_flows.router == router])
+            )
+            fractions.append(len(seen & active) / len(active))
+        rows.append(
+            {
+                "day": int(day),
+                "active_ah": len(active),
+                "seen_fraction": fractions,
+            }
+        )
+    return rows
+
+
+def port_consistency(
+    darknet_packets: PacketBatch,
+    flows: FlowTable,
+    ah_sources: Iterable[int],
+    top_n: int = 25,
+) -> list:
+    """Figure 5: per-port AH packet shares, darknet vs flows.
+
+    Returns rows ``(port, proto, darknet_share, flow_share)`` for the
+    union of each side's top ``top_n`` ports, ordered by darknet share.
+    A tight diagonal means the two vantage points agree on what the AH
+    are doing.
+    """
+    wanted = np.asarray(sorted(int(a) for a in ah_sources), dtype=np.uint32)
+    dark_counts: Dict[tuple, int] = {}
+    if len(wanted) and len(darknet_packets):
+        mask = np.isin(darknet_packets.src, wanted)
+        dark = darknet_packets.select(mask)
+        keys = (
+            dark.dport.astype(np.uint32) << np.uint32(8)
+        ) | dark.proto.astype(np.uint32)
+        uniq, counts = np.unique(keys, return_counts=True)
+        for key, count in zip(uniq, counts):
+            dark_counts[(int(key) >> 8, int(key) & 0xFF)] = int(count)
+    flow_counts = flows.for_sources(ah_sources).packets_by_port()
+
+    dark_total = sum(dark_counts.values()) or 1
+    flow_total = sum(flow_counts.values()) or 1
+    top_dark = sorted(dark_counts, key=dark_counts.get, reverse=True)[:top_n]
+    top_flow = sorted(flow_counts, key=flow_counts.get, reverse=True)[:top_n]
+    rows = []
+    for key in dict.fromkeys(list(top_dark) + list(top_flow)):
+        rows.append(
+            (
+                key[0],
+                key[1],
+                dark_counts.get(key, 0) / dark_total,
+                flow_counts.get(key, 0) / flow_total,
+            )
+        )
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return rows
+
+
+def rank_correlation(rows: Sequence[tuple]) -> float:
+    """Spearman-style rank correlation of the Figure 5 scatter.
+
+    Computed without scipy to keep the core dependency-light; ties get
+    average ranks.
+    """
+    if len(rows) < 2:
+        return 1.0
+    a = np.array([r[2] for r in rows])
+    b = np.array([r[3] for r in rows])
+
+    def ranks(x: np.ndarray) -> np.ndarray:
+        order = np.argsort(x)
+        r = np.empty(len(x), dtype=np.float64)
+        r[order] = np.arange(1, len(x) + 1)
+        # average ties
+        for value in np.unique(x):
+            mask = x == value
+            if np.count_nonzero(mask) > 1:
+                r[mask] = r[mask].mean()
+        return r
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom == 0:
+        return 1.0
+    return float((ra * rb).sum() / denom)

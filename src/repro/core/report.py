@@ -1,0 +1,221 @@
+"""One-shot full study reports.
+
+``render_full_report`` walks a :class:`~repro.core.pipeline.StudyReport`
+and renders every analysis the scenario supports into a single text
+document — the artifact an operator or reviewer reads end-to-end.  The
+CLI exposes it as ``repro-scanners report``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis.figures import sparkline
+from repro.analysis.tables import format_table, render_count, render_percent
+from repro.core.churn import churn_summary, staleness, survival_curve
+from repro.core.pipeline import StudyReport
+from repro.packet import Protocol
+from repro.scanners.ports import service_label
+
+
+def _section(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{title}\n{bar}"
+
+
+def _dataset_block(report: StudyReport) -> str:
+    summary = report.dataset_summary()
+    capture = report.result.capture
+    ah = report.detections[1].sources
+    ah_packets = capture.packets_from(ah)
+    rows = [
+        ("scenario", report.result.scenario.name),
+        ("days", summary["days"]),
+        ("dark IPs", f"{summary['dark_size']:,}"),
+        ("darknet packets", f"{summary['packets']:,}"),
+        ("source IPs", f"{summary['source_ips']:,}"),
+        ("darknet events", f"{summary['events']:,}"),
+        (
+            "AH (def 1)",
+            f"{len(ah):,} "
+            f"({render_percent(len(ah) / max(summary['source_ips'], 1))} of sources, "
+            f"{render_percent(ah_packets / max(summary['packets'], 1), 1)} of packets)",
+        ),
+    ]
+    return format_table(["metric", "value"], rows, align_right=False)
+
+
+def _detection_block(report: StudyReport) -> str:
+    rows = []
+    for definition, result in sorted(report.detections.items()):
+        rows.append(
+            (
+                f"Definition {definition}",
+                len(result),
+                f"{result.threshold:,.0f}",
+            )
+        )
+    table = format_table(["definition", "AH", "threshold"], rows)
+    jaccard = report.definition_jaccard()
+    return f"{table}\nJaccard(def1, def2) = {jaccard:.2f}"
+
+
+def _trends_block(report: StudyReport) -> str:
+    points = report.temporal_trends()
+    rows = [
+        (
+            report.clock.label(p.day),
+            p.daily_new_ah,
+            p.active_ah,
+            p.all_daily_sources,
+            render_percent(p.ah_packet_share, 1),
+        )
+        for p in points
+    ]
+    table = format_table(
+        ["day", "daily AH", "active AH", "all sources", "AH pkt share"], rows
+    )
+    spark = sparkline([p.active_ah for p in points], width=40)
+    return f"{table}\nactive AH/day: {spark}"
+
+
+def _ports_block(report: StudyReport) -> str:
+    rows = []
+    for i, row in enumerate(report.top_ports(top_n=15), start=1):
+        rows.append(
+            (
+                f"#{i}",
+                service_label(row.port, Protocol(row.proto)),
+                f"{row.packets:,}",
+                render_percent(
+                    (row.zmap_packets + row.masscan_packets) / row.packets, 0
+                ),
+            )
+        )
+    return format_table(
+        ["rank", "service", "AH packets", "ZMap+Masscan"],
+        rows,
+        align_right=False,
+    )
+
+
+def _origins_block(report: StudyReport) -> str:
+    rows_data, totals = report.origins_table()
+    rows = [
+        (
+            r.label,
+            f"{r.unique_ips}" + (f" ({r.acked_ips})" if r.acked_ips else ""),
+            r.unique_slash24,
+            f"{r.packets:,}",
+        )
+        for r in rows_data
+    ]
+    table = format_table(
+        ["origin", "/32s (ACKed)", "/24s", "packets"], rows, align_right=False
+    )
+    count, share = totals["ips"]
+    return f"{table}\ntop-10 hold {render_percent(share, 0)} of AH addresses"
+
+
+def _validation_block(report: StudyReport) -> str:
+    acked = report.acked_match()
+    overlap = report.greynoise_overlap()
+    breakdown = report.greynoise_breakdown()
+    lines: List[str] = [
+        f"acknowledged: {acked.total_ips} IPs "
+        f"({acked.ip_matches} list / {acked.domain_matches} rDNS) from "
+        f"{acked.orgs} orgs, {render_percent(acked.packets_share_of_ah, 1)} "
+        "of AH packets",
+        f"honeypot overlap of daily AH: {render_percent(overlap, 1)}",
+        "intent of non-ACKed AH: "
+        + ", ".join(
+            f"{k}={v}" for k, v in sorted(breakdown.items(), key=lambda kv: -kv[1])
+        ),
+    ]
+    tags = report.greynoise_tags_table(top_n=8)
+    lines.append(
+        "top tags: " + ", ".join(f"{t} ({c})" for t, c in tags)
+    )
+    return "\n".join(lines)
+
+
+def _impact_block(report: StudyReport) -> str:
+    cells = report.impact_cells()
+    by_day: dict = {}
+    for cell in cells:
+        by_day.setdefault(cell.day, {})[cell.router] = cell
+    rows = []
+    for day in sorted(by_day):
+        row = [report.clock.label(day)]
+        for router in sorted(by_day[day]):
+            cell = by_day[day][router]
+            row.append(
+                f"{render_count(cell.ah_packets)} ({render_percent(cell.fraction)})"
+            )
+        rows.append(row)
+    headers = ["day"] + [
+        f"Router-{r + 1}" for r in sorted({c.router for c in cells})
+    ]
+    return format_table(headers, rows, align_right=False)
+
+
+def _churn_block(report: StudyReport) -> str:
+    detection = report.detections[1]
+    summary = churn_summary(detection)
+    curve = survival_curve(detection, max_days=5)
+    lines = [
+        f"day-over-day retention: {render_percent(summary['mean_retention'], 1)}"
+        f" (Jaccard {summary['mean_jaccard']:.2f}), "
+        f"{summary['mean_arrivals']:.0f} new AH/day",
+        "survival: "
+        + " ".join(
+            f"+{k}d={render_percent(float(v), 0)}" for k, v in enumerate(curve)
+        ),
+        f"3-day-old list freshness: {render_percent(staleness(detection, 3), 1)}",
+    ]
+    return "\n".join(lines)
+
+
+def render_full_report(report: StudyReport) -> str:
+    """Render every supported analysis of a study into one document."""
+    blocks = [
+        "Aggressive Internet-Wide Scanners — full study report",
+        _section("Dataset"),
+        _dataset_block(report),
+        _section("Detection (the three AH definitions)"),
+        _detection_block(report),
+        _section("Temporal trends"),
+        _trends_block(report),
+        _section("Top targeted services"),
+        _ports_block(report),
+        _section("Origins"),
+        _origins_block(report),
+        _section("Validation (acknowledged lists + honeypots)"),
+        _validation_block(report),
+        _section("List churn"),
+        _churn_block(report),
+    ]
+    if report.result.scenario.flow_days and report.result.merit is not None:
+        blocks += [_section("Network impact (sampled flows)"), _impact_block(report)]
+    if (
+        report.result.scenario.stream_window is not None
+        and report.result.campus is not None
+    ):
+        streams = report.stream_series()
+        rows = [
+            (
+                name,
+                render_percent(series.summary()["overall_fraction"], 3),
+                f"{series.peak_total_pps():,}",
+            )
+            for name, series in streams.items()
+        ]
+        blocks += [
+            _section("Network impact (packet streams)"),
+            format_table(
+                ["station", "AH fraction", "peak pps"], rows, align_right=False
+            ),
+        ]
+    return "\n".join(blocks) + "\n"

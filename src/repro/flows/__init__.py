@@ -1,0 +1,19 @@
+"""ISP substrate: border routers, NetFlow export and stream monitors."""
+
+from repro.flows.isp import ISPNetwork, build_campus_like, build_merit_like
+from repro.flows.netflow import FlowTable, NetflowExporter
+from repro.flows.router import BorderRouter, RoutingPolicy, region_of
+from repro.flows.stream import StreamMonitor, StreamSeries
+
+__all__ = [
+    "BorderRouter",
+    "FlowTable",
+    "ISPNetwork",
+    "NetflowExporter",
+    "RoutingPolicy",
+    "StreamMonitor",
+    "StreamSeries",
+    "build_campus_like",
+    "build_merit_like",
+    "region_of",
+]

@@ -1,0 +1,179 @@
+"""NetFlow records with packet sampling.
+
+Merit's collectors export flows from 1:1000 packet-sampled ingress and
+egress traffic at the core routers.  ``NetflowExporter`` applies that
+sampling to the analytic per-day scanner counts, and ``FlowTable``
+stores the resulting records in column form with the group-by helpers
+the impact analyses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.config import FLOW_SAMPLING_RATE
+
+
+@dataclass
+class FlowTable:
+    """Column-oriented scanner flow records.
+
+    Columns (aligned arrays):
+        router: ingress router index (int8).
+        day: simulated day index (int32).
+        src: source address (uint32).
+        dport: destination port (uint16).
+        proto: protocol code (uint8).
+        packets: sampled packet count scaled *back up* by the sampling
+            rate — the usual operational convention ("estimated
+            packets") — so fractions computed against scaled totals are
+            directly comparable.
+        sampled: raw sampled packet count before scaling.
+    """
+
+    router: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int8)
+    )
+    day: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int32)
+    )
+    src: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint32)
+    )
+    dport: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint16)
+    )
+    proto: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint8)
+    )
+    packets: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    sampled: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def select(self, mask: np.ndarray) -> "FlowTable":
+        """Row subset."""
+        return FlowTable(
+            router=self.router[mask],
+            day=self.day[mask],
+            src=self.src[mask],
+            dport=self.dport[mask],
+            proto=self.proto[mask],
+            packets=self.packets[mask],
+            sampled=self.sampled[mask],
+        )
+
+    # ------------------------------------------------------------------
+    def for_router_day(self, router: int, day: int) -> "FlowTable":
+        """Rows of one (router, day) cell."""
+        return self.select((self.router == router) & (self.day == day))
+
+    def for_sources(self, sources: Iterable[int]) -> "FlowTable":
+        """Rows whose source is in the given set."""
+        wanted = np.asarray(sorted(int(a) for a in sources), dtype=np.uint32)
+        if len(wanted) == 0:
+            return self.select(np.zeros(len(self), dtype=bool))
+        return self.select(np.isin(self.src, wanted))
+
+    def total_packets(self) -> int:
+        """Sum of estimated packets."""
+        return int(self.packets.sum())
+
+    def unique_sources(self) -> np.ndarray:
+        """Sorted distinct sources."""
+        return np.unique(self.src)
+
+    def packets_by_port(self) -> Dict[tuple, int]:
+        """(port, proto) -> estimated packets."""
+        out: Dict[tuple, int] = {}
+        for port, proto, pkts in zip(self.dport, self.proto, self.packets):
+            key = (int(port), int(proto))
+            out[key] = out.get(key, 0) + int(pkts)
+        return out
+
+    def packets_by_proto(self) -> Dict[int, int]:
+        """proto -> estimated packets."""
+        out: Dict[int, int] = {}
+        for proto in np.unique(self.proto):
+            mask = self.proto == proto
+            out[int(proto)] = int(self.packets[mask].sum())
+        return out
+
+    @classmethod
+    def from_rows(cls, rows: list) -> "FlowTable":
+        """Build from ``(router, day, src, dport, proto, pkts, sampled)``."""
+        if not rows:
+            return cls()
+        arr = np.array(rows, dtype=np.int64)
+        return cls(
+            router=arr[:, 0].astype(np.int8),
+            day=arr[:, 1].astype(np.int32),
+            src=arr[:, 2].astype(np.uint32),
+            dport=arr[:, 3].astype(np.uint16),
+            proto=arr[:, 4].astype(np.uint8),
+            packets=arr[:, 5].astype(np.int64),
+            sampled=arr[:, 6].astype(np.int64),
+        )
+
+
+@dataclass
+class NetflowExporter:
+    """Applies packet sampling to true per-flow counts.
+
+    Attributes:
+        sampling_rate: 1-in-N packet sampling (paper: 1000).
+        keep_zero: keep flows whose sample came up empty (never done by
+            real collectors; available for bias experiments).
+    """
+
+    sampling_rate: int = FLOW_SAMPLING_RATE
+    keep_zero: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate < 1:
+            raise ValueError("sampling_rate must be >= 1")
+
+    def sample_count(self, true_count: int, rng: np.random.Generator) -> int:
+        """Sampled packet count for one flow."""
+        if true_count < 0:
+            raise ValueError("true_count must be non-negative")
+        if self.sampling_rate == 1:
+            return int(true_count)
+        return int(rng.binomial(true_count, 1.0 / self.sampling_rate))
+
+    def export(
+        self,
+        rows: list,
+        rng: np.random.Generator,
+    ) -> FlowTable:
+        """Export sampled flow records.
+
+        Args:
+            rows: ``(router, day, src, dport, proto, true_count)`` rows.
+            rng: random stream for sampling draws.
+
+        Returns:
+            A :class:`FlowTable`; flows that sampled to zero packets are
+            dropped unless ``keep_zero`` is set.
+        """
+        out = []
+        for router, day, src, dport, proto, true_count in rows:
+            sampled = self.sample_count(int(true_count), rng)
+            if sampled == 0 and not self.keep_zero:
+                continue
+            estimated = sampled * self.sampling_rate
+            out.append((router, day, src, dport, proto, estimated, sampled))
+        return FlowTable.from_rows(out)
+
+    def sample_total(self, true_total: int, rng: np.random.Generator) -> int:
+        """Scaled-up estimate of a router-day total packet counter."""
+        sampled = self.sample_count(int(true_total), rng)
+        return sampled * self.sampling_rate

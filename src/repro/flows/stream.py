@@ -1,0 +1,146 @@
+"""Non-sampled packet-stream monitors (the Figure 1/2 instrumentation).
+
+The paper validates the sampled-flow impact numbers against mirrored
+packet streams: 72 hours of every packet at one major Merit core router
+(>8 Mpps peaks) and at the campus border.  The monitoring station only
+counts packets — total, and packets whose source is on the AH list —
+which is exactly what :class:`StreamMonitor` produces, at one-second
+resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.flows.isp import ISPNetwork
+from repro.scanners.base import Scanner
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class StreamSeries:
+    """Per-second counters recorded by one monitoring station.
+
+    Attributes:
+        network: station label.
+        start: timestamp of the first second.
+        total_pps: total packets observed per second.
+        ah_pps: packets from listed AH sources per second.
+        slash24s: the network's announced /24 count (normalization).
+    """
+
+    network: str
+    start: float
+    total_pps: np.ndarray
+    ah_pps: np.ndarray
+    slash24s: int
+
+    def __post_init__(self) -> None:
+        if len(self.total_pps) != len(self.ah_pps):
+            raise ValueError("series must share one length")
+
+    def __len__(self) -> int:
+        return len(self.total_pps)
+
+    # ------------------------------------------------------------------
+    def instantaneous_fraction(self) -> np.ndarray:
+        """Per-second AH share of traffic (Figure 1, middle row)."""
+        total = self.total_pps.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(total > 0, self.ah_pps / total, 0.0)
+        return frac
+
+    def cumulative_fraction(self) -> np.ndarray:
+        """AH share counted from the start of the experiment
+        (Figure 1, top row)."""
+        total = np.cumsum(self.total_pps, dtype=np.float64)
+        ah = np.cumsum(self.ah_pps, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(total > 0, ah / total, 0.0)
+        return frac
+
+    def normalized_ah_rate(self) -> np.ndarray:
+        """AH pps per announced /24 (Figure 2)."""
+        return self.ah_pps.astype(np.float64) / self.slash24s
+
+    def high_load_mask(self, pps_threshold: float) -> np.ndarray:
+        """Seconds where overall traffic exceeds a rate threshold
+        (the red highlighting of Figure 1's bottom row)."""
+        return self.total_pps >= pps_threshold
+
+    def peak_total_pps(self) -> int:
+        """Highest per-second total packet rate observed."""
+        return int(self.total_pps.max()) if len(self) else 0
+
+    def summary(self) -> dict:
+        """Headline numbers for EXPERIMENTS.md."""
+        inst = self.instantaneous_fraction()
+        return {
+            "network": self.network,
+            "seconds": len(self),
+            "total_packets": int(self.total_pps.sum()),
+            "ah_packets": int(self.ah_pps.sum()),
+            "overall_fraction": float(self.ah_pps.sum() / max(self.total_pps.sum(), 1)),
+            "max_instantaneous_fraction": float(inst.max()) if len(self) else 0.0,
+            "peak_total_pps": self.peak_total_pps(),
+            "mean_ah_pps_per_slash24": float(self.normalized_ah_rate().mean()),
+        }
+
+
+@dataclass
+class StreamMonitor:
+    """Builds the per-second series for one station."""
+
+    network: ISPNetwork
+    clock: SimClock
+
+    def record(
+        self,
+        ah_scanners: Sequence[Scanner],
+        window: tuple,
+        rng: np.random.Generator,
+    ) -> StreamSeries:
+        """Run the station over a window.
+
+        Args:
+            ah_scanners: scanners on the AH list whose packets the
+                station attributes to "aggressive hitters".  Only the
+                share entering at the monitored router is counted (the
+                Merit station mirrors one core router).
+            window: [start, end) in seconds; must be second-aligned.
+            rng: random stream.
+
+        Returns:
+            The recorded :class:`StreamSeries`.
+        """
+        start, end = window
+        seconds = int(round(end - start))
+        if seconds <= 0:
+            raise ValueError("window must span at least one second")
+
+        ah_pps = np.zeros(seconds, dtype=np.int64)
+        monitored = self.network.monitored_router
+        for scanner in ah_scanners:
+            share = self.network.router_share(int(scanner.src), monitored)
+            scanner.accumulate_stream(
+                ah_pps,
+                self.network.transit_view,
+                window,
+                rng,
+                rate_scale=share,
+            )
+
+        legit = self.network.traffic_models[monitored].per_second_counts(
+            window, self.clock, rng
+        )
+        total = legit + ah_pps
+        return StreamSeries(
+            network=self.network.name,
+            start=start,
+            total_pps=total,
+            ah_pps=ah_pps,
+            slash24s=self.network.lit_slash24s,
+        )

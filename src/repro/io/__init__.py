@@ -1,0 +1,24 @@
+"""Serialization: events, flows, packet captures and published lists."""
+
+from repro.io.eventlog import load_events_csv, save_events_csv
+from repro.io.flowlog import load_flows_csv, save_flows_csv
+from repro.io.listio import (
+    diff_blocklists,
+    load_blocklist,
+    merge_blocklists,
+    save_blocklist,
+)
+from repro.io.packetlog import load_packets_npz, save_packets_npz
+
+__all__ = [
+    "diff_blocklists",
+    "load_blocklist",
+    "load_events_csv",
+    "load_flows_csv",
+    "load_packets_npz",
+    "merge_blocklists",
+    "save_blocklist",
+    "save_events_csv",
+    "save_flows_csv",
+    "save_packets_npz",
+]

@@ -1,0 +1,63 @@
+"""Darknet event (de)serialization.
+
+The ORION pipeline stores darknet events in flat files; operators
+exchange AH lists and event summaries the same way.  A simple CSV
+format keeps the artifacts inspectable with standard tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.events import EventTable
+from repro.net.addr import format_ip, parse_ip
+
+_HEADER = ["src", "dport", "proto", "start", "end", "packets", "unique_dsts"]
+
+
+def save_events_csv(events: EventTable, path: Union[str, Path]) -> None:
+    """Write an event table to CSV (source IPs in dotted quad)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for i in range(len(events)):
+            writer.writerow(
+                [
+                    format_ip(int(events.src[i])),
+                    int(events.dport[i]),
+                    int(events.proto[i]),
+                    f"{float(events.start[i]):.6f}",
+                    f"{float(events.end[i]):.6f}",
+                    int(events.packets[i]),
+                    int(events.unique_dsts[i]),
+                ]
+            )
+
+
+def load_events_csv(path: Union[str, Path]) -> EventTable:
+    """Read an event table written by :func:`save_events_csv`."""
+    path = Path(path)
+    rows = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != _HEADER:
+            raise ValueError(f"unexpected event CSV header: {header}")
+        for row in reader:
+            rows.append(row)
+    if not rows:
+        return EventTable.empty()
+    return EventTable(
+        src=np.array([parse_ip(r[0]) for r in rows], dtype=np.uint32),
+        dport=np.array([int(r[1]) for r in rows], dtype=np.uint16),
+        proto=np.array([int(r[2]) for r in rows], dtype=np.uint8),
+        start=np.array([float(r[3]) for r in rows], dtype=np.float64),
+        end=np.array([float(r[4]) for r in rows], dtype=np.float64),
+        packets=np.array([int(r[5]) for r in rows], dtype=np.int64),
+        unique_dsts=np.array([int(r[6]) for r in rows], dtype=np.int64),
+    )

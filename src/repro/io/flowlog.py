@@ -1,0 +1,57 @@
+"""NetFlow record (de)serialization in CSV form."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.flows.netflow import FlowTable
+from repro.net.addr import format_ip, parse_ip
+
+_HEADER = ["router", "day", "src", "dport", "proto", "packets", "sampled"]
+
+
+def save_flows_csv(flows: FlowTable, path: Union[str, Path]) -> None:
+    """Write a flow table to CSV (source IPs in dotted quad)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for i in range(len(flows)):
+            writer.writerow(
+                [
+                    int(flows.router[i]),
+                    int(flows.day[i]),
+                    format_ip(int(flows.src[i])),
+                    int(flows.dport[i]),
+                    int(flows.proto[i]),
+                    int(flows.packets[i]),
+                    int(flows.sampled[i]),
+                ]
+            )
+
+
+def load_flows_csv(path: Union[str, Path]) -> FlowTable:
+    """Read a flow table written by :func:`save_flows_csv`."""
+    path = Path(path)
+    rows = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != _HEADER:
+            raise ValueError(f"unexpected flow CSV header: {header}")
+        rows = list(reader)
+    if not rows:
+        return FlowTable()
+    return FlowTable(
+        router=np.array([int(r[0]) for r in rows], dtype=np.int8),
+        day=np.array([int(r[1]) for r in rows], dtype=np.int32),
+        src=np.array([parse_ip(r[2]) for r in rows], dtype=np.uint32),
+        dport=np.array([int(r[3]) for r in rows], dtype=np.uint16),
+        proto=np.array([int(r[4]) for r in rows], dtype=np.uint8),
+        packets=np.array([int(r[5]) for r in rows], dtype=np.int64),
+        sampled=np.array([int(r[6]) for r in rows], dtype=np.int64),
+    )

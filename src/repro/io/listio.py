@@ -1,0 +1,131 @@
+"""Publishing and consuming AH lists — the subscription workflow.
+
+The paper's operational plan is to "produce and share daily lists of
+such scanners (using all three definitions) that the network and
+threat-exchange communities could subscribe to".  This module defines
+the wire format for that exchange:
+
+* :func:`save_blocklist` / :func:`load_blocklist` — one day's list with
+  full annotations (the ``DailyBlocklist`` CSV dialect);
+* :func:`diff_blocklists` — what a subscriber must add/remove when a
+  new day's list arrives (the delta feeds firewalls efficiently);
+* :func:`merge_blocklists` — union of several days with per-address
+  recency, for operators who block with a decay window.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+from repro.core.lists import BlocklistEntry, DailyBlocklist
+from repro.net.addr import format_ip, parse_ip
+
+_HEADER = ["ip", "definitions", "darknet_packets", "asn", "country", "acknowledged"]
+
+
+def save_blocklist(blocklist: DailyBlocklist, path: Union[str, Path]) -> None:
+    """Write one day's blocklist in the published CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        handle.write(f"# day={blocklist.day}\n")
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for entry in blocklist.entries:
+            writer.writerow(
+                [
+                    format_ip(entry.address),
+                    "+".join(str(d) for d in entry.definitions),
+                    entry.packets,
+                    entry.asn,
+                    entry.country,
+                    int(entry.acknowledged),
+                ]
+            )
+
+
+def load_blocklist(path: Union[str, Path]) -> DailyBlocklist:
+    """Read a blocklist written by :func:`save_blocklist`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        first = handle.readline().strip()
+        if not first.startswith("# day="):
+            raise ValueError(f"missing day header in {path}")
+        day = int(first.split("=", 1)[1])
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != _HEADER:
+            raise ValueError(f"unexpected blocklist header: {header}")
+        entries = []
+        for row in reader:
+            entries.append(
+                BlocklistEntry(
+                    address=parse_ip(row[0]),
+                    definitions=tuple(int(d) for d in row[1].split("+") if d),
+                    packets=int(row[2]),
+                    asn=int(row[3]),
+                    country=row[4],
+                    acknowledged=bool(int(row[5])),
+                )
+            )
+    return DailyBlocklist(day=day, entries=entries)
+
+
+@dataclass(frozen=True)
+class BlocklistDiff:
+    """What changes between two consecutive published lists."""
+
+    added: tuple
+    removed: tuple
+    retained: tuple
+
+    @property
+    def churn(self) -> float:
+        """Share of the union that changed."""
+        total = len(self.added) + len(self.removed) + len(self.retained)
+        if total == 0:
+            return 0.0
+        return (len(self.added) + len(self.removed)) / total
+
+
+def diff_blocklists(
+    old: DailyBlocklist, new: DailyBlocklist
+) -> BlocklistDiff:
+    """Delta a subscriber applies when the next day's list arrives."""
+    old_addresses = old.addresses()
+    new_addresses = new.addresses()
+    return BlocklistDiff(
+        added=tuple(sorted(new_addresses - old_addresses)),
+        removed=tuple(sorted(old_addresses - new_addresses)),
+        retained=tuple(sorted(old_addresses & new_addresses)),
+    )
+
+
+def merge_blocklists(blocklists: Sequence[DailyBlocklist]) -> Dict[int, int]:
+    """Union of several days' lists with per-address last-seen day.
+
+    Returns ``{address: last_day_listed}`` — the state an operator
+    keeps when expiring entries after a decay window.
+    """
+    last_seen: Dict[int, int] = {}
+    for blocklist in blocklists:
+        for entry in blocklist.entries:
+            previous = last_seen.get(entry.address)
+            if previous is None or blocklist.day > previous:
+                last_seen[entry.address] = blocklist.day
+    return last_seen
+
+
+def expire_merged(
+    last_seen: Dict[int, int], current_day: int, window_days: int
+) -> Dict[int, int]:
+    """Drop merged entries older than the decay window."""
+    if window_days < 1:
+        raise ValueError("window_days must be >= 1")
+    return {
+        address: day
+        for address, day in last_seen.items()
+        if current_day - day < window_days
+    }

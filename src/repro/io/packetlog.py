@@ -1,0 +1,52 @@
+"""Binary (de)serialization of packet captures.
+
+Darknet captures run to millions of packets; CSV would be wasteful, so
+captures persist as compressed ``.npz`` archives holding the
+:class:`~repro.packet.PacketBatch` columns verbatim.  The format is a
+stand-in for pcap in this reproduction: lossless for everything the
+analyses consume.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.packet import PacketBatch
+
+#: Format marker stored inside every archive.
+_MAGIC = "repro-packetlog-v1"
+
+
+def save_packets_npz(batch: PacketBatch, path: Union[str, Path]) -> None:
+    """Write a packet batch to a compressed ``.npz`` archive."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        magic=np.array(_MAGIC),
+        ts=batch.ts,
+        src=batch.src,
+        dst=batch.dst,
+        dport=batch.dport,
+        proto=batch.proto,
+        ipid=batch.ipid,
+    )
+
+
+def load_packets_npz(path: Union[str, Path]) -> PacketBatch:
+    """Read a packet batch written by :func:`save_packets_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        magic = str(archive["magic"])
+        if magic != _MAGIC:
+            raise ValueError(f"not a repro packet log: {path} (magic={magic!r})")
+        return PacketBatch(
+            ts=archive["ts"],
+            src=archive["src"],
+            dst=archive["dst"],
+            dport=archive["dport"],
+            proto=archive["proto"],
+            ipid=archive["ipid"],
+        )

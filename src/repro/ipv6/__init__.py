@@ -1,0 +1,35 @@
+"""IPv6 scanner analysis — the paper's stated future work.
+
+The paper (§6/§7) leaves "analysis of AH IPv6 scanners" to future work,
+citing Richter et al. (IMC'22): IPv6 scanning is *hitlist-driven* —
+the address space is too vast to sweep, so scanners probe curated lists
+of known-responsive addresses (and extrapolated patterns).  This
+subpackage implements that model end-to-end:
+
+* a synthetic IPv6 address plan and target *hitlist* with realistic
+  address-pattern classes (low-byte, EUI-64, privacy/random);
+* hitlist-driven scanner behaviors, including aggressive hitters that
+  cover large fractions of the hitlist;
+* an IPv6 telescope observing the hitlist entries that have gone dark
+  (stale entries now pointing into unused space);
+* detection that adapts Definition 1 to hitlist coverage and reuses the
+  v4 event/ECDF machinery through 32-bit address interning.
+"""
+
+from repro.ipv6.addr import format_ipv6, parse_ipv6
+from repro.ipv6.hitlist import AddressPattern, Hitlist, HitlistConfig, build_hitlist
+from repro.ipv6.scanner import Ipv6Scanner, build_ipv6_population
+from repro.ipv6.telescope import Ipv6Telescope, detect_ipv6_hitters
+
+__all__ = [
+    "AddressPattern",
+    "Hitlist",
+    "HitlistConfig",
+    "Ipv6Scanner",
+    "Ipv6Telescope",
+    "build_hitlist",
+    "build_ipv6_population",
+    "detect_ipv6_hitters",
+    "format_ipv6",
+    "parse_ipv6",
+]

@@ -1,0 +1,37 @@
+"""IPv6 address helpers.
+
+Addresses are 128-bit Python integers; parsing/formatting delegates to
+the standard library's ``ipaddress`` module so compressed forms round
+trip correctly.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+MAX_IPV6 = 2**128 - 1
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse an IPv6 address (any RFC 5952 form) to an integer."""
+    return int(ipaddress.IPv6Address(text))
+
+
+def format_ipv6(value: int) -> str:
+    """Render an integer as a compressed IPv6 address."""
+    if not 0 <= value <= MAX_IPV6:
+        raise ValueError(f"address out of range: {value}")
+    return str(ipaddress.IPv6Address(value))
+
+
+def prefix_base_v6(address: int, length: int) -> int:
+    """Lowest address of the /length prefix containing ``address``."""
+    if not 0 <= length <= 128:
+        raise ValueError(f"prefix length out of range: {length}")
+    shift = 128 - length
+    return (int(address) >> shift) << shift
+
+
+def in_prefix_v6(address: int, base: int, length: int) -> bool:
+    """Prefix membership test."""
+    return prefix_base_v6(address, length) == prefix_base_v6(base, length)

@@ -1,0 +1,140 @@
+"""Synthetic IPv6 target hitlists.
+
+IPv6 scanners cannot sweep the space; they work from *hitlists* of
+known-responsive addresses (published research hitlists, DNS harvests,
+passive collection).  Entries follow recognizable assignment patterns —
+low-byte server addresses (``...::1``), EUI-64 SLAAC addresses embedding
+a MAC, and high-entropy privacy addresses — and a fraction of any
+hitlist is stale: the prefix was renumbered or withdrawn, so probes to
+those entries now land in unused ("dark") space, which is exactly what
+an IPv6 telescope observes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class AddressPattern(enum.Enum):
+    """Assignment pattern of a hitlist entry."""
+
+    LOW_BYTE = "low-byte"
+    EUI64 = "eui-64"
+    PRIVACY = "privacy"
+
+
+@dataclass(frozen=True)
+class HitlistConfig:
+    """Knobs for the synthetic hitlist."""
+
+    seed: int = 606
+    #: number of origin /48 prefixes.
+    prefix_count: int = 400
+    #: hitlist entries per prefix (lognormal-ish spread around this).
+    entries_per_prefix: float = 60.0
+    #: fraction of entries whose prefix has gone dark (telescope bait).
+    dark_fraction: float = 0.12
+    #: pattern mixture (low-byte, EUI-64, privacy).
+    pattern_mix: tuple = (0.45, 0.30, 0.25)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.dark_fraction < 1:
+            raise ValueError("dark_fraction must be in (0, 1)")
+        if abs(sum(self.pattern_mix) - 1.0) > 1e-9:
+            raise ValueError("pattern_mix must sum to 1")
+
+
+@dataclass
+class Hitlist:
+    """The assembled hitlist.
+
+    Attributes:
+        addresses: 128-bit entry addresses (Python ints; the space does
+            not fit numpy integer dtypes).
+        patterns: per-entry :class:`AddressPattern`.
+        dark: boolean array marking entries that now point into unused
+            space (the telescope's aperture).
+        prefix_of: per-entry index of the owning /48.
+    """
+
+    addresses: list
+    patterns: list
+    dark: np.ndarray
+    prefix_of: np.ndarray
+    config: HitlistConfig = field(default_factory=HitlistConfig)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def dark_indexes(self) -> np.ndarray:
+        """Entry indexes the telescope can observe."""
+        return np.flatnonzero(self.dark)
+
+    @property
+    def dark_size(self) -> int:
+        """Number of dark entries — the definition-1 denominator."""
+        return int(np.count_nonzero(self.dark))
+
+    def pattern_counts(self) -> dict:
+        """Entry counts per address pattern."""
+        out: dict = {}
+        for pattern in self.patterns:
+            out[pattern] = out.get(pattern, 0) + 1
+        return out
+
+
+def _entry_address(
+    rng: np.random.Generator, prefix_base: int, pattern: AddressPattern
+) -> int:
+    """One interface identifier under a /48 + random /64 subnet."""
+    subnet = int(rng.integers(0, 2**16))
+    base = prefix_base | (subnet << 64)
+    if pattern is AddressPattern.LOW_BYTE:
+        iid = int(rng.integers(1, 256))
+    elif pattern is AddressPattern.EUI64:
+        mac_high = int(rng.integers(0, 2**24))
+        mac_low = int(rng.integers(0, 2**24))
+        # EUI-64: OUI | fffe | NIC, with the universal/local bit set.
+        iid = ((mac_high ^ 0x020000) << 40) | (0xFFFE << 24) | mac_low
+    else:
+        iid = int(rng.integers(1, 2**64, dtype=np.uint64))
+    return base | iid
+
+
+def build_hitlist(config: HitlistConfig = HitlistConfig()) -> Hitlist:
+    """Build the deterministic synthetic hitlist.
+
+    Prefixes are /48s drawn under 2001:db8::/32 (the documentation
+    prefix — the synthetic data can never collide with real networks).
+    Dark entries cluster by prefix: renumbering kills whole prefixes,
+    not individual hosts.
+    """
+    rng = np.random.default_rng(config.seed)
+    doc_base = 0x20010DB8 << 96
+    patterns_pool = list(AddressPattern)
+
+    addresses: list = []
+    patterns: list = []
+    dark_flags: list = []
+    prefix_of: list = []
+    dark_prefix = rng.random(config.prefix_count) < config.dark_fraction
+    for p in range(config.prefix_count):
+        prefix_base = doc_base | (p << 80)
+        count = max(1, int(rng.lognormal(np.log(config.entries_per_prefix), 0.8)))
+        draws = rng.choice(3, size=count, p=list(config.pattern_mix))
+        for d in draws:
+            pattern = patterns_pool[int(d)]
+            addresses.append(_entry_address(rng, prefix_base, pattern))
+            patterns.append(pattern)
+            dark_flags.append(bool(dark_prefix[p]))
+            prefix_of.append(p)
+    return Hitlist(
+        addresses=addresses,
+        patterns=patterns,
+        dark=np.array(dark_flags, dtype=bool),
+        prefix_of=np.array(prefix_of, dtype=np.int64),
+        config=config,
+    )

@@ -1,0 +1,158 @@
+"""Hitlist-driven IPv6 scanner behaviors.
+
+Richter et al. (IMC'22) find IPv6 scanning dominated by a few heavy
+sources working from hitlists, with target selection biased toward
+low-byte and EUI-64 addresses (the guessable patterns).  Three tiers
+are modeled:
+
+* *aggressive* scanners covering a large fraction of the hitlist —
+  the IPv6 analogue of the paper's AH;
+* *pattern miners* probing only the guessable patterns;
+* *dabblers* probing small random samples (background).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ipv6.hitlist import AddressPattern, Hitlist
+from repro.packet import Protocol
+
+#: Service mix for IPv6 probes (web/DNS-heavy, per IMC'22 observations).
+_V6_PORTS: tuple = ((443, 0.3), (80, 0.25), (53, 0.15), (22, 0.12), (25, 0.08), (8080, 0.1))
+
+
+@dataclass
+class Ipv6Probe:
+    """One probe toward a hitlist entry."""
+
+    ts: float
+    src: int
+    target_index: int
+    dport: int
+    proto: Protocol
+
+
+@dataclass
+class Ipv6Scanner:
+    """One IPv6 scanning source.
+
+    Attributes:
+        src: 128-bit source address.
+        behavior: archetype label.
+        coverage: fraction of its candidate pool probed per session.
+        patterns: restriction of the candidate pool (None = whole list).
+        sessions: list of (start, duration) activity windows.
+        seed: per-scanner RNG seed.
+    """
+
+    src: int
+    behavior: str
+    coverage: float
+    sessions: list
+    patterns: tuple = ()
+    seed: int = 0
+
+    def candidate_indexes(self, hitlist: Hitlist) -> np.ndarray:
+        """The hitlist entries this scanner may target."""
+        if not self.patterns:
+            return np.arange(len(hitlist), dtype=np.int64)
+        wanted = set(self.patterns)
+        mask = np.array([p in wanted for p in hitlist.patterns], dtype=bool)
+        return np.flatnonzero(mask)
+
+    def emit(self, hitlist: Hitlist) -> list:
+        """Generate this scanner's probes against the hitlist."""
+        rng = np.random.default_rng((self.seed, 0x76))
+        candidates = self.candidate_indexes(hitlist)
+        ports = np.array([p for p, _ in _V6_PORTS])
+        weights = np.array([w for _, w in _V6_PORTS])
+        weights = weights / weights.sum()
+        probes: list = []
+        for start, duration in self.sessions:
+            k = int(rng.binomial(len(candidates), min(self.coverage, 1.0)))
+            if k == 0:
+                continue
+            chosen = rng.choice(candidates, size=k, replace=False)
+            ts = start + rng.random(k) * duration
+            dports = ports[rng.choice(len(ports), size=k, p=weights)]
+            for t, idx, port in zip(ts, chosen, dports):
+                probes.append(
+                    Ipv6Probe(
+                        ts=float(t),
+                        src=self.src,
+                        target_index=int(idx),
+                        dport=int(port),
+                        proto=Protocol.TCP_SYN,
+                    )
+                )
+        return probes
+
+
+def _source_address(rng: np.random.Generator, i: int) -> int:
+    """A scanner source under a distinct documentation /48."""
+    base = (0x20010DB8 << 96) | (1 << 79)  # disjoint from hitlist prefixes
+    return base | (i << 64) | int(rng.integers(1, 2**32))
+
+
+def build_ipv6_population(
+    rng: np.random.Generator,
+    duration: float,
+    *,
+    n_aggressive: int = 6,
+    n_pattern_miners: int = 20,
+    n_dabblers: int = 150,
+) -> list:
+    """The IPv6 scanner population.
+
+    Heavily skewed, as observed in the wild: a handful of heavy
+    hitlist-sweepers over a long tail of small probers.
+    """
+    scanners: list = []
+    i = 0
+    for _ in range(n_aggressive):
+        sessions = [
+            (rng.uniform(0, duration * 0.5), rng.uniform(0.2, 0.5) * duration)
+        ]
+        scanners.append(
+            Ipv6Scanner(
+                src=_source_address(rng, i),
+                behavior="v6-aggressive",
+                coverage=float(rng.uniform(0.4, 0.95)),
+                sessions=sessions,
+                seed=1_000 + i,
+            )
+        )
+        i += 1
+    for _ in range(n_pattern_miners):
+        sessions = [
+            (rng.uniform(0, duration * 0.7), rng.uniform(0.05, 0.2) * duration)
+        ]
+        scanners.append(
+            Ipv6Scanner(
+                src=_source_address(rng, i),
+                behavior="v6-pattern-miner",
+                coverage=float(rng.uniform(0.2, 0.6)),
+                sessions=sessions,
+                patterns=(AddressPattern.LOW_BYTE, AddressPattern.EUI64),
+                seed=1_000 + i,
+            )
+        )
+        i += 1
+    for _ in range(n_dabblers):
+        sessions = [
+            (rng.uniform(0, duration * 0.9), rng.uniform(0.01, 0.05) * duration)
+        ]
+        scanners.append(
+            Ipv6Scanner(
+                src=_source_address(rng, i),
+                behavior="v6-dabbler",
+                coverage=float(rng.uniform(0.001, 0.02)),
+                sessions=sessions,
+                seed=1_000 + i,
+            )
+        )
+        i += 1
+    return scanners

@@ -1,0 +1,22 @@
+"""External-intelligence substrates: acknowledged scanners and honeypots.
+
+Stands in for the two third-party feeds the paper validates against —
+the public "Acknowledged Scanners" list and the GreyNoise honeypot
+database — neither of which is available offline.
+"""
+
+from repro.labeling.acknowledged import (
+    AckedOrg,
+    AcknowledgedRegistry,
+    default_org_specs,
+)
+from repro.labeling.greynoise import Classification, GreyNoiseDB, build_greynoise
+
+__all__ = [
+    "AckedOrg",
+    "AcknowledgedRegistry",
+    "Classification",
+    "GreyNoiseDB",
+    "build_greynoise",
+    "default_org_specs",
+]

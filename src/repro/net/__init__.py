@@ -1,0 +1,39 @@
+"""Synthetic Internet substrate: addresses, prefixes, ASes and rDNS.
+
+The paper joins darknet sources against BGP/WHOIS metadata (ASN, AS type,
+organization, country) and reverse DNS.  Those feeds are not available
+offline, so this package provides a deterministic synthetic Internet
+address plan with the same join surface.
+"""
+
+from repro.net.addr import (
+    format_ip,
+    ip_in_prefix,
+    parse_ip,
+    prefix_base,
+    prefix_size,
+    slash24,
+    slash24_count,
+)
+from repro.net.asn import ASType, AutonomousSystem, ASRegistry
+from repro.net.internet import Internet, InternetConfig
+from repro.net.prefix import Prefix, PrefixSet
+from repro.net.rdns import ReverseDNS
+
+__all__ = [
+    "ASRegistry",
+    "ASType",
+    "AutonomousSystem",
+    "Internet",
+    "InternetConfig",
+    "Prefix",
+    "PrefixSet",
+    "ReverseDNS",
+    "format_ip",
+    "ip_in_prefix",
+    "parse_ip",
+    "prefix_base",
+    "prefix_size",
+    "slash24",
+    "slash24_count",
+]

@@ -1,0 +1,92 @@
+"""IPv4 address arithmetic on plain integers and numpy arrays.
+
+Addresses are represented as unsigned 32-bit integers throughout the
+code base (``numpy.uint32`` in bulk structures, Python ``int`` for
+scalars).  This module centralizes the conversions and prefix math so
+that no other module reimplements bit fiddling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Highest representable IPv4 address.
+MAX_IP = 2**32 - 1
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad notation into an integer address.
+
+    >>> parse_ip("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Render an integer address in dotted-quad notation.
+
+    >>> format_ip(167772161)
+    '10.0.0.1'
+    """
+    value = int(value)
+    if not 0 <= value <= MAX_IP:
+        raise ValueError(f"address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_size(length: int) -> int:
+    """Number of addresses in a prefix of the given mask length."""
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    return 1 << (32 - length)
+
+
+def prefix_base(address: int, length: int) -> int:
+    """Lowest address of the prefix containing ``address``."""
+    size = prefix_size(length)
+    return (int(address) // size) * size
+
+
+def ip_in_prefix(address, base: int, length: int):
+    """Membership test; works on scalars and numpy arrays alike."""
+    size = prefix_size(length)
+    base = int(base)
+    if isinstance(address, np.ndarray):
+        addr = address.astype(np.int64, copy=False)
+        return (addr >= base) & (addr < base + size)
+    return base <= int(address) < base + size
+
+
+def slash24(address):
+    """Map addresses to the integer index of their /24 network."""
+    if isinstance(address, np.ndarray):
+        return (address >> np.uint32(8)).astype(np.uint32)
+    return int(address) >> 8
+
+
+def slash24_count(size: int) -> int:
+    """Number of /24 networks needed to cover ``size`` addresses."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    return -(-size // 256)
+
+
+def random_ips_in_prefix(
+    rng: np.random.Generator, base: int, length: int, count: int
+) -> np.ndarray:
+    """Draw ``count`` uniform addresses from a prefix as ``uint32``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    size = prefix_size(length)
+    offsets = rng.integers(0, size, size=count, dtype=np.int64)
+    return (offsets + int(base)).astype(np.uint32)

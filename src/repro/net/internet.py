@@ -1,0 +1,242 @@
+"""Deterministic synthetic Internet address plan.
+
+The reproduction cannot use real BGP/WHOIS feeds, so it fabricates an
+Internet: a few hundred autonomous systems with realistic type/country
+mixtures and disjoint prefix allocations.  The plan is fully determined
+by its seed, so every table regenerates identically.
+
+The country/type mixture is skewed the way the paper's Table 5 observes
+scanner origins: large US cloud providers, Chinese ISPs/hosting, and a
+long tail of small networks in many countries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.net.addr import prefix_size
+from repro.net.asn import ASRegistry, ASType, AutonomousSystem
+from repro.net.prefix import Prefix
+
+#: First allocatable address (avoid 0/8 and other low reserved space).
+_ALLOCATION_START = 0x10000000  # 16.0.0.0
+
+#: The deliberately outsized US cloud provider (see build_internet).
+FLAGSHIP_CLOUD_ASN = 64500
+FLAGSHIP_CLOUD_ORG = "cloud-us-flagship"
+
+#: (country, AS type, relative abundance, typical prefix length range).
+_CORE_MIX: tuple[tuple[str, ASType, float, tuple[int, int]], ...] = (
+    ("US", ASType.CLOUD, 7.0, (13, 15)),
+    ("US", ASType.ISP, 6.0, (13, 15)),
+    ("US", ASType.HOSTING, 4.0, (16, 18)),
+    ("US", ASType.EDU, 3.0, (15, 17)),
+    ("CN", ASType.CLOUD, 4.0, (14, 16)),
+    ("CN", ASType.ISP, 6.0, (13, 15)),
+    ("CN", ASType.HOSTING, 4.0, (16, 18)),
+    ("TW", ASType.ISP, 2.0, (15, 17)),
+    ("KR", ASType.ISP, 2.0, (15, 17)),
+    ("RU", ASType.ISP, 2.0, (15, 17)),
+    ("RU", ASType.HOSTING, 1.5, (17, 19)),
+    ("DE", ASType.ISP, 2.0, (15, 17)),
+    ("DE", ASType.HOSTING, 2.0, (16, 18)),
+    ("NL", ASType.HOSTING, 2.0, (16, 18)),
+    ("FR", ASType.ISP, 1.5, (15, 17)),
+    ("GB", ASType.ISP, 1.5, (15, 17)),
+    ("BR", ASType.ISP, 1.5, (15, 17)),
+    ("IN", ASType.ISP, 1.5, (14, 16)),
+    ("JP", ASType.ISP, 1.5, (15, 17)),
+    ("VN", ASType.ISP, 1.0, (16, 18)),
+    ("ID", ASType.ISP, 1.0, (16, 18)),
+    ("IR", ASType.ISP, 1.0, (16, 18)),
+    ("SG", ASType.CLOUD, 1.0, (15, 17)),
+    ("HK", ASType.HOSTING, 1.0, (16, 18)),
+    ("CA", ASType.ISP, 1.0, (15, 17)),
+    ("AU", ASType.ISP, 1.0, (15, 17)),
+)
+
+#: Long-tail countries; each receives a handful of small networks so that
+#: the study's country counts (Table 7) have a realistic tail.
+_TAIL_COUNTRIES: tuple[str, ...] = (
+    "MX", "AR", "CL", "CO", "PE", "VE", "EC", "UY", "PY", "BO",
+    "ES", "PT", "IT", "GR", "TR", "PL", "CZ", "SK", "HU", "RO",
+    "BG", "RS", "HR", "SI", "AT", "CH", "BE", "LU", "DK", "NO",
+    "SE", "FI", "EE", "LV", "LT", "UA", "BY", "MD", "GE", "AM",
+    "AZ", "KZ", "UZ", "KG", "TJ", "TM", "PK", "BD", "LK", "NP",
+    "MM", "TH", "MY", "PH", "KH", "LA", "MN", "EG", "MA", "DZ",
+    "TN", "LY", "NG", "GH", "KE", "TZ", "UG", "ZA", "ZW", "ZM",
+    "AO", "MZ", "ET", "SD", "SN", "CI", "CM", "SA", "AE", "QA",
+    "KW", "BH", "OM", "JO", "LB", "IQ", "IL", "NZ", "FJ", "PG",
+)
+
+
+class PrefixAllocator:
+    """Carves disjoint, aligned prefixes out of the IPv4 space."""
+
+    def __init__(self, start: int = _ALLOCATION_START):
+        if not 0 <= start < 2**32:
+            raise ValueError("start out of range")
+        self._cursor = start
+
+    def allocate(self, length: int) -> Prefix:
+        """Return the next free aligned prefix of the given length."""
+        size = prefix_size(length)
+        base = -(-self._cursor // size) * size  # round up to alignment
+        if base + size > 2**32:
+            raise RuntimeError("synthetic IPv4 space exhausted")
+        self._cursor = base + size
+        return Prefix(base, length)
+
+    @property
+    def cursor(self) -> int:
+        """Next unallocated address."""
+        return self._cursor
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Knobs for the synthetic address plan."""
+
+    seed: int = 20230701
+    #: Number of "core" ASes drawn from the weighted mixture.
+    core_as_count: int = 220
+    #: Number of small tail ASes (one per draw from the tail countries).
+    tail_as_count: int = 180
+    #: Prefix length for tail ASes.
+    tail_prefix_length: int = 19
+
+    def __post_init__(self) -> None:
+        if self.core_as_count < 1 or self.tail_as_count < 0:
+            raise ValueError("AS counts must be positive")
+
+
+@dataclass
+class Internet:
+    """The synthetic Internet: AS registry plus its allocator.
+
+    The allocator is kept so that monitored networks (the telescope
+    operator's ISP, the campus network) can be carved out of the same
+    address plan without overlaps.
+    """
+
+    registry: ASRegistry
+    allocator: PrefixAllocator
+    config: InternetConfig
+
+    def sample_hosts(
+        self, rng: np.random.Generator, system: AutonomousSystem, count: int
+    ) -> np.ndarray:
+        """Draw ``count`` distinct-ish host addresses from one AS."""
+        from repro.net.prefix import PrefixSet
+
+        return PrefixSet(system.prefixes).sample(rng, count)
+
+    def systems_of_type(
+        self, as_type: Optional[ASType] = None, country: Optional[str] = None
+    ) -> list[AutonomousSystem]:
+        """Filter the registry by type and/or country."""
+        out = []
+        for system in self.registry:
+            if as_type is not None and system.as_type is not as_type:
+                continue
+            if country is not None and system.country != country:
+                continue
+            out.append(system)
+        return out
+
+
+def with_systems(
+    internet: Internet, extra: Sequence[AutonomousSystem]
+) -> Internet:
+    """Return a new :class:`Internet` whose registry also covers ``extra``.
+
+    Monitored networks (the telescope operator's ISP, the campus network)
+    are allocated out of the same address plan after the base Internet is
+    built; this helper folds them into the registry so that origin
+    lookups see them too.
+    """
+    systems = list(internet.registry.systems) + list(extra)
+    return Internet(
+        registry=ASRegistry(systems),
+        allocator=internet.allocator,
+        config=internet.config,
+    )
+
+
+def build_internet(config: Optional[InternetConfig] = None) -> Internet:
+    """Construct the default synthetic Internet.
+
+    ASNs are assigned sequentially from 64512 (the private-use range, a
+    deliberate signal that these are synthetic).  Organization names are
+    generic ("cloud-us-3") and never reference real companies, matching
+    the paper's own anonymization of origin networks.
+    """
+    config = config or InternetConfig()
+    rng = np.random.default_rng(config.seed)
+    allocator = PrefixAllocator()
+    systems: list[AutonomousSystem] = []
+    next_asn = 64512
+
+    # The flagship hyperscale cloud: the paper observes that "a certain
+    # US-based cloud provider ranks top in all six definitions/datasets".
+    # One deliberately outsized network reproduces that singleton.
+    systems.append(
+        AutonomousSystem(
+            asn=FLAGSHIP_CLOUD_ASN,
+            org=FLAGSHIP_CLOUD_ORG,
+            country="US",
+            as_type=ASType.CLOUD,
+            prefixes=tuple(allocator.allocate(12) for _ in range(3)),
+        )
+    )
+
+    weights = np.array([row[2] for row in _CORE_MIX], dtype=np.float64)
+    weights /= weights.sum()
+    type_counters: dict[tuple[str, str], int] = {}
+
+    for _ in range(config.core_as_count):
+        row = _CORE_MIX[int(rng.choice(len(_CORE_MIX), p=weights))]
+        country, as_type, _, (lo, hi) = row
+        length = int(rng.integers(lo, hi + 1))
+        key = (country.lower(), as_type.name.lower())
+        type_counters[key] = type_counters.get(key, 0) + 1
+        org = f"{as_type.name.lower()}-{country.lower()}-{type_counters[key]}"
+        n_prefixes = int(rng.integers(1, 4))
+        prefixes = tuple(
+            allocator.allocate(min(length + extra, 24))
+            for extra in range(n_prefixes)
+        )
+        systems.append(
+            AutonomousSystem(
+                asn=next_asn,
+                org=org,
+                country=country,
+                as_type=as_type,
+                prefixes=prefixes,
+            )
+        )
+        next_asn += 1
+
+    tail_types = (ASType.ISP, ASType.HOSTING, ASType.ENTERPRISE)
+    for i in range(config.tail_as_count):
+        country = _TAIL_COUNTRIES[i % len(_TAIL_COUNTRIES)]
+        as_type = tail_types[int(rng.integers(0, len(tail_types)))]
+        org = f"tail-{country.lower()}-{i}"
+        prefixes = (allocator.allocate(config.tail_prefix_length),)
+        systems.append(
+            AutonomousSystem(
+                asn=next_asn,
+                org=org,
+                country=country,
+                as_type=as_type,
+                prefixes=prefixes,
+            )
+        )
+        next_asn += 1
+
+    return Internet(
+        registry=ASRegistry(systems), allocator=allocator, config=config
+    )

@@ -1,0 +1,61 @@
+"""Synthetic reverse DNS.
+
+The paper's second "Acknowledged Scanner" matching path resolves each
+candidate IP's PTR record and greps it against a curated list of 48
+keywords derived from known research-scanner hostnames.  This module
+provides the PTR store that the synthetic acknowledged-scanner registry
+populates, plus generic fallbacks for unregistered space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.net.addr import format_ip
+
+
+class ReverseDNS:
+    """A PTR record store keyed by integer IPv4 address."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, str] = {}
+
+    def register(self, address: int, hostname: str) -> None:
+        """Install a PTR record; later registrations win."""
+        if not hostname:
+            raise ValueError("hostname must be non-empty")
+        self._records[int(address)] = hostname
+
+    def register_many(self, addresses: Iterable[int], template: str) -> None:
+        """Install PTRs from a template with ``{ip}`` / ``{dashed}`` slots.
+
+        Example::
+
+            rdns.register_many(ips, "scan-{dashed}.research.example")
+        """
+        for address in addresses:
+            dotted = format_ip(int(address))
+            self._records[int(address)] = template.format(
+                ip=dotted, dashed=dotted.replace(".", "-")
+            )
+
+    def resolve(self, address: int) -> Optional[str]:
+        """Return the PTR record, or ``None`` when unset (NXDOMAIN)."""
+        return self._records.get(int(address))
+
+    def resolve_many(self, addresses: np.ndarray) -> list:
+        """Bulk resolve; unset entries come back as ``None``."""
+        return [self._records.get(int(a)) for a in addresses]
+
+    def matches_keywords(self, address: int, keywords: Iterable[str]) -> bool:
+        """Case-insensitive substring match of keywords against the PTR."""
+        record = self.resolve(address)
+        if record is None:
+            return False
+        lowered = record.lower()
+        return any(keyword.lower() in lowered for keyword in keywords)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,26 @@
+"""Scanner behavior models.
+
+Each module builds :class:`~repro.scanners.base.Scanner` objects for one
+archetype of Internet prober; :mod:`repro.scanners.population` mixes them
+into the full synthetic scanner population a scenario simulates.
+"""
+
+from repro.scanners.base import (
+    ScanMode,
+    ScanSession,
+    Scanner,
+    View,
+    full_ipv4_ranges,
+)
+from repro.scanners.population import PopulationConfig, ScannerPopulation, build_population
+
+__all__ = [
+    "PopulationConfig",
+    "ScanMode",
+    "ScanSession",
+    "Scanner",
+    "ScannerPopulation",
+    "View",
+    "build_population",
+    "full_ipv4_ranges",
+]

@@ -1,0 +1,116 @@
+"""Mirai-family IoT botnet scanners.
+
+Mirai bots probe TCP/23 (and TCP/2323 for ~10% of probes) continuously
+for their infection lifetime, selecting targets uniformly at random with
+replacement (Antonakakis et al. 2017).  Two tiers are modeled:
+
+* *aggressive* bots with high packet rates whose lifetime activity
+  touches >=10% of the dark space — part of the AH population, and the
+  source of the "Mirai" GreyNoise tag dominance in Table 9;
+* *small* bots whose footprint stays below every AH threshold — part of
+  the Internet background radiation that fills the event ECDF body.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fingerprint import Tool
+from repro.packet import Protocol
+from repro.scanners.base import ScanMode, ScanSession, Scanner
+from repro.scanners.ports import MIRAI_PORTS, MIRAI_PORT_WEIGHTS
+
+
+def _build_bots(
+    rng: np.random.Generator,
+    sources: np.ndarray,
+    duration: float,
+    *,
+    rate_low: float,
+    rate_high: float,
+    lifetime_low: float,
+    lifetime_high: float,
+    behavior: str,
+    seed_base: int,
+) -> list:
+    scanners = []
+    for i, src in enumerate(sources):
+        lifetime = rng.uniform(lifetime_low, lifetime_high)
+        start = rng.uniform(0.0, max(duration - lifetime, 1.0))
+        # Log-uniform rates: botnet populations span orders of magnitude.
+        rate = float(np.exp(rng.uniform(np.log(rate_low), np.log(rate_high))))
+        session = ScanSession(
+            start=start,
+            duration=lifetime,
+            ports=MIRAI_PORTS.copy(),
+            proto=Protocol.TCP_SYN,
+            tool=Tool.OTHER,
+            mode=ScanMode.RATE,
+            rate_pps=rate,
+            port_weights=MIRAI_PORT_WEIGHTS.copy(),
+        )
+        scanners.append(
+            Scanner(
+                src=int(src),
+                behavior=behavior,
+                sessions=[session],
+                seed=seed_base + i,
+            )
+        )
+    return scanners
+
+
+def build_aggressive_bots(
+    rng: np.random.Generator,
+    sources: np.ndarray,
+    duration: float,
+    *,
+    rate_low: float = 4_000.0,
+    rate_high: float = 25_000.0,
+    lifetime_low: float = 0.8 * 86_400,
+    lifetime_high: float = 4.0 * 86_400,
+    seed_base: int = 0,
+) -> list:
+    """High-rate bots that qualify as aggressive hitters.
+
+    At the default rates a bot sends ``rate * lifetime`` probes over the
+    whole IPv4 space; the expected fraction of a darknet it touches is
+    ``1 - exp(-rate * lifetime / 2^32)``, which exceeds 10% for all
+    draws above ~4,000 pps over a day.
+    """
+    return _build_bots(
+        rng,
+        sources,
+        duration,
+        rate_low=rate_low,
+        rate_high=rate_high,
+        lifetime_low=lifetime_low,
+        lifetime_high=lifetime_high,
+        behavior="mirai",
+        seed_base=seed_base,
+    )
+
+
+def build_small_bots(
+    rng: np.random.Generator,
+    sources: np.ndarray,
+    duration: float,
+    *,
+    rate_low: float = 20.0,
+    rate_high: float = 600.0,
+    lifetime_low: float = 0.05 * 86_400,
+    lifetime_high: float = 1.0 * 86_400,
+    seed_base: int = 0,
+) -> list:
+    """Low-rate bots that stay below the aggressive thresholds."""
+    return _build_bots(
+        rng,
+        sources,
+        duration,
+        rate_low=rate_low,
+        rate_high=rate_high,
+        lifetime_low=lifetime_low,
+        lifetime_high=lifetime_high,
+        behavior="mirai-small",
+        seed_base=seed_base,
+    )

@@ -1,0 +1,144 @@
+"""Many-port ("vertical") scanners — the Definition-3 population.
+
+The paper's third definition flags sources contacting an extreme number
+of distinct darknet ports per day (threshold 6,542 ports/day in 2021,
+57,410 in 2022 — close to the full port space, reflecting the shift
+toward exhaustive port coverage documented by Izhikevich et al.).  Two
+tiers are generated:
+
+* *omniscanners* probing tens of thousands of ports on sampled targets,
+  which clear the Definition-3 threshold;
+* *multiport* scanners probing tens-to-hundreds of ports, which fill
+  the middle of the daily-port-count ECDF without qualifying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fingerprint import Tool
+from repro.packet import Protocol
+from repro.scanners.base import ScanMode, ScanSession, Scanner
+
+
+def _random_port_set(
+    rng: np.random.Generator, low: int, high: int
+) -> np.ndarray:
+    """A random set of distinct ports with size drawn in [low, high]."""
+    count = int(rng.integers(low, high + 1))
+    ports = rng.choice(np.arange(1, 65536, dtype=np.int64), size=count, replace=False)
+    return np.sort(ports).astype(np.uint16)
+
+
+def build_omniscanners(
+    rng: np.random.Generator,
+    sources: np.ndarray,
+    duration: float,
+    *,
+    port_count_low: int = 2_000,
+    port_count_high: int = 10_000,
+    targets_low: float = 5e5,
+    targets_high: float = 2e6,
+    days_active_mean: float = 4.0,
+    day_seconds: float = 86_400.0,
+    seed_base: int = 0,
+) -> list:
+    """Exhaustive-port scanners clearing the Definition-3 threshold.
+
+    Each active day gets one VERTICAL session probing every port of the
+    scanner's (large) port set on a fresh sample of targets, so the
+    per-day distinct-port count equals the port-set size.
+    """
+    scanners = []
+    total_days = max(int(duration // day_seconds), 1)
+    for i, src in enumerate(sources):
+        ports = _random_port_set(rng, port_count_low, port_count_high)
+        n_days = min(max(1, int(rng.poisson(days_active_mean))), total_days)
+        days = rng.choice(total_days, size=n_days, replace=False)
+        tool = Tool.MASSCAN if rng.random() < 0.6 else Tool.OTHER
+        sessions = []
+        for day in days:
+            n_targets = int(
+                np.exp(rng.uniform(np.log(targets_low), np.log(targets_high)))
+            )
+            span = rng.uniform(0.3, 0.95) * day_seconds
+            start = day * day_seconds + rng.uniform(0.0, day_seconds - span)
+            sessions.append(
+                ScanSession(
+                    start=start,
+                    duration=span,
+                    ports=ports,
+                    proto=Protocol.TCP_SYN,
+                    tool=tool,
+                    mode=ScanMode.VERTICAL,
+                    n_targets=n_targets,
+                )
+            )
+        # Some omniscanners also sweep one service horizontally (they
+        # first enumerate responsive hosts, then port-scan them), which
+        # puts them in the Definition-1 population as well — the paper's
+        # small D1&D3 intersection.
+        if rng.random() < 0.3:
+            day = int(days[0])
+            span = rng.uniform(0.2, 0.6) * day_seconds
+            sessions.append(
+                ScanSession(
+                    start=day * day_seconds + rng.uniform(0.0, day_seconds - span),
+                    duration=span,
+                    ports=np.array([80], dtype=np.uint16),
+                    proto=Protocol.TCP_SYN,
+                    tool=tool,
+                    mode=ScanMode.COVERAGE,
+                    coverage=float(rng.uniform(0.15, 0.5)),
+                )
+            )
+        scanners.append(
+            Scanner(
+                src=int(src),
+                behavior="omniscanner",
+                sessions=sessions,
+                seed=seed_base + i,
+            )
+        )
+    return scanners
+
+
+def build_multiport_scanners(
+    rng: np.random.Generator,
+    sources: np.ndarray,
+    duration: float,
+    *,
+    port_count_low: int = 5,
+    port_count_high: int = 400,
+    targets_low: float = 1e5,
+    targets_high: float = 2e6,
+    seed_base: int = 0,
+) -> list:
+    """Moderate vertical scanners that fill the ECDF between the
+    single-port mass and the omniscanner tail."""
+    scanners = []
+    for i, src in enumerate(sources):
+        ports = _random_port_set(rng, port_count_low, port_count_high)
+        span = rng.uniform(0.02, 0.3) * duration
+        start = rng.uniform(0.0, max(duration - span, 1.0))
+        n_targets = int(
+            np.exp(rng.uniform(np.log(targets_low), np.log(targets_high)))
+        )
+        session = ScanSession(
+            start=start,
+            duration=span,
+            ports=ports,
+            proto=Protocol.TCP_SYN,
+            tool=Tool.OTHER,
+            mode=ScanMode.VERTICAL,
+            n_targets=n_targets,
+        )
+        scanners.append(
+            Scanner(
+                src=int(src),
+                behavior="multiport",
+                sessions=[session],
+                seed=seed_base + i,
+            )
+        )
+    return scanners

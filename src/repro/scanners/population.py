@@ -1,0 +1,266 @@
+"""The full synthetic scanner population a scenario simulates.
+
+Mixes every archetype — aggressive sweepers, Mirai-tier botnets,
+omniscanners, acknowledged research fleets and the background-radiation
+mass — with origin skews matching the paper's Table 5, and assembles
+the acknowledged-scanner registry from the research fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.labeling.acknowledged import AcknowledgedRegistry, default_org_specs
+from repro.net.internet import Internet
+from repro.scanners import background, masscan, mirai, omniscanner, research
+from repro.scanners.base import Scanner
+from repro.scanners.origins import (
+    AGGRESSIVE_AFFINITY,
+    BACKGROUND_AFFINITY,
+    BOTNET_AFFINITY,
+    RESEARCH_AFFINITY,
+    OriginSampler,
+)
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Sizing knobs for one scenario's scanner population.
+
+    The defaults are calibrated for the 28-day "scaled year" scenarios;
+    tests use much smaller counts.
+    """
+
+    seed: int = 7
+    duration: float = 28 * 86_400.0
+    day_seconds: float = 86_400.0
+    year: int = 2022
+    n_sweepers: int = 550
+    n_mirai_aggressive: int = 150
+    n_mirai_small: int = 3_000
+    n_omniscanners: int = 15
+    omni_port_low: int = 2_000
+    omni_port_high: int = 10_000
+    omni_targets_low: float = 5e5
+    omni_targets_high: float = 2e6
+    n_multiport: int = 400
+    n_small_scanners: int = 30_000
+    n_misconfig: int = 25_000
+    #: victims of spoofed-source DDoS attacks (backscatter noise; their
+    #: SYN-ACK/RST replies reach the telescope but never form events).
+    n_backscatter: int = 60
+    #: scans launched with forged rotating sources (threshold-immune).
+    n_spoofed_scans: int = 3
+    acked_org_count: int = 36
+    acked_fleet_scale: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.day_seconds <= 0:
+            raise ValueError("durations must be positive")
+
+
+@dataclass
+class ScannerPopulation:
+    """All scanners of a scenario plus the intelligence registries."""
+
+    scanners: list
+    acked: AcknowledgedRegistry
+    internet: Internet
+    config: PopulationConfig
+    by_behavior: Dict[str, list] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.by_behavior:
+            for scanner in self.scanners:
+                self.by_behavior.setdefault(scanner.behavior, []).append(scanner)
+
+    def __len__(self) -> int:
+        return len(self.scanners)
+
+    def sources(self) -> np.ndarray:
+        """All genuine scanner source addresses.
+
+        Spoofed-scan pseudo-scanners carry the sentinel source 0 (their
+        true origin is forged away) and are excluded.
+        """
+        return np.array(
+            [s.src for s in self.scanners if int(s.src) != 0], dtype=np.uint32
+        )
+
+    def scanners_for(self, addresses) -> list:
+        """Scanners whose source is in the given address collection."""
+        wanted = {int(a) for a in addresses}
+        return [s for s in self.scanners if int(s.src) in wanted]
+
+    def ground_truth_aggressive(self) -> set:
+        """Sources built to be aggressive (for recall diagnostics)."""
+        out: set = set()
+        for behavior in ("masscan-sweep", "mirai", "research", "omniscanner"):
+            out |= {int(s.src) for s in self.by_behavior.get(behavior, [])}
+        return out
+
+
+def build_population(
+    internet: Internet,
+    dark_ranges: np.ndarray,
+    config: Optional[PopulationConfig] = None,
+) -> ScannerPopulation:
+    """Construct the scanner population for one scenario.
+
+    Args:
+        internet: the synthetic address plan (sources are drawn from it).
+        dark_ranges: the telescope's address ranges, needed so that the
+            misconfiguration noise targets genuinely dark addresses.
+        config: sizing knobs.
+
+    Returns:
+        The assembled :class:`ScannerPopulation`.
+    """
+    config = config or PopulationConfig()
+    rng = np.random.default_rng(config.seed)
+    used: set = set()
+
+    aggressive_origins = OriginSampler(internet, AGGRESSIVE_AFFINITY)
+    botnet_origins = OriginSampler(internet, BOTNET_AFFINITY)
+    background_origins = OriginSampler(internet, BACKGROUND_AFFINITY)
+    research_origins = OriginSampler(internet, RESEARCH_AFFINITY)
+
+    scanners: list = []
+    seed_base = config.seed * 1_000_003
+
+    def next_seed_base(count: int) -> int:
+        """Reserve a contiguous block of per-scanner emission seeds."""
+        nonlocal seed_base
+        base = seed_base
+        seed_base += count
+        return base
+
+    # Aggressive single-port sweepers.
+    sources = aggressive_origins.sample_sources(rng, config.n_sweepers, used)
+    scanners += masscan.build_sweepers(
+        rng,
+        sources,
+        config.duration,
+        year=config.year,
+        seed_base=next_seed_base(config.n_sweepers),
+    )
+
+    # Mirai-family bots, aggressive and small tiers.
+    sources = botnet_origins.sample_sources(rng, config.n_mirai_aggressive, used)
+    scanners += mirai.build_aggressive_bots(
+        rng,
+        sources,
+        config.duration,
+        seed_base=next_seed_base(config.n_mirai_aggressive),
+    )
+    sources = botnet_origins.sample_sources(rng, config.n_mirai_small, used)
+    scanners += mirai.build_small_bots(
+        rng,
+        sources,
+        config.duration,
+        seed_base=next_seed_base(config.n_mirai_small),
+    )
+
+    # Vertical scanners: exhaustive and moderate tiers.
+    sources = aggressive_origins.sample_sources(rng, config.n_omniscanners, used)
+    scanners += omniscanner.build_omniscanners(
+        rng,
+        sources,
+        config.duration,
+        day_seconds=config.day_seconds,
+        port_count_low=config.omni_port_low,
+        port_count_high=config.omni_port_high,
+        targets_low=config.omni_targets_low,
+        targets_high=config.omni_targets_high,
+        seed_base=next_seed_base(config.n_omniscanners),
+    )
+    sources = aggressive_origins.sample_sources(rng, config.n_multiport, used)
+    scanners += omniscanner.build_multiport_scanners(
+        rng,
+        sources,
+        config.duration,
+        seed_base=next_seed_base(config.n_multiport),
+    )
+
+    # Background radiation.
+    sources = background_origins.sample_sources(rng, config.n_small_scanners, used)
+    scanners += background.build_small_scanners(
+        rng,
+        sources,
+        config.duration,
+        seed_base=next_seed_base(config.n_small_scanners),
+    )
+    sources = background_origins.sample_sources(rng, config.n_misconfig, used)
+    scanners += background.build_misconfigured_hosts(
+        rng,
+        sources,
+        config.duration,
+        dark_ranges,
+        seed_base=next_seed_base(config.n_misconfig),
+    )
+
+    # Spoofing hazards: DDoS backscatter and forged-source scans.  Both
+    # reach the telescope; neither may ever enter an AH list — the
+    # detection pipeline's false-positive guards are exercised on every
+    # scenario run.
+    if config.n_backscatter:
+        sources = background_origins.sample_sources(
+            rng, config.n_backscatter, used
+        )
+        scanners += background.build_backscatter_victims(
+            rng,
+            sources,
+            config.duration,
+            seed_base=next_seed_base(config.n_backscatter),
+        )
+    for j in range(config.n_spoofed_scans):
+        start = rng.uniform(0.0, config.duration * 0.8)
+        scanners.append(
+            background.SpoofedScan(
+                start=start,
+                duration=rng.uniform(600.0, 6 * 3_600.0),
+                coverage=float(rng.uniform(0.2, 0.9)),
+                dport=int(rng.choice([23, 80, 445, 1433])),
+                spoof_ranges=np.array(
+                    [[0x10000000, 0xC0000000]], dtype=np.int64
+                ),
+                seed=next_seed_base(1) + j,
+            )
+        )
+
+    # Acknowledged research fleets.
+    orgs = default_org_specs(config.acked_org_count)
+    fleets: Dict[str, np.ndarray] = {}
+    for org in orgs:
+        fleet_size = max(
+            1,
+            int(round(org.fleet_weight * config.acked_fleet_scale * rng.uniform(0.7, 1.3))),
+        )
+        fleet = research_origins.sample_sources(rng, fleet_size, used)
+        fleets[org.slug] = fleet
+        if org.aggressive:
+            scanners += research.build_org_scanners(
+                rng,
+                org.slug,
+                fleet,
+                config.duration,
+                day_seconds=config.day_seconds,
+                seed_base=next_seed_base(fleet_size),
+            )
+        else:
+            scanners += research.build_moderate_org_scanners(
+                rng,
+                org.slug,
+                fleet,
+                config.duration,
+                day_seconds=config.day_seconds,
+                seed_base=next_seed_base(fleet_size),
+            )
+    acked = AcknowledgedRegistry.build(orgs, fleets, rng)
+
+    return ScannerPopulation(
+        scanners=scanners, acked=acked, internet=internet, config=config
+    )

@@ -1,0 +1,231 @@
+"""Port/service popularity profiles for the synthetic scanner mix.
+
+The paper's Figure 4 ranks the top-25 ports targeted by aggressive
+hitters: Redis (6379/TCP) and Telnet (23/TCP) lead, SSH ranks third,
+only four UDP services appear, ICMP echo completes the set, and 20 of
+the top 25 ports recur across both years.  TCP/445 — prominent in
+Richter et al. — is notably *absent* from AH traffic and is instead
+associated with small scans.  These tables encode that structure for
+the scanner population builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.packet import Protocol
+
+#: Human-readable service names for table/figure labels.
+SERVICE_NAMES: dict = {
+    (6379, Protocol.TCP_SYN): "Redis",
+    (23, Protocol.TCP_SYN): "Telnet",
+    (22, Protocol.TCP_SYN): "SSH",
+    (80, Protocol.TCP_SYN): "HTTP",
+    (443, Protocol.TCP_SYN): "HTTPS",
+    (8080, Protocol.TCP_SYN): "HTTP-alt",
+    (2323, Protocol.TCP_SYN): "Telnet-alt",
+    (3389, Protocol.TCP_SYN): "RDP",
+    (8443, Protocol.TCP_SYN): "HTTPS-alt",
+    (81, Protocol.TCP_SYN): "HTTP-81",
+    (5555, Protocol.TCP_SYN): "ADB",
+    (8088, Protocol.TCP_SYN): "HTTP-8088",
+    (8081, Protocol.TCP_SYN): "HTTP-8081",
+    (1433, Protocol.TCP_SYN): "MSSQL",
+    (3306, Protocol.TCP_SYN): "MySQL",
+    (5900, Protocol.TCP_SYN): "VNC",
+    (9200, Protocol.TCP_SYN): "Elasticsearch",
+    (8545, Protocol.TCP_SYN): "Ethereum-RPC",
+    (52869, Protocol.TCP_SYN): "UPnP-SOAP",
+    (37215, Protocol.TCP_SYN): "HW-HG532",
+    (2375, Protocol.TCP_SYN): "Docker",
+    (6380, Protocol.TCP_SYN): "Redis-alt",
+    (5432, Protocol.TCP_SYN): "PostgreSQL",
+    (9530, Protocol.TCP_SYN): "XMeye",
+    (8728, Protocol.TCP_SYN): "MikroTik-API",
+    (445, Protocol.TCP_SYN): "SMB",
+    (123, Protocol.UDP): "NTP",
+    (53, Protocol.UDP): "DNS",
+    (161, Protocol.UDP): "SNMP",
+    (5060, Protocol.UDP): "SIP",
+    (0, Protocol.ICMP_ECHO): "ICMP Echo",
+}
+
+
+@dataclass(frozen=True)
+class PortProfile:
+    """A weighted catalogue of (port, protocol) scan targets."""
+
+    entries: tuple  # of (port, Protocol, weight)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("profile must have at least one entry")
+
+    def ports(self) -> np.ndarray:
+        """The catalogue's ports as uint16."""
+        return np.array([e[0] for e in self.entries], dtype=np.uint16)
+
+    def protocols(self) -> list:
+        """Per-entry protocols, aligned with :meth:`ports`."""
+        return [e[1] for e in self.entries]
+
+    def weights(self) -> np.ndarray:
+        """Normalized selection probabilities."""
+        w = np.array([e[2] for e in self.entries], dtype=np.float64)
+        return w / w.sum()
+
+    def sample(self, rng: np.random.Generator) -> tuple:
+        """Draw one (port, protocol) pair by weight."""
+        idx = int(rng.choice(len(self.entries), p=self.weights()))
+        port, proto, _ = self.entries[idx]
+        return int(port), proto
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> list:
+        """Draw ``count`` (port, protocol) pairs with replacement."""
+        weights = self.weights()
+        idx = rng.choice(len(self.entries), size=count, p=weights)
+        return [(int(self.entries[i][0]), self.entries[i][1]) for i in idx]
+
+
+def _tcp(port: int, weight: float) -> tuple:
+    return (port, Protocol.TCP_SYN, weight)
+
+
+def _udp(port: int, weight: float) -> tuple:
+    return (port, Protocol.UDP, weight)
+
+
+#: Aggressive-hitter target mix, 2021 flavor.  Weights approximate the
+#: relative packet volumes of the paper's Figure 4 (Redis and Telnet on
+#: top, SSH third, heavy-tailed thereafter).
+AGGRESSIVE_PROFILE_2021 = PortProfile(
+    entries=(
+        _tcp(6379, 30.0),
+        _tcp(23, 25.0),
+        _tcp(22, 14.0),
+        _tcp(80, 7.0),
+        _tcp(443, 5.0),
+        _tcp(8080, 5.0),
+        _tcp(2323, 4.0),
+        _tcp(3389, 3.5),
+        _tcp(8443, 3.0),
+        _tcp(81, 2.6),
+        _tcp(5555, 2.3),
+        _tcp(1433, 2.0),
+        _tcp(3306, 1.8),
+        _tcp(9200, 1.6),
+        _tcp(8545, 1.5),
+        _tcp(8088, 1.4),
+        _tcp(8081, 1.3),
+        _tcp(5900, 1.2),
+        _tcp(52869, 1.1),
+        _tcp(37215, 1.0),
+        _udp(123, 1.3),
+        _udp(53, 1.1),
+        _udp(161, 0.9),
+        _udp(5060, 0.8),
+        (0, Protocol.ICMP_ECHO, 0.7),
+    )
+)
+
+#: 2022 flavor: 20 of the 25 entries persist from 2021; the bottom TCP
+#: tail rotates toward Docker/Redis-alt/PostgreSQL/XMeye/MikroTik.
+AGGRESSIVE_PROFILE_2022 = PortProfile(
+    entries=(
+        _tcp(6379, 32.0),
+        _tcp(23, 24.0),
+        _tcp(22, 14.0),
+        _tcp(80, 7.0),
+        _tcp(443, 5.0),
+        _tcp(8080, 5.0),
+        _tcp(2323, 4.2),
+        _tcp(3389, 3.5),
+        _tcp(8443, 3.0),
+        _tcp(81, 2.6),
+        _tcp(5555, 2.3),
+        _tcp(1433, 2.0),
+        _tcp(3306, 1.8),
+        _tcp(9200, 1.6),
+        _tcp(8545, 1.5),
+        _tcp(2375, 1.4),
+        _tcp(6380, 1.3),
+        _tcp(5432, 1.2),
+        _tcp(9530, 1.1),
+        _tcp(8728, 1.0),
+        _udp(123, 1.3),
+        _udp(53, 1.1),
+        _udp(161, 0.9),
+        _udp(5060, 0.8),
+        (0, Protocol.ICMP_ECHO, 0.7),
+    )
+)
+
+#: Small-scan mix: the "under 10% of the darknet" population, where
+#: TCP/445 lives (per Durumeric et al.'s small-scan association).
+SMALL_SCAN_PROFILE = PortProfile(
+    entries=(
+        _tcp(445, 16.0),
+        _tcp(23, 10.0),
+        _tcp(80, 9.0),
+        _tcp(22, 8.0),
+        _tcp(8080, 6.0),
+        _tcp(3389, 6.0),
+        _tcp(139, 4.0),
+        _tcp(135, 4.0),
+        _tcp(25, 3.0),
+        _tcp(110, 2.0),
+        _tcp(587, 2.0),
+        _tcp(1023, 2.0),
+        _tcp(8291, 2.0),
+        _tcp(5984, 1.5),
+        _tcp(7547, 1.5),
+        _tcp(2222, 1.5),
+        _udp(1900, 2.0),
+        _udp(11211, 1.5),
+        _udp(389, 1.0),
+        (0, Protocol.ICMP_ECHO, 2.0),
+    )
+)
+
+#: Mirai-family ports and weights (Telnet-heavy, per Antonakakis et al.).
+MIRAI_PORTS = np.array([23, 2323], dtype=np.uint16)
+MIRAI_PORT_WEIGHTS = np.array([0.9, 0.1])
+
+#: Ports favored by acknowledged research scanners (web/TLS/SSH heavy).
+RESEARCH_PROFILE = PortProfile(
+    entries=(
+        _tcp(443, 14.0),
+        _tcp(80, 12.0),
+        _tcp(22, 8.0),
+        _tcp(25, 1.5),
+        _tcp(8080, 2.0),
+        _tcp(21, 2.0),
+        _tcp(3389, 2.0),
+        _tcp(6379, 2.0),
+        _tcp(23, 2.0),
+        _tcp(9200, 1.5),
+        _udp(53, 3.0),
+        _udp(123, 2.0),
+        _udp(443, 1.5),
+        (0, Protocol.ICMP_ECHO, 2.0),
+    )
+)
+
+
+def profile_for_year(year: int) -> PortProfile:
+    """Aggressive profile keyed by calendar year (2021 vs 2022+)."""
+    return AGGRESSIVE_PROFILE_2021 if year <= 2021 else AGGRESSIVE_PROFILE_2022
+
+
+def service_label(port: int, proto: Protocol) -> str:
+    """Label like ``'6379/TCP (Redis)'`` for figures and tables."""
+    proto_name = {
+        Protocol.TCP_SYN: "TCP",
+        Protocol.UDP: "UDP",
+        Protocol.ICMP_ECHO: "ICMP",
+    }[proto]
+    name = SERVICE_NAMES.get((port, proto))
+    base = "ICMP Echo" if proto is Protocol.ICMP_ECHO else f"{port}/{proto_name}"
+    return f"{base} ({name})" if name and proto is not Protocol.ICMP_ECHO else base

@@ -1,0 +1,166 @@
+"""Acknowledged research-organization scanners.
+
+These model the seemingly benign probers of the paper's §2.D: research
+outfits that disclose their intent (the "ACKed" list) and continuously
+survey the Internet — Censys-style daily sweeps of the full address
+space on web/TLS/SSH ports, mostly with ZMap.  A minority of research
+orgs also run broad port-coverage studies, which is why the paper finds
+research institutions among the Definition-3 origins.
+
+Although only a few percent of AH *IPs* are acknowledged scanners, their
+relentless full-coverage cadence makes them ~20-25% of all AH *packets*
+(Table 6) — the session schedules below reproduce that asymmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fingerprint import Tool
+from repro.packet import Protocol
+from repro.scanners.base import ScanMode, ScanSession, Scanner
+from repro.scanners.ports import RESEARCH_PROFILE, PortProfile
+
+
+def build_org_scanners(
+    rng: np.random.Generator,
+    org: str,
+    sources: np.ndarray,
+    duration: float,
+    *,
+    day_seconds: float = 86_400.0,
+    profile: PortProfile = RESEARCH_PROFILE,
+    period_days_low: int = 2,
+    period_days_high: int = 6,
+    coverage_low: float = 0.35,
+    coverage_high: float = 0.9,
+    vertical_fraction: float = 0.1,
+    seed_base: int = 0,
+) -> list:
+    """Build the scanner fleet of one acknowledged organization.
+
+    Each source IP runs periodic coverage scans of the same service for
+    the whole scenario (research surveys are long-lived, unlike the
+    short miscreant careers).  With probability ``vertical_fraction`` a
+    source instead runs port-coverage studies (VERTICAL sessions).
+
+    Args:
+        rng: population random stream.
+        org: organization slug recorded on each scanner (drives the
+            acknowledged-scanner matching in :mod:`repro.core.validation`).
+        sources: the org's scanner addresses.
+        duration: scenario length in seconds.
+        day_seconds: length of a simulated day.
+        profile: service mix for horizontal surveys.
+        period_days_low/high: survey cadence bounds.
+        coverage_low/high: coverage bounds per survey.
+        vertical_fraction: share of sources doing port studies.
+        seed_base: offset for per-scanner emission seeds.
+
+    Returns:
+        List of :class:`Scanner` with ``org`` set.
+    """
+    total_days = max(int(duration // day_seconds), 1)
+    scanners = []
+    for i, src in enumerate(sources):
+        sessions = []
+        if rng.random() < vertical_fraction:
+            # Port-coverage study: many ports on sampled targets.
+            n_ports = int(rng.integers(1_000, 6_000))
+            ports = np.sort(
+                rng.choice(
+                    np.arange(1, 65536, dtype=np.int64),
+                    size=n_ports,
+                    replace=False,
+                )
+            ).astype(np.uint16)
+            for day in range(0, total_days, int(rng.integers(3, 7))):
+                span = rng.uniform(0.4, 0.9) * day_seconds
+                start = day * day_seconds + rng.uniform(
+                    0.0, day_seconds - span
+                )
+                sessions.append(
+                    ScanSession(
+                        start=start,
+                        duration=span,
+                        ports=ports,
+                        proto=Protocol.TCP_SYN,
+                        tool=Tool.ZMAP,
+                        mode=ScanMode.VERTICAL,
+                        n_targets=int(rng.uniform(3e5, 1.5e6)),
+                    )
+                )
+        else:
+            port, proto = profile.sample(rng)
+            period = int(rng.integers(period_days_low, period_days_high + 1))
+            for day in range(int(rng.integers(0, period)), total_days, period):
+                coverage = rng.uniform(coverage_low, coverage_high)
+                span = rng.uniform(0.3, 0.9) * day_seconds
+                start = day * day_seconds + rng.uniform(
+                    0.0, day_seconds - span
+                )
+                sessions.append(
+                    ScanSession(
+                        start=start,
+                        duration=span,
+                        ports=np.array([port], dtype=np.uint16),
+                        proto=proto,
+                        tool=Tool.ZMAP,
+                        mode=ScanMode.COVERAGE,
+                        coverage=float(coverage),
+                    )
+                )
+        if not sessions:
+            continue
+        scanners.append(
+            Scanner(
+                src=int(src),
+                behavior="research",
+                sessions=sessions,
+                org=org,
+                seed=seed_base + i,
+            )
+        )
+    return scanners
+
+
+def build_moderate_org_scanners(
+    rng: np.random.Generator,
+    org: str,
+    sources: np.ndarray,
+    duration: float,
+    *,
+    day_seconds: float = 86_400.0,
+    seed_base: int = 0,
+) -> list:
+    """Research sources whose cadence stays below the AH thresholds.
+
+    Not every acknowledged scanner is aggressive; these sources run
+    occasional small surveys (a few percent coverage), providing the
+    ACKed population that the AH detection legitimately does *not*
+    flag.
+    """
+    scanners = []
+    for i, src in enumerate(sources):
+        port, proto = RESEARCH_PROFILE.sample(rng)
+        span = rng.uniform(0.2, 0.8) * day_seconds
+        start = rng.uniform(0.0, max(duration - span, 1.0))
+        session = ScanSession(
+            start=start,
+            duration=span,
+            ports=np.array([port], dtype=np.uint16),
+            proto=proto,
+            tool=Tool.ZMAP,
+            mode=ScanMode.COVERAGE,
+            coverage=float(rng.uniform(0.005, 0.05)),
+        )
+        scanners.append(
+            Scanner(
+                src=int(src),
+                behavior="research-moderate",
+                sessions=[session],
+                org=org,
+                seed=seed_base + i,
+            )
+        )
+    return scanners

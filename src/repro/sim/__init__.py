@@ -1,0 +1,36 @@
+"""Simulation engine: clock/calendar, scenario presets and the runner.
+
+The runner pulls in the ISP substrate, which itself needs the clock
+from this package — so the runner symbols are loaded lazily to keep the
+import graph acyclic.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.scenario import (
+    Scenario,
+    darknet_year_scenario,
+    flows_day_scenario,
+    flows_week_scenario,
+    stream_72h_scenario,
+    tiny_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "SimClock",
+    "darknet_year_scenario",
+    "flows_day_scenario",
+    "flows_week_scenario",
+    "run_scenario",
+    "stream_72h_scenario",
+    "tiny_scenario",
+]
+
+
+def __getattr__(name):
+    if name in ("ScenarioResult", "run_scenario"):
+        from repro.sim import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

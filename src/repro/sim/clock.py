@@ -1,0 +1,73 @@
+"""Simulation time and calendar.
+
+All timestamps in the simulator are float seconds since scenario start.
+The clock maps those onto calendar days so that the analyses can speak
+the paper's language: daily AH lists, weekend/weekday impact contrasts,
+per-day packet fractions.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class SimClock:
+    """Maps simulation seconds onto calendar days.
+
+    Args:
+        start_date: calendar date of simulation second 0.
+        seconds_per_day: length of one simulated day.  Scenarios may
+            compress days (fewer simulated seconds per day) to keep
+            runtimes short; every rate-like metric documents whether it
+            is per simulated second or per day.
+    """
+
+    start_date: _dt.date = _dt.date(2022, 1, 1)
+    seconds_per_day: float = SECONDS_PER_DAY
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_day <= 0:
+            raise ValueError("seconds_per_day must be positive")
+
+    def day_index(self, ts):
+        """Day index (0-based) for a timestamp or array of timestamps."""
+        if isinstance(ts, np.ndarray):
+            return np.floor(ts / self.seconds_per_day).astype(np.int64)
+        return int(ts // self.seconds_per_day)
+
+    def day_start(self, day: int) -> float:
+        """Timestamp of the first second of a day."""
+        return day * self.seconds_per_day
+
+    def day_bounds(self, day: int) -> tuple[float, float]:
+        """Half-open ``[start, end)`` bounds of a day."""
+        return self.day_start(day), self.day_start(day + 1)
+
+    def date_of(self, day: int) -> _dt.date:
+        """Calendar date of a day index."""
+        return self.start_date + _dt.timedelta(days=int(day))
+
+    def label(self, day: int) -> str:
+        """Paper-style label, e.g. ``2022-01-15 (Sat)``."""
+        date = self.date_of(day)
+        return f"{date.isoformat()} ({date.strftime('%a')})"
+
+    def is_weekend(self, day: int) -> bool:
+        """True when the day falls on Saturday or Sunday."""
+        return self.date_of(day).weekday() >= 5
+
+    def weekday_name(self, day: int) -> str:
+        """Three-letter weekday name."""
+        return self.date_of(day).strftime("%a")
+
+    def day_count(self, duration: float) -> int:
+        """Number of (possibly partial) days in a duration."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return int(np.ceil(duration / self.seconds_per_day))

@@ -1,0 +1,147 @@
+"""User-defined scenarios from JSON configuration files.
+
+Downstream users want to run the pipeline against their own worlds —
+a bigger telescope, a different scanner mix, another alpha — without
+writing Python.  A scenario file is a JSON object whose keys mirror the
+:class:`~repro.sim.scenario.Scenario` surface:
+
+.. code-block:: json
+
+    {
+      "name": "my-study",
+      "seed": 42,
+      "start_date": "2022-03-01",
+      "days": 10,
+      "dark_prefix_length": 20,
+      "alpha": 0.002,
+      "dispersion_fraction": 0.1,
+      "with_isp": true,
+      "with_campus": false,
+      "flow_days": [3, 4, 5],
+      "population": {"n_sweepers": 120, "n_mirai_aggressive": 30}
+    }
+
+Unknown keys are rejected (typos must not silently fall back to
+defaults).  ``population`` accepts any
+:class:`~repro.scanners.population.PopulationConfig` field except the
+derived ones (``seed``, ``duration``), which the loader wires up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.config import DetectionConfig
+from repro.net.internet import InternetConfig
+from repro.scanners.population import PopulationConfig
+from repro.sim.clock import SimClock
+from repro.sim.scenario import Scenario
+
+_TOP_LEVEL_KEYS = {
+    "name",
+    "seed",
+    "start_date",
+    "days",
+    "seconds_per_day",
+    "dark_prefix_length",
+    "alpha",
+    "dispersion_fraction",
+    "event_timeout",
+    "with_isp",
+    "with_campus",
+    "flow_days",
+    "stream_window_days",
+    "population",
+}
+
+#: Population fields the file may set (seed/duration are derived).
+_POPULATION_KEYS = {
+    f.name for f in dataclasses.fields(PopulationConfig)
+} - {"seed", "duration"}
+
+
+def scenario_from_dict(spec: dict) -> Scenario:
+    """Build a :class:`Scenario` from a parsed configuration object."""
+    unknown = set(spec) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
+
+    name = spec.get("name", "custom")
+    seed = int(spec.get("seed", 1))
+    days = int(spec.get("days", 7))
+    if days < 1:
+        raise ValueError("days must be >= 1")
+    start = _dt.date.fromisoformat(spec.get("start_date", "2022-01-01"))
+    clock = SimClock(
+        start_date=start,
+        seconds_per_day=float(spec.get("seconds_per_day", 86_400.0)),
+    )
+    duration = days * clock.seconds_per_day
+
+    population_spec = dict(spec.get("population", {}))
+    unknown = set(population_spec) - _POPULATION_KEYS
+    if unknown:
+        raise ValueError(f"unknown population keys: {sorted(unknown)}")
+    population = PopulationConfig(
+        seed=seed, duration=duration, **population_spec
+    )
+
+    detection = DetectionConfig(
+        alpha=float(spec.get("alpha", 2e-3)),
+        dispersion_fraction=float(spec.get("dispersion_fraction", 0.1)),
+    )
+
+    flow_days = tuple(int(d) for d in spec.get("flow_days", ()))
+    if any(not 0 <= d < days for d in flow_days):
+        raise ValueError("flow_days must lie within the scenario")
+
+    stream_window = None
+    if "stream_window_days" in spec:
+        w0, w1 = spec["stream_window_days"]
+        if not 0 <= w0 < w1 <= days:
+            raise ValueError("stream_window_days must be within the scenario")
+        stream_window = (
+            w0 * clock.seconds_per_day,
+            w1 * clock.seconds_per_day,
+        )
+
+    with_campus = bool(spec.get("with_campus", stream_window is not None))
+    with_isp = bool(
+        spec.get("with_isp", bool(flow_days) or stream_window is not None)
+    )
+    if (flow_days or stream_window) and not with_isp:
+        raise ValueError("flow/stream collection requires with_isp")
+    if stream_window and not with_campus:
+        raise ValueError("stream collection requires with_campus")
+
+    return Scenario(
+        name=name,
+        seed=seed,
+        clock=clock,
+        days=days,
+        dark_prefix_length=int(spec.get("dark_prefix_length", 19)),
+        population=population,
+        detection=detection,
+        internet=InternetConfig(seed=seed * 3 + 1),
+        with_isp=with_isp,
+        with_campus=with_campus,
+        flow_days=flow_days,
+        stream_window=stream_window,
+        event_timeout=(
+            float(spec["event_timeout"]) if "event_timeout" in spec else None
+        ),
+    )
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load a scenario from a JSON file."""
+    path = Path(path)
+    with path.open() as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise ValueError(f"scenario file must hold a JSON object: {path}")
+    return scenario_from_dict(spec)

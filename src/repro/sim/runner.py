@@ -1,0 +1,178 @@
+"""Drives a scenario end-to-end: Internet -> scanners -> telescope ->
+events -> detections, with lazy ISP flow / stream collection on top.
+
+``run_scenario`` is the single entry point every example and benchmark
+uses; the returned :class:`ScenarioResult` caches the expensive pieces
+so the analyses can be re-run cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detection import DetectionResult, detect_all
+from repro.core.events import EventTable, build_events
+from repro.flows.isp import ISPNetwork, build_campus_like, build_merit_like
+from repro.flows.netflow import FlowTable, NetflowExporter
+from repro.flows.stream import StreamMonitor, StreamSeries
+from repro.net.internet import Internet, build_internet
+from repro.scanners.base import Scanner
+from repro.scanners.population import ScannerPopulation, build_population
+from repro.sim.scenario import Scenario
+from repro.telescope.capture import DarknetCapture
+from repro.telescope.darknet import Telescope
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario produced, plus lazy ISP collection."""
+
+    scenario: Scenario
+    internet: Internet
+    telescope: Telescope
+    population: ScannerPopulation
+    capture: DarknetCapture
+    events: EventTable
+    detections: Dict[int, DetectionResult]
+    merit: Optional[ISPNetwork] = None
+    campus: Optional[ISPNetwork] = None
+    _flow_cache: Optional[tuple] = field(default=None, repr=False)
+    _stream_cache: Optional[dict] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        """The scenario's calendar."""
+        return self.scenario.clock
+
+    @property
+    def dark_size(self) -> int:
+        """Number of dark addresses observed."""
+        return self.telescope.size
+
+    def ah_sources(self, definition: int = 1) -> set:
+        """The AH set for one definition."""
+        return self.detections[definition].sources
+
+    def flow_scanners(self) -> list:
+        """Scanners materialized at the ISP routers: the union of all
+        detected AH plus every acknowledged-org scanner (needed for the
+        Table 4 ACKed impact)."""
+        wanted = set()
+        for result in self.detections.values():
+            wanted |= result.sources
+        wanted |= self.population.acked.all_fleet_ips()
+        return self.population.scanners_for(wanted)
+
+    # ------------------------------------------------------------------
+    def collect_flows(
+        self,
+        exporter: Optional[NetflowExporter] = None,
+        seed_offset: int = 101,
+    ) -> tuple:
+        """NetFlow at the ISP for the scenario's flow days.
+
+        Returns ``(flow_table, totals)``; cached after the first call
+        with default arguments.
+        """
+        if exporter is None and self._flow_cache is not None:
+            return self._flow_cache
+        if self.merit is None:
+            raise RuntimeError("scenario was built without an ISP model")
+        if not self.scenario.flow_days:
+            raise RuntimeError("scenario has no flow days configured")
+        rng = np.random.default_rng(self.scenario.seed + seed_offset)
+        days = self.scenario.flow_days
+        window = (
+            min(days) * self.clock.seconds_per_day,
+            (max(days) + 1) * self.clock.seconds_per_day,
+        )
+        table, true_totals = self.merit.collect_scanner_flows(
+            self.flow_scanners(), window, self.clock, rng, exporter
+        )
+        totals = self.merit.router_day_totals(days, true_totals, self.clock, rng)
+        result = (table, totals)
+        if exporter is None:
+            self._flow_cache = result
+        return result
+
+    def record_streams(
+        self,
+        ah_sources: Optional[set] = None,
+        seed_offset: int = 202,
+    ) -> dict:
+        """Per-second stream series at both stations (Figure 1/2)."""
+        if ah_sources is None and self._stream_cache is not None:
+            return self._stream_cache
+        if self.merit is None or self.campus is None:
+            raise RuntimeError("scenario was built without stream stations")
+        window = self.scenario.stream_window
+        if window is None:
+            raise RuntimeError("scenario has no stream window configured")
+        sources = ah_sources if ah_sources is not None else self.ah_sources(1)
+        scanners = self.population.scanners_for(sources)
+        rng = np.random.default_rng(self.scenario.seed + seed_offset)
+        out = {}
+        for network in (self.merit, self.campus):
+            monitor = StreamMonitor(network=network, clock=self.clock)
+            out[network.name] = monitor.record(scanners, window, rng)
+        if ah_sources is None:
+            self._stream_cache = out
+        return out
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute a scenario: build the world, capture and detect.
+
+    The simulation order mirrors the real measurement pipeline: the
+    address plan and monitored networks exist first, the scanner
+    population probes everything, the telescope records its share, the
+    event builder summarizes, and the three detectors produce AH lists.
+    """
+    internet = build_internet(scenario.internet)
+    dark_prefix = internet.allocator.allocate(scenario.dark_prefix_length)
+    telescope = Telescope.from_prefix(dark_prefix)
+
+    merit = campus = None
+    if scenario.with_isp:
+        merit, internet = build_merit_like(internet, dark_prefix)
+    if scenario.with_campus:
+        campus, internet = build_campus_like(internet)
+
+    population = build_population(
+        internet, telescope.prefixes.ranges(), scenario.population
+    )
+    capture = telescope.capture(population.scanners, scenario.window())
+    timeout = (
+        scenario.event_timeout
+        if scenario.event_timeout is not None
+        else telescope.default_timeout()
+    )
+    events = build_events(capture.packets, timeout)
+    detections = detect_all(
+        events,
+        telescope.size,
+        scenario.detection,
+        scenario.clock.seconds_per_day,
+    )
+    # The ISP models were built before the population, but their
+    # internet snapshot lacks nothing the flows need: router assignment
+    # only reads AS country data, which is identical in both snapshots.
+    if merit is not None:
+        merit.internet = internet
+    if campus is not None:
+        campus.internet = internet
+    return ScenarioResult(
+        scenario=scenario,
+        internet=internet,
+        telescope=telescope,
+        population=population,
+        capture=capture,
+        events=events,
+        detections=detections,
+        merit=merit,
+        campus=campus,
+    )

@@ -1,0 +1,299 @@
+"""Scenario presets matching the paper's datasets.
+
+Every experiment runs against one of four scenario shapes:
+
+* ``darknet_year_scenario(2021)`` / ``(2022)`` — the Darknet-1 and
+  Darknet-2 datasets, scaled from 12/9.5 months to 28 simulated days.
+* ``flows_week_scenario()`` — the Flows-1 week (2022-01-15 .. 01-21)
+  with NetFlow collection at the three core routers.
+* ``flows_day_scenario()`` — the Flows-2 day (2022-10-01).
+* ``stream_72h_scenario()`` — the 72-hour mirrored packet streams at
+  the ISP and campus stations (late November 2022).
+
+Scaling note: the telescope is a /19 (8,192 dark addresses vs ORION's
+~475k) and populations are scaled to match.  All *scale-relative*
+parameters keep their paper values (10% dispersion, 1:1000 sampling);
+the ECDF tail mass ``alpha`` is rescaled from the paper's 1e-4 because
+it is a percentile over the event population, whose size shrinks with
+the simulation (see DESIGN.md and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.config import DetectionConfig
+from repro.net.internet import InternetConfig
+from repro.scanners.population import PopulationConfig
+from repro.sim.clock import SimClock
+
+#: ECDF tail mass used by the scaled scenarios (paper: 1e-4 over tens of
+#: billions of events; here roughly a million events per run, so the
+#: same structural tail sits at a larger percentile).
+SCALED_ALPHA = 2.0e-3
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified simulation run."""
+
+    name: str
+    seed: int
+    clock: SimClock
+    days: int
+    dark_prefix_length: int
+    population: PopulationConfig
+    detection: DetectionConfig
+    internet: InternetConfig
+    #: build the ISP (three-router) model and campus model.
+    with_isp: bool = True
+    with_campus: bool = False
+    #: day indexes for NetFlow collection (empty = no flow dataset).
+    flow_days: tuple = ()
+    #: [start, end) for the packet-stream stations (None = no streams).
+    stream_window: Optional[tuple] = None
+    #: override for the darknet event timeout (None = derive from the
+    #: telescope aperture per the paper's rule).
+    event_timeout: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Scenario length in simulated seconds."""
+        return self.days * self.clock.seconds_per_day
+
+    def window(self) -> tuple:
+        """[start, end) of the whole scenario."""
+        return (0.0, self.duration)
+
+
+def _population_for_year(year: int, days: int, seed: int) -> PopulationConfig:
+    """Year-calibrated population sizes.
+
+    2022 has more daily aggressive hitters than 2021 (paper Figure 3:
+    1,452 vs 1,779 daily on average) and its Definition-3 population is
+    smaller but more extreme (port thresholds 6,542 vs 57,410/day).
+    """
+    duration = days * 86_400.0
+    if year <= 2021:
+        # 2021: a modest omniscanner tier — smaller than the ECDF's
+        # alpha-tail — so the definition-3 threshold falls into the
+        # multiport range (the paper's 6,542 ports/day) and the def-3
+        # population is comparatively broad.
+        return PopulationConfig(
+            seed=seed,
+            duration=duration,
+            year=2021,
+            n_sweepers=460,
+            n_mirai_aggressive=115,
+            n_mirai_small=2_600,
+            n_omniscanners=26,
+            omni_port_low=800,
+            omni_port_high=5_000,
+            n_multiport=380,
+            n_small_scanners=32_000,
+            n_misconfig=27_000,
+        )
+    # 2022: the exhaustive-port tier has grown past the alpha-tail, so
+    # the threshold jumps into the omniscanner port range (the paper's
+    # 57,410 ports/day) and the def-3 population narrows to that tier.
+    return PopulationConfig(
+        seed=seed,
+        duration=duration,
+        year=2022,
+        n_sweepers=560,
+        n_mirai_aggressive=150,
+        n_mirai_small=3_000,
+        n_omniscanners=55,
+        omni_port_low=3_000,
+        omni_port_high=9_000,
+        omni_targets_low=3e5,
+        omni_targets_high=1.2e6,
+        n_multiport=400,
+        n_small_scanners=30_000,
+        n_misconfig=25_000,
+    )
+
+
+def darknet_year_scenario(
+    year: int,
+    *,
+    days: int = 28,
+    seed: Optional[int] = None,
+    dark_prefix_length: int = 19,
+) -> Scenario:
+    """The Darknet-1 (2021) / Darknet-2 (2022) longitudinal datasets."""
+    seed = seed if seed is not None else 20_000 + year
+    clock = SimClock(start_date=_dt.date(year, 1, 1))
+    return Scenario(
+        name=f"darknet-{year}",
+        seed=seed,
+        clock=clock,
+        days=days,
+        dark_prefix_length=dark_prefix_length,
+        population=_population_for_year(year, days, seed),
+        detection=DetectionConfig(alpha=SCALED_ALPHA),
+        internet=InternetConfig(seed=seed * 3 + 1),
+        with_isp=False,
+    )
+
+
+def flows_week_scenario(
+    *,
+    seed: int = 31_022,
+    dark_prefix_length: int = 19,
+) -> Scenario:
+    """Flows-1: the week of 2022-01-15 (Sat) .. 2022-01-21 (Fri).
+
+    The scenario starts a few days earlier so that multi-day AH careers
+    are already underway when collection begins, and runs the darknet
+    in parallel (the AH lists come from the same period's events).
+    """
+    start = _dt.date(2022, 1, 10)
+    clock = SimClock(start_date=start)
+    days = 16
+    first_flow_day = (_dt.date(2022, 1, 15) - start).days
+    flow_days = tuple(range(first_flow_day, first_flow_day + 7))
+    return Scenario(
+        name="flows-week",
+        seed=seed,
+        clock=clock,
+        days=days,
+        dark_prefix_length=dark_prefix_length,
+        population=_population_for_year(2022, days, seed),
+        detection=DetectionConfig(alpha=SCALED_ALPHA),
+        internet=InternetConfig(seed=seed * 3 + 1),
+        with_isp=True,
+        with_campus=False,
+        flow_days=flow_days,
+    )
+
+
+def _scale_population(config: PopulationConfig, factor: float) -> PopulationConfig:
+    """Scale the population counts (used when a scenario's duration is
+    much shorter than the 28-day reference, so the per-day density of
+    active scanners stays comparable)."""
+
+    def scale(n: int) -> int:
+        """Scale one population count, keeping at least one."""
+        return max(1, int(round(n * factor)))
+
+    return replace(
+        config,
+        n_sweepers=scale(config.n_sweepers),
+        n_mirai_aggressive=scale(config.n_mirai_aggressive),
+        n_mirai_small=scale(config.n_mirai_small),
+        n_omniscanners=scale(config.n_omniscanners),
+        n_multiport=scale(config.n_multiport),
+        n_small_scanners=scale(config.n_small_scanners),
+        n_misconfig=scale(config.n_misconfig),
+    )
+
+
+def flows_day_scenario(
+    *,
+    seed: int = 31_023,
+    dark_prefix_length: int = 19,
+) -> Scenario:
+    """Flows-2: the single day 2022-10-01 (Sat).
+
+    The population is scaled to the 6-day horizon so the per-day density
+    of active AH matches the year-scale scenarios (the paper's Oct-1
+    impact, ~1.9-2.6%, is measured against the same background Internet
+    as the January week).
+    """
+    start = _dt.date(2022, 9, 27)
+    clock = SimClock(start_date=start)
+    days = 6
+    flow_day = (_dt.date(2022, 10, 1) - start).days
+    return Scenario(
+        name="flows-day",
+        seed=seed,
+        clock=clock,
+        days=days,
+        dark_prefix_length=dark_prefix_length,
+        population=_scale_population(
+            _population_for_year(2022, days, seed), 0.3
+        ),
+        detection=DetectionConfig(alpha=SCALED_ALPHA),
+        internet=InternetConfig(seed=seed * 3 + 1),
+        with_isp=True,
+        with_campus=False,
+        flow_days=(flow_day,),
+    )
+
+
+def stream_72h_scenario(
+    *,
+    seed: int = 31_124,
+    dark_prefix_length: int = 19,
+) -> Scenario:
+    """The 72-hour mirrored packet streams (ISP + campus stations).
+
+    Starts on a Sunday so the cumulative AH fraction visibly declines
+    into the week, as the paper observes (weekend -> weekday denominator
+    growth).
+    """
+    start = _dt.date(2022, 11, 27)  # Sunday
+    clock = SimClock(start_date=start)
+    days = 3
+    return Scenario(
+        name="stream-72h",
+        seed=seed,
+        clock=clock,
+        days=days,
+        dark_prefix_length=dark_prefix_length,
+        # Scale the population to the 3-day horizon (slightly above the
+        # per-day density of the year scenarios: the stream experiment
+        # needs a healthy AH packet rate for per-second fractions).
+        population=_scale_population(
+            _population_for_year(2022, days, seed), 0.15
+        ),
+        detection=DetectionConfig(alpha=SCALED_ALPHA),
+        internet=InternetConfig(seed=seed * 3 + 1),
+        with_isp=True,
+        with_campus=True,
+        stream_window=(0.0, days * 86_400.0),
+    )
+
+
+def tiny_scenario(
+    *,
+    seed: int = 1_234,
+    days: int = 4,
+    dark_prefix_length: int = 21,
+) -> Scenario:
+    """A miniature scenario for tests: seconds to run, same code paths."""
+    clock = SimClock(start_date=_dt.date(2022, 1, 1))
+    population = PopulationConfig(
+        seed=seed,
+        duration=days * 86_400.0,
+        year=2022,
+        n_sweepers=25,
+        n_mirai_aggressive=8,
+        n_mirai_small=60,
+        n_omniscanners=3,
+        omni_port_low=300,
+        omni_port_high=1_200,
+        n_multiport=15,
+        n_small_scanners=400,
+        n_misconfig=300,
+        n_backscatter=8,
+        n_spoofed_scans=2,
+        acked_fleet_scale=1.0,
+    )
+    return Scenario(
+        name="tiny",
+        seed=seed,
+        clock=clock,
+        days=days,
+        dark_prefix_length=dark_prefix_length,
+        population=population,
+        detection=DetectionConfig(alpha=0.008),
+        internet=InternetConfig(seed=seed * 3 + 1, core_as_count=60, tail_as_count=40),
+        with_isp=True,
+        with_campus=True,
+        flow_days=tuple(range(days)),
+        stream_window=(0.0, min(days, 1) * 86_400.0),
+    )

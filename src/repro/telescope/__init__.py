@@ -1,0 +1,6 @@
+"""Network-telescope substrate: the darknet and its packet capture."""
+
+from repro.telescope.capture import DarknetCapture
+from repro.telescope.darknet import Telescope
+
+__all__ = ["DarknetCapture", "Telescope"]

@@ -1,0 +1,79 @@
+"""Captured darknet traffic and its summary statistics.
+
+The capture is the raw material every analysis starts from: the event
+builder consumes it to form logical scans, and the characterization
+modules compute port rankings and fingerprints straight from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.packet import PacketBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telescope.darknet import Telescope
+
+
+@dataclass
+class DarknetCapture:
+    """Time-sorted packets recorded by a telescope."""
+
+    packets: PacketBatch
+    telescope: "Telescope"
+
+    def __post_init__(self) -> None:
+        if len(self.packets) > 1 and not bool(
+            np.all(np.diff(self.packets.ts) >= 0)
+        ):
+            self.packets = self.packets.sorted_by_time()
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    # ------------------------------------------------------------------
+    def day_slice(self, day: int, day_seconds: float) -> PacketBatch:
+        """Packets of one simulated day (binary search on sorted ts)."""
+        lo = float(day * day_seconds)
+        hi = float((day + 1) * day_seconds)
+        i0 = int(np.searchsorted(self.packets.ts, lo, side="left"))
+        i1 = int(np.searchsorted(self.packets.ts, hi, side="left"))
+        return self.packets.select(slice(i0, i1))
+
+    def source_count(self) -> int:
+        """Number of distinct source IPs observed."""
+        return len(self.packets.unique_sources())
+
+    def destination_count(self) -> int:
+        """Number of distinct dark IPs contacted."""
+        return len(self.packets.unique_destinations())
+
+    def packets_from(self, sources) -> int:
+        """Total packets originating from the given source set."""
+        if len(self.packets) == 0:
+            return 0
+        wanted = np.asarray(sorted(int(a) for a in sources), dtype=np.uint32)
+        if len(wanted) == 0:
+            return 0
+        mask = np.isin(self.packets.src, wanted)
+        return int(np.count_nonzero(mask))
+
+    def select_sources(self, sources) -> PacketBatch:
+        """Packets originating from the given source set."""
+        wanted = np.asarray(sorted(int(a) for a in sources), dtype=np.uint32)
+        if len(wanted) == 0 or len(self.packets) == 0:
+            return PacketBatch.empty()
+        mask = np.isin(self.packets.src, wanted)
+        return self.packets.select(mask)
+
+    def summary(self) -> dict:
+        """Table-1-style dataset description."""
+        return {
+            "packets": len(self.packets),
+            "source_ips": self.source_count(),
+            "dest_ips": self.destination_count(),
+            "dark_size": self.telescope.size,
+        }

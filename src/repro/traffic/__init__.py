@@ -1,0 +1,6 @@
+"""Legitimate (non-scanning) traffic models for the monitored networks."""
+
+from repro.traffic.cache import ContentCacheModel
+from repro.traffic.legit import DiurnalTrafficModel
+
+__all__ = ["ContentCacheModel", "DiurnalTrafficModel"]

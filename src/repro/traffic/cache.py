@@ -1,0 +1,44 @@
+"""Content-cache (hypergiant off-net) modeling.
+
+The paper's §4 attributes much of the impact difference between Merit
+and the campus network to content caching: Merit hosts hypergiant
+caches *inside* the ISP, so cache-served user traffic (video, CDN
+objects) never crosses the border routers — shrinking the denominator
+against which the scanners' packets are measured.  The campus network
+has no in-net caches (its upstream provides off-net caching), so all
+of its traffic crosses the monitored border.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ContentCacheModel:
+    """Fraction of user demand served by in-network caches.
+
+    Attributes:
+        cache_fraction: share of total user traffic that is served from
+            caches inside the network and therefore *absent* from the
+            border-router counters.  0 disables caching (campus case).
+    """
+
+    cache_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cache_fraction < 1:
+            raise ValueError("cache_fraction must be in [0, 1)")
+
+    def border_factor(self) -> float:
+        """Multiplier taking total demand to border-visible traffic."""
+        return 1.0 - self.cache_fraction
+
+    def amplification(self) -> float:
+        """How much caching inflates any border-traffic *fraction*.
+
+        A flow of scanner packets is a fixed numerator; removing cached
+        traffic from the denominator multiplies the measured fraction by
+        ``1 / border_factor()``.
+        """
+        return 1.0 / self.border_factor()

@@ -1,0 +1,37 @@
+"""Shared fixtures: a session-scoped tiny scenario and building blocks.
+
+The tiny scenario exercises every code path (darknet, events, all three
+detectors, NetFlow at three routers, both stream stations) in about a
+second; tests that only need a world to poke at share one run of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import StudyReport, run_study
+from repro.net.internet import InternetConfig, build_internet
+from repro.sim.scenario import tiny_scenario
+
+
+@pytest.fixture(scope="session")
+def tiny_report() -> StudyReport:
+    """One fully-run tiny scenario shared by the whole session."""
+    return run_study(tiny_scenario())
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_report):
+    return tiny_report.result
+
+
+@pytest.fixture(scope="session")
+def small_internet():
+    """A small synthetic Internet for unit tests."""
+    return build_internet(InternetConfig(seed=99, core_as_count=40, tail_as_count=30))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

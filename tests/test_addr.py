@@ -1,0 +1,97 @@
+"""Unit tests for IPv4 address arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.net import addr
+
+
+class TestParseFormat:
+    def test_roundtrip_known_value(self):
+        assert addr.parse_ip("10.0.0.1") == 167772161
+        assert addr.format_ip(167772161) == "10.0.0.1"
+
+    def test_edges(self):
+        assert addr.parse_ip("0.0.0.0") == 0
+        assert addr.parse_ip("255.255.255.255") == addr.MAX_IP
+        assert addr.format_ip(addr.MAX_IP) == "255.255.255.255"
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "-1.0.0.0"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            addr.parse_ip(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(ValueError):
+            addr.format_ip(2**32)
+        with pytest.raises(ValueError):
+            addr.format_ip(-1)
+
+
+class TestPrefixMath:
+    def test_prefix_size(self):
+        assert addr.prefix_size(24) == 256
+        assert addr.prefix_size(32) == 1
+        assert addr.prefix_size(0) == 2**32
+
+    def test_prefix_size_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            addr.prefix_size(33)
+        with pytest.raises(ValueError):
+            addr.prefix_size(-1)
+
+    def test_prefix_base_alignment(self):
+        base = addr.prefix_base(addr.parse_ip("192.0.2.77"), 24)
+        assert addr.format_ip(base) == "192.0.2.0"
+
+    def test_ip_in_prefix_scalar(self):
+        base = addr.parse_ip("192.0.2.0")
+        assert addr.ip_in_prefix(addr.parse_ip("192.0.2.255"), base, 24)
+        assert not addr.ip_in_prefix(addr.parse_ip("192.0.3.0"), base, 24)
+
+    def test_ip_in_prefix_array(self):
+        base = addr.parse_ip("192.0.2.0")
+        arr = np.array(
+            [addr.parse_ip("192.0.2.1"), addr.parse_ip("192.0.3.1")],
+            dtype=np.uint32,
+        )
+        mask = addr.ip_in_prefix(arr, base, 24)
+        assert mask.tolist() == [True, False]
+
+
+class TestSlash24:
+    def test_scalar(self):
+        assert addr.slash24(addr.parse_ip("192.0.2.77")) == addr.parse_ip("192.0.2.0") >> 8
+
+    def test_array_dtype(self):
+        arr = np.array([0, 256, 511, 512], dtype=np.uint32)
+        out = addr.slash24(arr)
+        assert out.dtype == np.uint32
+        assert out.tolist() == [0, 1, 1, 2]
+
+    def test_slash24_count(self):
+        assert addr.slash24_count(0) == 0
+        assert addr.slash24_count(1) == 1
+        assert addr.slash24_count(256) == 1
+        assert addr.slash24_count(257) == 2
+
+    def test_slash24_count_rejects_negative(self):
+        with pytest.raises(ValueError):
+            addr.slash24_count(-1)
+
+
+class TestRandomIps:
+    def test_random_ips_stay_in_prefix(self, rng):
+        base = addr.parse_ip("198.51.100.0")
+        ips = addr.random_ips_in_prefix(rng, base, 24, 500)
+        assert ips.dtype == np.uint32
+        assert np.all(addr.ip_in_prefix(ips, base, 24))
+
+    def test_zero_count(self, rng):
+        assert len(addr.random_ips_in_prefix(rng, 0, 8, 0)) == 0
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            addr.random_ips_in_prefix(rng, 0, 8, -1)

@@ -1,0 +1,79 @@
+"""Unit tests for the presentation helpers (tables and figures)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import downsample, series_stats, sparkline
+from repro.analysis.tables import format_table, render_count, render_percent
+
+
+class TestTables:
+    def test_render_percent(self):
+        assert render_percent(0.0415) == "4.15%"
+        assert render_percent(0.5, digits=0) == "50%"
+
+    def test_render_count(self):
+        assert render_count(15_200_000_000) == "15.2B"
+        assert render_count(15_200_000) == "15.2M"
+        assert render_count(1_500) == "1.5k"
+        assert render_count(999) == "999"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["33", "444"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [["1"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_left_alignment(self):
+        text = format_table(["name"], [["ab"]], align_right=False)
+        assert "ab  " in text or text.splitlines()[-1].startswith("ab")
+
+
+class TestFigures:
+    def test_sparkline_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_downsampled_width(self):
+        assert len(sparkline(range(1_000), width=40)) == 40
+
+    def test_series_stats(self):
+        stats = series_stats([1, 2, 3, 4])
+        assert stats["n"] == 4
+        assert stats["min"] == 1 and stats["max"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+
+    def test_series_stats_empty(self):
+        assert series_stats([]) == {"n": 0}
+
+    def test_downsample_mean(self):
+        out = downsample([1, 3, 5, 7], 2)
+        assert out.tolist() == [2.0, 6.0]
+
+    def test_downsample_max_sum(self):
+        assert downsample([1, 3, 5, 7], 2, "max").tolist() == [3.0, 7.0]
+        assert downsample([1, 3, 5, 7], 2, "sum").tolist() == [4.0, 12.0]
+
+    def test_downsample_truncates_remainder(self):
+        assert downsample([1, 2, 3], 2).tolist() == [1.5]
+
+    def test_downsample_validation(self):
+        with pytest.raises(ValueError):
+            downsample([1], 0)
+        with pytest.raises(ValueError):
+            downsample([1, 2], 2, "median")

@@ -1,0 +1,54 @@
+"""Public API surface checks."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.analysis",
+            "repro.core",
+            "repro.flows",
+            "repro.io",
+            "repro.ipv6",
+            "repro.labeling",
+            "repro.net",
+            "repro.scanners",
+            "repro.sim",
+            "repro.telescope",
+            "repro.traffic",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__") or module == "repro.core"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_quickstart_snippet(self):
+        # The README/docstring quickstart must stay runnable.
+        from repro import run_study, tiny_scenario
+
+        report = run_study(tiny_scenario())
+        assert report.dataset_summary()["packets"] > 0
+        assert len(report.detections[1]) > 0
+
+    def test_lazy_sim_attributes(self):
+        import repro.sim as sim
+
+        assert callable(sim.run_scenario)
+        assert sim.ScenarioResult is not None
+        with pytest.raises(AttributeError):
+            sim.does_not_exist

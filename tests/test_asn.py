@@ -1,0 +1,80 @@
+"""Unit tests for the AS registry."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import parse_ip
+from repro.net.asn import ASRegistry, ASType, AutonomousSystem, build_registry
+from repro.net.prefix import Prefix
+
+
+def _registry():
+    return build_registry(
+        [
+            (65001, "cloud-us-1", "US", ASType.CLOUD, ["10.0.0.0/8"]),
+            (65002, "isp-cn-1", "CN", ASType.ISP, ["192.0.2.0/24", "198.51.100.0/24"]),
+            (65003, "edu-de-1", "DE", ASType.EDU, ["203.0.113.0/24"]),
+        ]
+    )
+
+
+class TestAutonomousSystem:
+    def test_size_sums_prefixes(self):
+        system = _registry().by_asn(65002)
+        assert system.size == 512
+
+    def test_label_format(self):
+        assert _registry().by_asn(65001).label() == "Cloud (US)"
+
+    def test_invalid_country_rejected(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(asn=1, org="x", country="USA", as_type=ASType.ISP)
+
+    def test_invalid_asn_rejected(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(asn=0, org="x", country="US", as_type=ASType.ISP)
+
+
+class TestASRegistry:
+    def test_lookup_index(self):
+        reg = _registry()
+        arr = np.array(
+            [parse_ip("10.1.2.3"), parse_ip("198.51.100.7"), parse_ip("8.8.8.8")],
+            dtype=np.uint32,
+        )
+        idx = reg.lookup_index(arr)
+        assert reg.systems[idx[0]].asn == 65001
+        assert reg.systems[idx[1]].asn == 65002
+        assert idx[2] == -1
+
+    def test_lookup_one(self):
+        reg = _registry()
+        assert reg.lookup_one(parse_ip("203.0.113.50")).asn == 65003
+        assert reg.lookup_one(parse_ip("8.8.8.8")) is None
+
+    def test_asns_vector(self):
+        reg = _registry()
+        arr = np.array([parse_ip("10.0.0.1"), parse_ip("8.8.8.8")], dtype=np.uint32)
+        assert reg.asns(arr).tolist() == [65001, 0]
+
+    def test_countries(self):
+        reg = _registry()
+        arr = np.array([parse_ip("192.0.2.1"), parse_ip("8.8.8.8")], dtype=np.uint32)
+        assert reg.countries(arr) == ["CN", "??"]
+
+    def test_duplicate_asn_rejected(self):
+        systems = [
+            AutonomousSystem(1, "a", "US", ASType.ISP, (Prefix.parse("10.0.0.0/8"),)),
+            AutonomousSystem(1, "b", "US", ASType.ISP, (Prefix.parse("11.0.0.0/8"),)),
+        ]
+        with pytest.raises(ValueError):
+            ASRegistry(systems)
+
+    def test_by_asn_unknown(self):
+        with pytest.raises(KeyError):
+            _registry().by_asn(99999)
+
+    def test_iteration_and_len(self):
+        reg = _registry()
+        assert len(reg) == 3
+        assert {s.asn for s in reg} == {65001, 65002, 65003}

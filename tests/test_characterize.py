@@ -1,0 +1,183 @@
+"""Unit tests for the characterization analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import characterize
+from repro.core.detection import detect_dispersion
+from repro.core.events import build_events
+from repro.fingerprint import ZMAP_IPID
+from repro.net.asn import ASType, build_registry
+from repro.packet import PacketBatch, Protocol
+from repro.telescope.darknet import Telescope
+from repro.net.prefix import Prefix
+
+
+def build_capture(rows, telescope=None):
+    """rows: (ts, src, dst, dport, proto, ipid)."""
+    telescope = telescope or Telescope.from_prefix(Prefix.parse("10.0.0.0/24"))
+    arr = np.array(rows, dtype=np.float64)
+    batch = PacketBatch(
+        ts=arr[:, 0],
+        src=arr[:, 1].astype(np.uint32),
+        dst=arr[:, 2].astype(np.uint32),
+        dport=arr[:, 3].astype(np.uint16),
+        proto=arr[:, 4].astype(np.uint8),
+        ipid=arr[:, 5].astype(np.uint16),
+    )
+    from repro.telescope.capture import DarknetCapture
+
+    return DarknetCapture(packets=batch, telescope=telescope)
+
+
+DARK = 167_772_160  # 10.0.0.0
+TCP = Protocol.TCP_SYN.value
+DAY = 86_400.0
+
+
+class TestTemporalTrends:
+    def test_counts_and_shares(self):
+        rows = []
+        # Day 0: AH source 1 covers 30 dark addrs; source 2 sends 2 pkts.
+        for i in range(30):
+            rows.append((i * 10.0, 1, DARK + i, 80, TCP, 0))
+        rows += [(5.0, 2, DARK + 1, 23, TCP, 0), (6.0, 2, DARK + 2, 23, TCP, 0)]
+        # Day 1: only background.
+        rows.append((DAY + 5.0, 3, DARK + 1, 445, TCP, 0))
+        capture = build_capture(rows)
+        events = build_events(capture.packets, timeout=600.0)
+        detection = detect_dispersion(events, dark_size=256)
+        points = characterize.temporal_trends(events, detection, [0, 1], DAY)
+        assert points[0].daily_new_ah == 1
+        assert points[0].active_ah == 1
+        assert points[0].all_daily_sources == 2
+        assert points[0].ah_packets == 30
+        assert points[0].total_packets == 32
+        assert points[0].ah_packet_share == pytest.approx(30 / 32)
+        assert points[1].daily_new_ah == 0
+        assert points[1].all_daily_sources == 1
+
+    def test_event_packets_attributed_to_start_day(self):
+        # One event straddling midnight: all its packets count on the
+        # day it started (the paper's events-format constraint).
+        rows = [(DAY - 100.0, 1, DARK + i, 80, TCP, 0) for i in range(20)]
+        rows += [(DAY + 100.0, 1, DARK + 20 + i, 80, TCP, 0) for i in range(20)]
+        capture = build_capture(rows)
+        events = build_events(capture.packets, timeout=1_000.0)
+        assert len(events) == 1
+        detection = detect_dispersion(events, dark_size=256)
+        points = characterize.temporal_trends(events, detection, [0, 1], DAY)
+        assert points[0].ah_packets == 40
+        assert points[1].ah_packets == 0
+        assert points[1].total_packets == 0
+
+
+class TestOrigins:
+    @pytest.fixture()
+    def registry(self):
+        return build_registry(
+            [
+                (65001, "cloud-us-1", "US", ASType.CLOUD, ["1.0.0.0/8"]),
+                (65002, "isp-cn-1", "CN", ASType.ISP, ["2.0.0.0/8"]),
+            ]
+        )
+
+    def test_grouping_and_labels(self, registry):
+        cloud = 1 << 24
+        isp = 2 << 24
+        sources = {cloud + 1, cloud + 2, cloud + 257, isp + 1}
+        rows, totals = characterize.origins(sources, registry)
+        assert rows[0].label == "Cloud (US)"
+        assert rows[0].unique_ips == 3
+        assert rows[0].unique_slash24 == 2
+        assert rows[1].unique_ips == 1
+        assert totals["ips"] == (4, 1.0)
+
+    def test_acked_counts(self, registry):
+        cloud = 1 << 24
+        sources = {cloud + 1, cloud + 2}
+        rows, _ = characterize.origins(sources, registry, acked_sources={cloud + 1})
+        assert rows[0].acked_ips == 1
+
+    def test_packet_volumes(self, registry):
+        cloud = 1 << 24
+        rows_pk = [(0.0, cloud + 1, DARK + i, 80, TCP, 0) for i in range(5)]
+        capture = build_capture(rows_pk)
+        rows, totals = characterize.origins({cloud + 1}, registry, capture)
+        assert rows[0].packets == 5
+        assert totals["packets"] == (5, 1.0)
+
+    def test_empty(self, registry):
+        rows, totals = characterize.origins(set(), registry)
+        assert rows == []
+        assert totals["ips"] == (0, 0.0)
+
+    def test_top_n_truncation(self, registry):
+        cloud = 1 << 24
+        isp = 2 << 24
+        sources = {cloud + 1, isp + 1}
+        rows, _ = characterize.origins(sources, registry, top_n=1)
+        assert len(rows) == 1
+
+
+class TestTopPorts:
+    def test_ranking_and_fingerprints(self):
+        rows = []
+        for i in range(10):
+            rows.append((i, 1, DARK + i, 6_379, TCP, ZMAP_IPID))
+        for i in range(6):
+            dst = DARK + i
+            rows.append((i, 1, dst, 23, TCP, (dst ^ 23) & 0xFFFF))
+        for i in range(3):
+            rows.append((i, 1, DARK + i, 22, TCP, 7))
+        capture = build_capture(rows)
+        ranked = characterize.top_ports(capture, {1})
+        assert (ranked[0].port, ranked[0].packets) == (6_379, 10)
+        assert ranked[0].zmap_packets == 10
+        assert ranked[1].port == 23
+        assert ranked[1].masscan_packets == 6
+        assert ranked[2].other_packets == 3
+
+    def test_only_ah_counted(self):
+        rows = [(0, 1, DARK, 80, TCP, 0), (0, 2, DARK, 443, TCP, 0)]
+        capture = build_capture(rows)
+        ranked = characterize.top_ports(capture, {1})
+        assert len(ranked) == 1
+        assert ranked[0].port == 80
+
+    def test_port_overlap(self):
+        a = [characterize.PortRow(80, 6, 1, 0, 0, 1), characterize.PortRow(23, 6, 1, 0, 0, 1)]
+        b = [characterize.PortRow(80, 6, 1, 0, 0, 1), characterize.PortRow(22, 6, 1, 0, 0, 1)]
+        assert characterize.port_overlap(a, b) == 1
+
+    def test_empty(self):
+        capture = build_capture([(0, 1, DARK, 80, TCP, 0)])
+        assert characterize.top_ports(capture, set()) == []
+
+
+class TestZipf:
+    def test_cumulative_share(self):
+        rows = []
+        for i in range(8):
+            rows.append((i, 1, DARK + i, 80, TCP, 0))
+        rows.append((0, 2, DARK, 80, TCP, 0))
+        rows.append((0, 3, DARK, 80, TCP, 0))
+        capture = build_capture(rows)
+        curve = characterize.zipf_contribution(capture, {1, 2, 3})
+        assert curve[0] == pytest.approx(0.8)
+        assert curve[-1] == pytest.approx(1.0)
+        assert len(curve) == 3
+
+    def test_top_fraction_share(self):
+        curve = np.array([0.5, 0.8, 1.0])
+        assert characterize.top_fraction_share(curve, 1 / 3) == pytest.approx(0.5)
+        assert characterize.top_fraction_share(curve, 1.0) == 1.0
+
+    def test_top_fraction_validation(self):
+        with pytest.raises(ValueError):
+            characterize.top_fraction_share(np.array([1.0]), 0.0)
+
+    def test_empty(self):
+        capture = build_capture([(0, 1, DARK, 80, TCP, 0)])
+        assert len(characterize.zipf_contribution(capture, set())) == 0
+        assert characterize.top_fraction_share(np.empty(0), 0.5) == 0.0

@@ -1,0 +1,134 @@
+"""Unit tests for the AH-list churn analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.churn import (
+    ChurnPoint,
+    churn_summary,
+    daily_churn,
+    staleness,
+    survival_curve,
+)
+from repro.core.detection import DetectionResult
+
+
+def make_detection(daily_active, daily_new=None):
+    sources = set()
+    for day_sources in daily_active.values():
+        sources |= day_sources
+    return DetectionResult(
+        definition=1,
+        sources=sources,
+        threshold=0.0,
+        daily_new=daily_new or {},
+        daily_active=daily_active,
+    )
+
+
+class TestDailyChurn:
+    def test_basic_transitions(self):
+        detection = make_detection(
+            {0: {1, 2, 3}, 1: {2, 3, 4}, 2: {5}}
+        )
+        points = daily_churn(detection)
+        assert len(points) == 2
+        first = points[0]
+        assert first.day == 1
+        assert first.retained == 2
+        assert first.arrived == 1
+        assert first.departed == 1
+        assert first.retention == pytest.approx(2 / 3)
+        assert first.jaccard_with_previous == pytest.approx(2 / 4)
+        second = points[1]
+        assert second.retained == 0
+        assert second.retention == 0.0
+
+    def test_single_day_no_points(self):
+        assert daily_churn(make_detection({0: {1}})) == []
+
+    def test_full_retention(self):
+        detection = make_detection({0: {1, 2}, 1: {1, 2}})
+        points = daily_churn(detection)
+        assert points[0].retention == 1.0
+        assert points[0].jaccard_with_previous == 1.0
+
+
+class TestSurvival:
+    def test_curve_shape(self):
+        daily_new = {0: {1, 2}, 1: {3}}
+        daily_active = {
+            0: {1, 2},
+            1: {1, 3},
+            2: {1},
+            3: {1},
+        }
+        detection = make_detection(daily_active, daily_new)
+        curve = survival_curve(detection, max_days=3)
+        assert curve[0] == 1.0
+        # Day +1: src1 survives (of {1,2}), src3's horizon covers +1 and
+        # +2: at risk {1,2,3} -> survivors {1}.
+        assert curve[1] == pytest.approx(1 / 3)
+        # Lag-2: src3 is censored after its 2-day horizon; of
+        # {1, 2, 3} at risk only src1 survives.
+        assert curve[2] == pytest.approx(1 / 3)
+        # Lag-3: only {1, 2} are at risk; src1 survives.
+        assert curve[3] == pytest.approx(1 / 2)
+        assert np.all(curve <= 1.0)
+
+    def test_empty(self):
+        detection = make_detection({}, {})
+        assert survival_curve(detection).tolist() == [1.0]
+
+    def test_invalid_max_days(self):
+        with pytest.raises(ValueError):
+            survival_curve(make_detection({0: {1}}), max_days=0)
+
+    def test_censoring(self):
+        # A source appearing on the final day never enters later lags.
+        daily_new = {0: {1}, 2: {2}}
+        daily_active = {0: {1}, 1: {1}, 2: {1, 2}}
+        detection = make_detection(daily_active, daily_new)
+        curve = survival_curve(detection, max_days=2)
+        assert curve[2] == 1.0  # only src1 at risk at lag 2, and active
+
+
+class TestStaleness:
+    def test_fresh_list_when_no_churn(self):
+        detection = make_detection({d: {1, 2} for d in range(6)})
+        assert staleness(detection, refresh_days=2) == 1.0
+
+    def test_stale_list_decays(self):
+        daily_active = {d: {d} for d in range(6)}  # total churn daily
+        detection = make_detection(daily_active)
+        assert staleness(detection, refresh_days=2) == 0.0
+
+    def test_invalid_refresh(self):
+        with pytest.raises(ValueError):
+            staleness(make_detection({0: {1}}), 0)
+
+    def test_short_series(self):
+        assert staleness(make_detection({0: {1}}), 7) == 1.0
+
+
+class TestSummaryAndScenario:
+    def test_summary_keys(self):
+        detection = make_detection({0: {1, 2}, 1: {2, 3}})
+        summary = churn_summary(detection)
+        assert summary["days"] == 1
+        assert 0 <= summary["mean_retention"] <= 1
+        assert summary["mean_arrivals"] == 1.0
+
+    def test_summary_empty(self):
+        assert churn_summary(make_detection({0: {1}}))["days"] == 0
+
+    def test_tiny_scenario_churn(self, tiny_result):
+        detection = tiny_result.detections[1]
+        points = daily_churn(detection)
+        assert points
+        # Careers span a couple of days: real but partial retention.
+        retentions = [p.retention for p in points]
+        assert 0.0 < max(retentions) <= 1.0
+        curve = survival_curve(detection, max_days=3)
+        assert curve[0] == 1.0
+        assert curve[-1] <= 1.0

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_scenario_default(self):
+        args = cli.build_parser().parse_args(["summary"])
+        assert args.scenario == "tiny"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            cli._scenario("bogus")
+
+    def test_blocklist_day_flag(self):
+        args = cli.build_parser().parse_args(["blocklist", "--day", "2"])
+        assert args.day == 2
+
+
+class TestCommands:
+    """End-to-end CLI runs over the tiny scenario (one per command)."""
+
+    def test_summary(self, capsys):
+        assert cli.main(["--scenario", "tiny", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "darknet packets" in out
+        assert "Definition 1" in out
+        assert "Jaccard" in out
+
+    def test_impact(self, capsys):
+        assert cli.main(["--scenario", "tiny", "impact"]) == 0
+        out = capsys.readouterr().out
+        assert "Router-1" in out
+        assert "%" in out
+
+    def test_blocklist(self, capsys):
+        assert cli.main(["--scenario", "tiny", "blocklist", "--day", "1"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("# ip,definitions")
+        assert "entries" in captured.err
+
+    def test_trends(self, capsys):
+        assert cli.main(["--scenario", "tiny", "trends"]) == 0
+        out = capsys.readouterr().out
+        assert "daily AH" in out
+
+    def test_ports(self, capsys):
+        assert cli.main(["--scenario", "tiny", "ports"]) == 0
+        out = capsys.readouterr().out
+        assert "service" in out
+        assert "zmap" in out
+
+    def test_churn(self, capsys):
+        assert cli.main(["--scenario", "tiny", "churn"]) == 0
+        out = capsys.readouterr().out
+        assert "retention" in out
+        assert "refresh" in out
+
+    def test_mitigation(self, capsys):
+        assert cli.main(
+            ["--scenario", "tiny", "mitigation", "--lag", "0", "--max-entries", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blocked pkts" in out
+        assert "AH coverage" in out
+        assert "Overall:" in out

@@ -1,0 +1,64 @@
+"""Unit tests for the simulation clock/calendar."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestDayMath:
+    def test_day_index_scalar_and_array(self):
+        clock = SimClock()
+        assert clock.day_index(0.0) == 0
+        assert clock.day_index(86_399.9) == 0
+        assert clock.day_index(86_400.0) == 1
+        arr = clock.day_index(np.array([0.0, 90_000.0, 200_000.0]))
+        assert arr.tolist() == [0, 1, 2]
+
+    def test_day_bounds(self):
+        clock = SimClock()
+        assert clock.day_bounds(2) == (172_800.0, 259_200.0)
+
+    def test_compressed_days(self):
+        clock = SimClock(seconds_per_day=3_600.0)
+        assert clock.day_index(7_000.0) == 1
+        assert clock.day_bounds(1) == (3_600.0, 7_200.0)
+
+    def test_invalid_day_length(self):
+        with pytest.raises(ValueError):
+            SimClock(seconds_per_day=0)
+
+    def test_day_count(self):
+        clock = SimClock()
+        assert clock.day_count(0.0) == 0
+        assert clock.day_count(1.0) == 1
+        assert clock.day_count(86_400.0) == 1
+        assert clock.day_count(86_401.0) == 2
+
+    def test_day_count_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().day_count(-1)
+
+
+class TestCalendar:
+    def test_date_of(self):
+        clock = SimClock(start_date=dt.date(2022, 1, 15))
+        assert clock.date_of(0) == dt.date(2022, 1, 15)
+        assert clock.date_of(6) == dt.date(2022, 1, 21)
+
+    def test_label_matches_paper_style(self):
+        clock = SimClock(start_date=dt.date(2022, 1, 15))
+        assert clock.label(0) == "2022-01-15 (Sat)"
+        assert clock.label(2) == "2022-01-17 (Mon)"
+
+    def test_weekend_detection(self):
+        clock = SimClock(start_date=dt.date(2022, 1, 15))  # Saturday
+        assert clock.is_weekend(0)
+        assert clock.is_weekend(1)
+        assert not clock.is_weekend(2)
+
+    def test_weekday_name(self):
+        clock = SimClock(start_date=dt.date(2022, 10, 1))
+        assert clock.weekday_name(0) == "Sat"

@@ -1,0 +1,80 @@
+"""Unit tests for paper parameters and the timeout rule."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    DetectionConfig,
+    EventConfig,
+    StudyConfig,
+    event_timeout_seconds,
+)
+
+
+class TestTimeoutRule:
+    def test_paper_scale_is_about_ten_minutes(self):
+        # ORION: 475k dark IPs, 100 pps, 2-day long scan -> the paper
+        # says "around 10 minutes"; the rule yields ~16 minutes.
+        timeout = event_timeout_seconds(475_000)
+        assert 300 < timeout < 1_800
+
+    def test_smaller_telescope_longer_timeout(self):
+        assert event_timeout_seconds(8_192) > event_timeout_seconds(475_000)
+
+    def test_scales_inverse_with_rate(self):
+        slow = event_timeout_seconds(475_000, assumed_rate_pps=50)
+        fast = event_timeout_seconds(475_000, assumed_rate_pps=200)
+        assert slow > fast
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            event_timeout_seconds(0)
+        with pytest.raises(ValueError):
+            event_timeout_seconds(1_000, split_probability=0.0)
+        with pytest.raises(ValueError):
+            event_timeout_seconds(1_000, split_probability=1.0)
+
+    def test_split_probability_monotone(self):
+        strict = event_timeout_seconds(475_000, split_probability=0.01)
+        loose = event_timeout_seconds(475_000, split_probability=0.5)
+        assert strict > loose
+
+    def test_formula(self):
+        lam = 100 * 8_192 / 2**32
+        n = lam * 2 * 86_400
+        expected = math.log(n / 0.05) / lam
+        assert event_timeout_seconds(8_192) == pytest.approx(expected)
+
+
+class TestConfigs:
+    def test_detection_defaults_match_paper(self):
+        config = DetectionConfig()
+        assert config.dispersion_fraction == 0.10
+        assert config.alpha == 1e-4
+
+    def test_detection_validation(self):
+        with pytest.raises(ValueError):
+            DetectionConfig(dispersion_fraction=0.0)
+        with pytest.raises(ValueError):
+            DetectionConfig(dispersion_fraction=1.5)
+        with pytest.raises(ValueError):
+            DetectionConfig(alpha=0.0)
+
+    def test_event_config_explicit_timeout(self):
+        assert EventConfig(timeout_seconds=600.0).resolve_timeout(1) == 600.0
+
+    def test_event_config_derived_timeout(self):
+        config = EventConfig()
+        assert config.resolve_timeout(475_000) == pytest.approx(
+            event_timeout_seconds(475_000)
+        )
+
+    def test_event_config_invalid(self):
+        with pytest.raises(ValueError):
+            EventConfig(timeout_seconds=-5.0).resolve_timeout(100)
+
+    def test_study_config_sampling(self):
+        assert StudyConfig().flow_sampling_rate == 1_000
+        with pytest.raises(ValueError):
+            StudyConfig(flow_sampling_rate=0)

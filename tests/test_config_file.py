@@ -1,0 +1,123 @@
+"""Tests for JSON scenario configuration files."""
+
+import json
+
+import pytest
+
+from repro.sim.config_file import load_scenario, scenario_from_dict
+from repro.sim.runner import run_scenario
+
+
+MINIMAL = {
+    "name": "unit",
+    "seed": 9,
+    "days": 2,
+    "dark_prefix_length": 22,
+    "alpha": 0.01,
+    "population": {
+        "n_sweepers": 6,
+        "n_mirai_aggressive": 2,
+        "n_mirai_small": 5,
+        "n_omniscanners": 1,
+        "omni_port_low": 50,
+        "omni_port_high": 90,
+        "n_multiport": 2,
+        "n_small_scanners": 30,
+        "n_misconfig": 20,
+        "n_backscatter": 2,
+        "n_spoofed_scans": 1,
+        "acked_fleet_scale": 1.0,
+    },
+}
+
+
+class TestParsing:
+    def test_minimal(self):
+        scenario = scenario_from_dict(dict(MINIMAL))
+        assert scenario.name == "unit"
+        assert scenario.days == 2
+        assert scenario.population.n_sweepers == 6
+        assert scenario.population.seed == 9
+        assert scenario.population.duration == 2 * 86_400.0
+        assert scenario.detection.alpha == 0.01
+        assert not scenario.with_isp
+
+    def test_defaults(self):
+        scenario = scenario_from_dict({})
+        assert scenario.name == "custom"
+        assert scenario.days == 7
+        assert scenario.detection.alpha == 2e-3
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            scenario_from_dict({"dayz": 3})
+
+    def test_unknown_population_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown population keys"):
+            scenario_from_dict({"population": {"n_sweeperz": 3}})
+
+    def test_derived_population_fields_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"population": {"seed": 3}})
+
+    def test_flow_days_bounds_checked(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"days": 3, "flow_days": [5]})
+
+    def test_flow_days_enable_isp(self):
+        scenario = scenario_from_dict({"days": 3, "flow_days": [1]})
+        assert scenario.with_isp
+        assert scenario.flow_days == (1,)
+
+    def test_stream_window(self):
+        scenario = scenario_from_dict(
+            {"days": 3, "stream_window_days": [0, 1]}
+        )
+        assert scenario.stream_window == (0.0, 86_400.0)
+        assert scenario.with_campus and scenario.with_isp
+
+    def test_stream_window_bounds(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"days": 2, "stream_window_days": [1, 5]})
+
+    def test_conflicting_flags_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict(
+                {"days": 3, "flow_days": [1], "with_isp": False}
+            )
+
+    def test_start_date_and_timeout(self):
+        scenario = scenario_from_dict(
+            {"start_date": "2021-06-15", "event_timeout": 900.0}
+        )
+        assert scenario.clock.start_date.isoformat() == "2021-06-15"
+        assert scenario.event_timeout == 900.0
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"days": 0})
+
+
+class TestLoading:
+    def test_load_and_run(self, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(MINIMAL))
+        scenario = load_scenario(path)
+        result = run_scenario(scenario)
+        assert len(result.capture) > 0
+        assert set(result.detections) == {1, 2, 3}
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_scenario(path)
+
+    def test_cli_accepts_json_scenario(self, tmp_path, capsys):
+        from repro import cli
+
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(MINIMAL))
+        assert cli.main(["--scenario", str(path), "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario: unit" in out

@@ -1,0 +1,168 @@
+"""Unit tests for the three aggressive-hitter definitions."""
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.core.detection import (
+    definition_overlap,
+    detect_all,
+    detect_dispersion,
+    detect_ports,
+    detect_volume,
+    jaccard,
+)
+from repro.core.events import EventTable
+
+DAY = 86_400.0
+
+
+def make_events(rows):
+    """rows: (src, dport, proto, start, end, packets, unique_dsts)."""
+    arr = np.array(rows, dtype=np.float64)
+    return EventTable(
+        src=arr[:, 0].astype(np.uint32),
+        dport=arr[:, 1].astype(np.uint16),
+        proto=arr[:, 2].astype(np.uint8),
+        start=arr[:, 3],
+        end=arr[:, 4],
+        packets=arr[:, 5].astype(np.int64),
+        unique_dsts=arr[:, 6].astype(np.int64),
+    )
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+
+class TestDispersion:
+    def test_threshold_is_fraction_of_dark_space(self):
+        events = make_events(
+            [
+                (1, 80, 6, 0, 10, 200, 150),  # >= 10% of 1000
+                (2, 80, 6, 0, 10, 200, 99),  # below
+            ]
+        )
+        result = detect_dispersion(events, dark_size=1_000)
+        assert result.sources == {1}
+        assert result.threshold == pytest.approx(100.0)
+
+    def test_boundary_inclusive(self):
+        events = make_events([(1, 80, 6, 0, 10, 100, 100)])
+        result = detect_dispersion(events, dark_size=1_000)
+        assert result.sources == {1}
+
+    def test_daily_breakdown(self):
+        events = make_events(
+            [
+                (1, 80, 6, 0.5 * DAY, 2.5 * DAY, 500, 500),  # days 0-2
+                (2, 80, 6, 1.2 * DAY, 1.4 * DAY, 500, 500),  # day 1
+            ]
+        )
+        result = detect_dispersion(events, dark_size=1_000)
+        assert result.new_on(0) == {1}
+        assert result.new_on(1) == {2}
+        assert result.active_on(0) == {1}
+        assert result.active_on(1) == {1, 2}
+        assert result.active_on(2) == {1}
+
+    def test_active_includes_non_qualifying_events_of_ah(self):
+        # Once a source qualifies, all its events mark activity days.
+        events = make_events(
+            [
+                (1, 80, 6, 0, 10, 500, 500),
+                (1, 443, 6, 1.5 * DAY, 1.5 * DAY + 10, 5, 5),
+            ]
+        )
+        result = detect_dispersion(events, dark_size=1_000)
+        assert result.active_on(1) == {1}
+
+    def test_qualifying_events_returned(self):
+        events = make_events(
+            [(1, 80, 6, 0, 10, 500, 500), (2, 80, 6, 0, 10, 5, 5)]
+        )
+        result = detect_dispersion(events, dark_size=1_000)
+        assert len(result.qualifying_events) == 1
+
+
+class TestVolume:
+    def test_tail_selection(self):
+        rows = [(i, 80, 6, 0, 10, 10, 5) for i in range(99)]
+        rows.append((999, 80, 6, 0, 10, 10_000, 500))
+        result = detect_volume(make_events(rows), DetectionConfig(alpha=0.01))
+        assert result.sources == {999}
+        assert result.threshold >= 10
+
+    def test_min_threshold_floor(self):
+        rows = [(i, 80, 6, 0, 10, 1, 1) for i in range(10)]
+        config = DetectionConfig(alpha=0.01, min_packet_threshold=5)
+        result = detect_volume(make_events(rows), config)
+        assert result.sources == set()
+        assert result.threshold == 5
+
+    def test_empty_events(self):
+        result = detect_volume(EventTable.empty())
+        assert result.sources == set()
+
+
+class TestPorts:
+    def test_omniscanner_detected(self):
+        rows = []
+        # Background: 200 single-port sources.
+        for i in range(200):
+            rows.append((i, 80, 6, 0, 10, 5, 5))
+        # One source touching 50 ports the same day.
+        for port in range(1_000, 1_050):
+            rows.append((9_999, port, 6, 0, 10, 2, 2))
+        result = detect_ports(make_events(rows), DetectionConfig(alpha=0.01))
+        assert result.sources == {9_999}
+        assert result.threshold >= 1
+
+    def test_daily_granularity(self):
+        # Ports spread across different days do not accumulate.
+        rows = []
+        for i in range(100):
+            rows.append((i, 80, 6, 0, 10, 5, 5))
+        for day, port in enumerate(range(2_000, 2_020)):
+            rows.append((7_777, port, 6, day * DAY, day * DAY + 10, 2, 2))
+        result = detect_ports(make_events(rows), DetectionConfig(alpha=0.01))
+        assert 7_777 not in result.sources
+
+    def test_empty_events(self):
+        assert detect_ports(EventTable.empty()).sources == set()
+
+
+class TestDetectAllAndOverlap:
+    def test_detect_all_keys(self, tiny_result):
+        assert set(tiny_result.detections) == {1, 2, 3}
+
+    def test_overlap_table_consistency(self, tiny_result):
+        table = definition_overlap(tiny_result.detections)
+        ips = table["IP"]
+        assert ips["D1&D2"] <= min(ips["D1"], ips["D2"])
+        assert ips["D1&D2&D3"] <= ips["D1&D2"]
+        assert ips["D1&D2&D3"] <= ips["D2&D3"]
+
+    def test_overlap_with_registry_rows(self, tiny_result):
+        table = definition_overlap(
+            tiny_result.detections, tiny_result.internet.registry
+        )
+        assert set(table) == {"IP", "ASN", "Org", "Country"}
+        for row in ("ASN", "Org", "Country"):
+            assert table[row]["D1"] <= table["IP"]["D1"]
+
+    def test_tiny_definitions_shape(self, tiny_result):
+        det = tiny_result.detections
+        # Definitions 1 and 2 overlap strongly; definition 3 is small.
+        assert jaccard(det[1].sources, det[2].sources) > 0.5
+        assert len(det[3]) < len(det[1])

@@ -1,0 +1,23 @@
+"""Executes the doc-comment examples embedded in the public API."""
+
+import doctest
+
+import pytest
+
+import repro.net.addr
+
+
+@pytest.mark.parametrize("module", [repro.net.addr])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+    assert results.failed == 0
+
+
+def test_python_dash_m_entrypoint(capsys):
+    import runpy
+
+    with pytest.raises(SystemExit) as exc:
+        runpy.run_module("repro", run_name="__main__", alter_sys=True)
+    # argparse exits with 2 when no command is given.
+    assert exc.value.code == 2

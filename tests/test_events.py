@@ -1,0 +1,155 @@
+"""Unit tests for the darknet event builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventTable, build_events
+from repro.packet import PacketBatch, Protocol
+
+
+def _packets(rows):
+    """rows: (ts, src, dst, dport, proto)."""
+    arr = np.array(rows, dtype=np.float64)
+    return PacketBatch(
+        ts=arr[:, 0],
+        src=arr[:, 1].astype(np.uint32),
+        dst=arr[:, 2].astype(np.uint32),
+        dport=arr[:, 3].astype(np.uint16),
+        proto=arr[:, 4].astype(np.uint8),
+        ipid=np.zeros(len(rows), dtype=np.uint16),
+    )
+
+
+TCP = Protocol.TCP_SYN.value
+UDP = Protocol.UDP.value
+
+
+class TestGrouping:
+    def test_single_event(self):
+        batch = _packets([(0, 1, 10, 80, TCP), (5, 1, 11, 80, TCP), (9, 1, 10, 80, TCP)])
+        events = build_events(batch, timeout=60.0)
+        assert len(events) == 1
+        assert events.packets[0] == 3
+        assert events.unique_dsts[0] == 2
+        assert events.start[0] == 0 and events.end[0] == 9
+
+    def test_distinct_ports_distinct_events(self):
+        batch = _packets([(0, 1, 10, 80, TCP), (1, 1, 10, 443, TCP)])
+        events = build_events(batch, timeout=60.0)
+        assert len(events) == 2
+        assert set(events.dport.tolist()) == {80, 443}
+
+    def test_distinct_protocols_distinct_events(self):
+        batch = _packets([(0, 1, 10, 53, TCP), (1, 1, 10, 53, UDP)])
+        events = build_events(batch, timeout=60.0)
+        assert len(events) == 2
+
+    def test_distinct_sources_distinct_events(self):
+        batch = _packets([(0, 1, 10, 80, TCP), (1, 2, 10, 80, TCP)])
+        events = build_events(batch, timeout=60.0)
+        assert len(events) == 2
+        assert set(events.src.tolist()) == {1, 2}
+
+    def test_timeout_splits(self):
+        batch = _packets([(0, 1, 10, 80, TCP), (100, 1, 11, 80, TCP)])
+        events = build_events(batch, timeout=50.0)
+        assert len(events) == 2
+        merged = build_events(batch, timeout=150.0)
+        assert len(merged) == 1
+
+    def test_gap_exactly_timeout_does_not_split(self):
+        batch = _packets([(0, 1, 10, 80, TCP), (50, 1, 11, 80, TCP)])
+        events = build_events(batch, timeout=50.0)
+        assert len(events) == 1
+
+    def test_unsorted_input(self):
+        batch = _packets([(9, 1, 10, 80, TCP), (0, 1, 11, 80, TCP), (5, 1, 12, 80, TCP)])
+        events = build_events(batch, timeout=60.0)
+        assert len(events) == 1
+        assert events.start[0] == 0 and events.end[0] == 9
+
+    def test_empty(self):
+        assert len(build_events(PacketBatch.empty(), 10.0)) == 0
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            build_events(PacketBatch.empty(), 0.0)
+
+    def test_long_scan_not_split(self):
+        # A slow scan with inter-arrivals below the timeout stays one
+        # event no matter how long it runs (the paper's design goal).
+        ts = np.arange(0, 100_000, 400.0)
+        n = len(ts)
+        batch = PacketBatch(
+            ts=ts,
+            src=np.full(n, 1, dtype=np.uint32),
+            dst=np.arange(n, dtype=np.uint32),
+            dport=np.full(n, 23, dtype=np.uint16),
+            proto=np.full(n, TCP, dtype=np.uint8),
+            ipid=np.zeros(n, dtype=np.uint16),
+        )
+        events = build_events(batch, timeout=600.0)
+        assert len(events) == 1
+        assert events.packets[0] == n
+
+
+class TestEventTable:
+    def test_invariants_pass_on_built_table(self, tiny_result):
+        tiny_result.events.validate_invariants()
+
+    def test_sources_of(self):
+        batch = _packets([(0, 1, 10, 80, TCP), (1, 2, 10, 80, TCP)])
+        events = build_events(batch, timeout=60.0)
+        assert events.sources_of() == {1, 2}
+
+    def test_events_for(self):
+        batch = _packets([(0, 1, 10, 80, TCP), (1, 2, 10, 80, TCP)])
+        events = build_events(batch, timeout=60.0)
+        sub = events.events_for({2})
+        assert len(sub) == 1 and sub.src[0] == 2
+        assert len(events.events_for(set())) == 0
+
+    def test_start_day(self):
+        batch = _packets([(10, 1, 10, 80, TCP), (86_500, 1, 11, 443, TCP)])
+        events = build_events(batch, timeout=60.0)
+        days = sorted(events.start_day(86_400.0).tolist())
+        assert days == [0, 1]
+
+    def test_daily_port_counts(self):
+        batch = _packets(
+            [
+                (0, 1, 10, 80, TCP),
+                (1, 1, 10, 443, TCP),
+                (86_500, 1, 10, 80, TCP),
+                (2, 2, 10, 80, TCP),
+            ]
+        )
+        events = build_events(batch, timeout=60.0)
+        counts = events.daily_port_counts(86_400.0)
+        assert counts[(1, 0)] == 2
+        assert counts[(1, 1)] == 1
+        assert counts[(2, 0)] == 1
+
+    def test_daily_port_counts_span_days(self):
+        # One long event overlapping two days counts on both.
+        batch = _packets([(86_000, 1, 10, 80, TCP), (86_600, 1, 11, 80, TCP)])
+        events = build_events(batch, timeout=1_000.0)
+        counts = events.daily_port_counts(86_400.0)
+        assert counts[(1, 0)] == 1 and counts[(1, 1)] == 1
+
+    def test_empty_table(self):
+        table = EventTable.empty()
+        assert len(table) == 0
+        assert table.daily_port_counts(86_400.0) == {}
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EventTable(
+                src=np.array([1], dtype=np.uint32),
+                dport=np.array([], dtype=np.uint16),
+                proto=np.array([6], dtype=np.uint8),
+                start=np.array([0.0]),
+                end=np.array([1.0]),
+                packets=np.array([1]),
+                unique_dsts=np.array([1]),
+            )

@@ -1,0 +1,67 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end-to-end; the heavy ones (full-scale scenarios,
+minutes each) are compile-checked so a refactor can never silently
+break them — the benchmarks already execute the same code paths at
+scale.
+"""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestFastExamples:
+    def test_quickstart_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Telescope:" in out
+        assert "Definition 1" in out
+        assert "blocklist" in out
+
+    def test_ipv6_example_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["ipv6_hitlist_scanning.py"])
+        runpy.run_path(
+            str(EXAMPLES / "ipv6_hitlist_scanning.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "Hitlist:" in out
+        assert "aggressive" in out
+
+    def test_line_rate_prefilter_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["line_rate_prefilter.py"])
+        runpy.run_path(
+            str(EXAMPLES / "line_rate_prefilter.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "sketch candidates" in out
+        assert "recall" in out
+
+
+class TestHeavyExamplesCompile:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "network_impact_study.py",
+            "longitudinal_characterization.py",
+            "blocklist_generation.py",
+        ],
+    )
+    def test_compiles(self, script, tmp_path):
+        py_compile.compile(
+            str(EXAMPLES / script),
+            cfile=str(tmp_path / (script + "c")),
+            doraise=True,
+        )
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert text.lstrip().startswith(("#!", '"""')), script
+            assert 'if __name__ == "__main__":' in text, script

@@ -1,0 +1,87 @@
+"""Unit tests for scanner-tool fingerprints."""
+
+import numpy as np
+
+from repro.fingerprint import (
+    Tool,
+    ZMAP_IPID,
+    classify,
+    masscan_ipid,
+    random_ipid,
+    tool_counts,
+    zmap_ipid,
+)
+from repro.packet import PacketBatch, Protocol
+
+
+def _batch(dst, dport, ipid):
+    n = len(dst)
+    return PacketBatch(
+        ts=np.zeros(n),
+        src=np.zeros(n, dtype=np.uint32),
+        dst=np.asarray(dst, dtype=np.uint32),
+        dport=np.asarray(dport, dtype=np.uint16),
+        proto=np.full(n, Protocol.TCP_SYN.value, dtype=np.uint8),
+        ipid=np.asarray(ipid, dtype=np.uint16),
+    )
+
+
+class TestGenerators:
+    def test_zmap_constant(self):
+        assert np.all(zmap_ipid(10) == ZMAP_IPID)
+
+    def test_masscan_depends_on_target(self):
+        dst = np.array([100, 100, 200], dtype=np.uint32)
+        dport = np.array([80, 443, 80], dtype=np.uint16)
+        ipid = masscan_ipid(dst, dport)
+        assert ipid[0] != ipid[1]
+        assert ipid[0] != ipid[2]
+        assert ipid[0] == ((100 ^ 80) & 0xFFFF)
+
+    def test_random_ipid_range(self, rng):
+        out = random_ipid(rng, 1000)
+        assert out.dtype == np.uint16
+        assert out.min() >= 0
+
+
+class TestClassify:
+    def test_zmap_detected(self):
+        batch = _batch([1, 2], [80, 80], [ZMAP_IPID, ZMAP_IPID])
+        assert np.all(classify(batch) == Tool.ZMAP.value)
+
+    def test_masscan_detected(self):
+        dst = np.array([1234, 5678], dtype=np.uint32)
+        dport = np.array([80, 443], dtype=np.uint16)
+        batch = _batch(dst, dport, masscan_ipid(dst, dport))
+        assert np.all(classify(batch) == Tool.MASSCAN.value)
+
+    def test_other_default(self):
+        # Choose an ipid that is neither the ZMap constant nor the
+        # masscan cookie for this target.
+        dst, dport = 1000, 80
+        bad = (dst ^ dport ^ 0x5555) & 0xFFFF
+        assert bad != ZMAP_IPID
+        batch = _batch([dst], [dport], [bad])
+        assert classify(batch)[0] == Tool.OTHER.value
+
+    def test_zmap_precedence_over_masscan_collision(self):
+        # Craft dst^dport == ZMAP_IPID: both signatures match.
+        dst = np.uint32(ZMAP_IPID)
+        batch = _batch([dst], [0], [ZMAP_IPID])
+        assert classify(batch)[0] == Tool.ZMAP.value
+
+    def test_tool_counts(self):
+        dst = np.array([1, 2, 3], dtype=np.uint32)
+        dport = np.array([80, 80, 80], dtype=np.uint16)
+        ipid = np.array(
+            [ZMAP_IPID, masscan_ipid(dst[1:2], dport[1:2])[0], 7], dtype=np.uint16
+        )
+        counts = tool_counts(_batch(dst, dport, ipid))
+        assert counts[Tool.ZMAP] == 1
+        assert counts[Tool.MASSCAN] == 1
+        assert counts[Tool.OTHER] == 1
+
+    def test_labels(self):
+        assert Tool.ZMAP.label() == "ZMap"
+        assert Tool.MASSCAN.label() == "Masscan"
+        assert Tool.OTHER.label() == "Other"

@@ -1,0 +1,67 @@
+"""Additional edge-case tests for the impact/flow analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import impact
+from repro.flows.netflow import FlowTable
+
+
+class TestAverageImpact:
+    def test_empty(self):
+        assert impact.average_impact([]) == {}
+
+    def test_single_cell(self):
+        cells = [impact.ImpactCell(2, 0, 10, 100)]
+        assert impact.average_impact(cells) == {2: (10.0, pytest.approx(0.1))}
+
+
+class TestAckedImpactAllDays:
+    def test_day_none_aggregates(self):
+        flows = FlowTable.from_rows(
+            [
+                (0, 1, 50, 443, 6, 1_000, 1),
+                (0, 2, 50, 443, 6, 3_000, 3),
+            ]
+        )
+        totals = {(0, 1): 10_000, (0, 2): 10_000}
+        out = impact.acked_impact(flows, totals, {50}, day=None)
+        assert out[0] == (4_000, pytest.approx(0.2))
+
+
+class TestProtocolBreakdownEdges:
+    def test_empty_everything(self):
+        from repro.packet import PacketBatch
+
+        out = impact.protocol_breakdown(PacketBatch.empty(), FlowTable(), set())
+        for side in ("darknet", "flows"):
+            assert all(v == 0.0 for v in out[side].values())
+
+
+class TestPortConsistencyEdges:
+    def test_no_ah(self):
+        from repro.packet import PacketBatch
+
+        rows = impact.port_consistency(PacketBatch.empty(), FlowTable(), set())
+        assert rows == []
+
+
+class TestFlowTableEdges:
+    def test_empty_table_queries(self):
+        table = FlowTable()
+        assert table.total_packets() == 0
+        assert len(table.unique_sources()) == 0
+        assert table.packets_by_port() == {}
+        assert table.packets_by_proto() == {}
+        assert len(table.for_router_day(0, 0)) == 0
+
+    def test_select_preserves_columns(self):
+        table = FlowTable.from_rows([(1, 2, 3, 4, 6, 5, 1)])
+        sub = table.select(np.array([True]))
+        assert sub.router[0] == 1
+        assert sub.day[0] == 2
+        assert sub.src[0] == 3
+        assert sub.dport[0] == 4
+        assert sub.proto[0] == 6
+        assert sub.packets[0] == 5
+        assert sub.sampled[0] == 1

@@ -1,0 +1,119 @@
+"""Unit tests for the honeypot (GreyNoise-like) database."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint import Tool
+from repro.labeling.greynoise import (
+    Classification,
+    GreyNoiseDB,
+    GreyNoiseRecord,
+    build_greynoise,
+)
+from repro.packet import Protocol
+from repro.scanners.base import ScanMode, ScanSession, Scanner
+
+
+def make_scanner(src, behavior, port=23, org=None, tool=Tool.OTHER):
+    session = ScanSession(
+        start=0.0,
+        duration=100.0,
+        ports=np.array([port], dtype=np.uint16),
+        proto=Protocol.TCP_SYN,
+        tool=tool,
+        mode=ScanMode.RATE,
+        rate_pps=100.0,
+    )
+    return Scanner(src=src, behavior=behavior, sessions=[session], org=org, seed=src)
+
+
+class TestDB:
+    def test_contains_get_len(self):
+        db = GreyNoiseDB()
+        db.records[5] = GreyNoiseRecord(5, Classification.MALICIOUS, ("Mirai",))
+        assert 5 in db
+        assert len(db) == 1
+        assert db.get(5).tags == ("Mirai",)
+        assert db.get(6) is None
+
+    def test_coverage(self):
+        db = GreyNoiseDB()
+        db.records[1] = GreyNoiseRecord(1, Classification.UNKNOWN, ())
+        assert db.coverage([1, 2]) == 0.5
+        assert db.coverage([]) == 0.0
+
+    def test_classification_counts(self):
+        db = GreyNoiseDB()
+        db.records[1] = GreyNoiseRecord(1, Classification.MALICIOUS, ())
+        db.records[2] = GreyNoiseRecord(2, Classification.BENIGN, ())
+        counts = db.classification_counts([1, 2, 3])
+        assert counts["malicious"] == 1
+        assert counts["benign"] == 1
+        assert counts["not-seen"] == 1
+
+    def test_tag_counts(self):
+        db = GreyNoiseDB()
+        db.records[1] = GreyNoiseRecord(1, Classification.MALICIOUS, ("Mirai", "ZMap Client"))
+        db.records[2] = GreyNoiseRecord(2, Classification.MALICIOUS, ("Mirai",))
+        counts = db.tag_counts([1, 2])
+        assert counts["Mirai"] == 2
+        assert counts["ZMap Client"] == 1
+
+
+class TestBuild:
+    def test_mirai_tagged(self):
+        rng = np.random.default_rng(0)
+        scanners = [make_scanner(i, "mirai") for i in range(50)]
+        db = build_greynoise(scanners, rng)
+        tagged = [db.get(i) for i in range(50) if i in db]
+        assert tagged
+        assert all("Mirai" in r.tags for r in tagged)
+        malicious = sum(r.classification is Classification.MALICIOUS for r in tagged)
+        assert malicious > len(tagged) * 0.7
+
+    def test_research_benign(self):
+        rng = np.random.default_rng(0)
+        scanners = [
+            make_scanner(i, "research", port=443, org="netcensus", tool=Tool.ZMAP)
+            for i in range(30)
+        ]
+        db = build_greynoise(scanners, rng)
+        for i in range(30):
+            record = db.get(i)
+            if record is not None:
+                assert record.classification is Classification.BENIGN
+                assert "ZMap Client" in record.tags
+
+    def test_internet_wide_scanners_nearly_always_seen(self):
+        rng = np.random.default_rng(0)
+        scanners = [make_scanner(i, "masscan-sweep") for i in range(400)]
+        db = build_greynoise(scanners, rng)
+        assert db.coverage(range(400)) > 0.97
+
+    def test_misconfig_rarely_seen(self):
+        rng = np.random.default_rng(0)
+        scanners = [make_scanner(i, "misconfig") for i in range(300)]
+        db = build_greynoise(scanners, rng)
+        assert db.coverage(range(300)) < 0.1
+
+    def test_window_filters_inactive(self):
+        rng = np.random.default_rng(0)
+        scanners = [make_scanner(1, "mirai")]  # active [0, 100)
+        db = build_greynoise(scanners, rng, window=(200.0, 300.0))
+        assert 1 not in db
+
+    def test_port_tag_applied(self):
+        rng = np.random.default_rng(0)
+        scanners = [make_scanner(i, "masscan-sweep", port=3389) for i in range(40)]
+        db = build_greynoise(scanners, rng)
+        tags = {t for i in range(40) if i in db for t in db.get(i).tags}
+        assert "Looks Like RDP Worm" in tags
+
+    def test_sweeper_mix_mostly_unknown(self):
+        rng = np.random.default_rng(0)
+        scanners = [make_scanner(i, "masscan-sweep") for i in range(300)]
+        db = build_greynoise(scanners, rng)
+        counts = db.classification_counts(range(300))
+        # Figure 6: the majority of non-acked AH are of unknown intent,
+        # with a substantial malicious minority.
+        assert counts["unknown"] > counts["malicious"] > 0

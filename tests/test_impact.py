@@ -1,0 +1,153 @@
+"""Unit tests for the network-impact analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import impact
+from repro.flows.netflow import FlowTable
+from repro.packet import PacketBatch, Protocol
+
+
+def flow_table(rows):
+    """rows: (router, day, src, dport, proto, packets)."""
+    return FlowTable.from_rows([r + (r[5],) for r in rows])
+
+
+def packet_batch(rows):
+    """rows: (src, dport, proto)."""
+    n = len(rows)
+    arr = np.array(rows, dtype=np.int64)
+    return PacketBatch(
+        ts=np.zeros(n),
+        src=arr[:, 0].astype(np.uint32),
+        dst=np.arange(n, dtype=np.uint32),
+        dport=arr[:, 1].astype(np.uint16),
+        proto=arr[:, 2].astype(np.uint8),
+        ipid=np.zeros(n, dtype=np.uint16),
+    )
+
+
+class TestDailyImpact:
+    def test_basic_fractions(self):
+        flows = flow_table(
+            [
+                (0, 0, 100, 80, 6, 5_000),
+                (0, 0, 200, 23, 6, 3_000),
+                (1, 0, 100, 80, 6, 1_000),
+            ]
+        )
+        totals = {(0, 0): 100_000, (1, 0): 50_000}
+        cells = impact.daily_impact(flows, totals, {100, 200})
+        by_router = {c.router: c for c in cells}
+        assert by_router[0].ah_packets == 8_000
+        assert by_router[0].fraction == pytest.approx(0.08)
+        assert by_router[1].fraction == pytest.approx(0.02)
+
+    def test_non_ah_sources_excluded(self):
+        flows = flow_table([(0, 0, 100, 80, 6, 5_000), (0, 0, 999, 80, 6, 7_000)])
+        cells = impact.daily_impact(flows, {(0, 0): 100_000}, {100})
+        assert cells[0].ah_packets == 5_000
+
+    def test_zero_total(self):
+        cell = impact.ImpactCell(router=0, day=0, ah_packets=0, total_packets=0)
+        assert cell.fraction == 0.0
+
+    def test_average_impact(self):
+        cells = [
+            impact.ImpactCell(0, 0, 10, 100),
+            impact.ImpactCell(0, 1, 30, 100),
+            impact.ImpactCell(1, 0, 5, 100),
+        ]
+        avg = impact.average_impact(cells)
+        assert avg[0] == (20.0, pytest.approx(0.2))
+        assert avg[1] == (5.0, pytest.approx(0.05))
+
+    def test_ordering(self):
+        flows = flow_table([])
+        totals = {(1, 1): 10, (0, 0): 10, (0, 1): 10, (1, 0): 10}
+        cells = impact.daily_impact(flows, totals, set())
+        keys = [(c.day, c.router) for c in cells]
+        assert keys == sorted(keys)
+
+
+class TestProtocolBreakdown:
+    def test_shares_align(self):
+        dark = packet_batch(
+            [(1, 80, 6)] * 9 + [(1, 53, 17)] * 1
+        )
+        flows = flow_table(
+            [(0, 0, 1, 80, 6, 90), (0, 0, 1, 53, 17, 10)]
+        )
+        out = impact.protocol_breakdown(dark, flows, {1})
+        assert out["darknet"]["TCP-SYN"] == pytest.approx(0.9)
+        assert out["flows"]["TCP-SYN"] == pytest.approx(0.9)
+        assert out["darknet"]["UDP"] == pytest.approx(0.1)
+        assert out["flows"]["ICMP Ech Rqst"] == 0.0
+
+    def test_empty_sources(self):
+        dark = packet_batch([(1, 80, 6)])
+        flows = flow_table([(0, 0, 1, 80, 6, 10)])
+        out = impact.protocol_breakdown(dark, flows, set())
+        assert all(v == 0.0 for v in out["darknet"].values())
+
+
+class TestAckedImpact:
+    def test_per_router(self):
+        flows = flow_table(
+            [(0, 3, 50, 443, 6, 1_000), (1, 3, 50, 443, 6, 2_000), (1, 3, 60, 80, 6, 500)]
+        )
+        totals = {(0, 3): 10_000, (1, 3): 20_000, (2, 3): 5_000}
+        out = impact.acked_impact(flows, totals, {50, 60}, day=3)
+        assert out[0] == (1_000, pytest.approx(0.1))
+        assert out[1] == (2_500, pytest.approx(0.125))
+        assert out[2] == (0, 0.0)
+
+    def test_day_filter(self):
+        flows = flow_table([(0, 1, 50, 443, 6, 1_000), (0, 2, 50, 443, 6, 9_999)])
+        totals = {(0, 1): 10_000, (0, 2): 10_000}
+        out = impact.acked_impact(flows, totals, {50}, day=1)
+        assert out[0][0] == 1_000
+
+
+class TestRouterCoverage:
+    def test_fractions(self):
+        flows = flow_table(
+            [
+                (0, 0, 1, 80, 6, 10),
+                (0, 0, 2, 80, 6, 10),
+                (1, 0, 1, 80, 6, 10),
+                (2, 0, 3, 80, 6, 10),
+            ]
+        )
+        rows = impact.router_coverage(flows, {0: {1, 2, 3, 4}}, router_count=3)
+        assert rows[0]["active_ah"] == 4
+        assert rows[0]["seen_fraction"] == [0.5, 0.25, 0.25]
+
+    def test_empty_day_skipped(self):
+        rows = impact.router_coverage(flow_table([]), {0: set()}, router_count=1)
+        assert rows == []
+
+
+class TestPortConsistency:
+    def test_diagonal_when_identical(self):
+        dark = packet_batch([(1, 80, 6)] * 8 + [(1, 23, 6)] * 2)
+        flows = flow_table([(0, 0, 1, 80, 6, 80), (0, 0, 1, 23, 6, 20)])
+        rows = impact.port_consistency(dark, flows, {1})
+        shares = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+        assert shares[(80, 6)][0] == pytest.approx(shares[(80, 6)][1])
+        assert impact.rank_correlation(rows) == pytest.approx(1.0)
+
+    def test_rank_correlation_inverted(self):
+        rows = [(80, 6, 0.9, 0.1), (23, 6, 0.5, 0.5), (22, 6, 0.1, 0.9)]
+        assert impact.rank_correlation(rows) == pytest.approx(-1.0)
+
+    def test_rank_correlation_short(self):
+        assert impact.rank_correlation([(80, 6, 0.5, 0.5)]) == 1.0
+
+    def test_top_n_union(self):
+        dark = packet_batch([(1, port, 6) for port in range(50) for _ in range(2)])
+        flows = flow_table([(0, 0, 1, 9_999, 6, 100)])
+        rows = impact.port_consistency(dark, flows, {1}, top_n=5)
+        keys = {(r[0], r[1]) for r in rows}
+        assert (9_999, 6) in keys
+        assert len(rows) <= 11

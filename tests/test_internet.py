@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic Internet address plan."""
+
+import numpy as np
+import pytest
+
+from repro.net.asn import ASType, AutonomousSystem
+from repro.net.internet import (
+    Internet,
+    InternetConfig,
+    PrefixAllocator,
+    build_internet,
+    with_systems,
+)
+from repro.net.prefix import PrefixSet
+
+
+class TestPrefixAllocator:
+    def test_sequential_disjoint(self):
+        alloc = PrefixAllocator()
+        a = alloc.allocate(16)
+        b = alloc.allocate(20)
+        c = alloc.allocate(16)
+        assert a.end <= b.base
+        assert b.end <= c.base
+
+    def test_alignment(self):
+        alloc = PrefixAllocator()
+        alloc.allocate(24)
+        p = alloc.allocate(16)
+        assert p.base % p.size == 0
+
+    def test_exhaustion(self):
+        alloc = PrefixAllocator(start=2**32 - 256)
+        alloc.allocate(24)
+        with pytest.raises(RuntimeError):
+            alloc.allocate(24)
+
+
+class TestBuildInternet:
+    def test_deterministic(self):
+        a = build_internet(InternetConfig(seed=5, core_as_count=20, tail_as_count=10))
+        b = build_internet(InternetConfig(seed=5, core_as_count=20, tail_as_count=10))
+        assert [s.asn for s in a.registry] == [s.asn for s in b.registry]
+        assert [str(p) for s in a.registry for p in s.prefixes] == [
+            str(p) for s in b.registry for p in s.prefixes
+        ]
+
+    def test_seed_changes_plan(self):
+        a = build_internet(InternetConfig(seed=5, core_as_count=20, tail_as_count=10))
+        b = build_internet(InternetConfig(seed=6, core_as_count=20, tail_as_count=10))
+        assert [str(p) for s in a.registry for p in s.prefixes] != [
+            str(p) for s in b.registry for p in s.prefixes
+        ]
+
+    def test_as_counts(self, small_internet):
+        cfg = small_internet.config
+        # core + tail + the flagship hyperscale cloud.
+        assert len(small_internet.registry) == cfg.core_as_count + cfg.tail_as_count + 1
+
+    def test_all_prefixes_disjoint(self, small_internet):
+        # PrefixSet raises on overlap, so construction is the check.
+        PrefixSet([p for s in small_internet.registry for p in s.prefixes])
+
+    def test_country_diversity(self, small_internet):
+        countries = {s.country for s in small_internet.registry}
+        assert len(countries) >= 20
+
+    def test_mix_includes_us_cloud(self, small_internet):
+        assert small_internet.systems_of_type(ASType.CLOUD, "US")
+
+    def test_sample_hosts_in_as(self, small_internet, rng):
+        system = small_internet.registry.systems[0]
+        hosts = small_internet.sample_hosts(rng, system, 50)
+        owner = small_internet.registry.lookup_index(hosts)
+        assert np.all(owner == 0)
+
+
+class TestWithSystems:
+    def test_extends_registry(self, small_internet):
+        prefix = small_internet.allocator.allocate(20)
+        extra = AutonomousSystem(
+            asn=64000, org="new", country="US", as_type=ASType.EDU, prefixes=(prefix,)
+        )
+        extended = with_systems(small_internet, [extra])
+        assert extended.registry.by_asn(64000).org == "new"
+        # Original registry untouched.
+        with pytest.raises(KeyError):
+            small_internet.registry.by_asn(64000)

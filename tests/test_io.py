@@ -1,0 +1,85 @@
+"""Unit tests for event/flow serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventTable
+from repro.flows.netflow import FlowTable
+from repro.io.eventlog import load_events_csv, save_events_csv
+from repro.io.flowlog import load_flows_csv, save_flows_csv
+
+
+@pytest.fixture()
+def events():
+    return EventTable(
+        src=np.array([167_772_161, 3_232_235_777], dtype=np.uint32),
+        dport=np.array([80, 6_379], dtype=np.uint16),
+        proto=np.array([6, 6], dtype=np.uint8),
+        start=np.array([0.5, 100.25]),
+        end=np.array([10.75, 200.0]),
+        packets=np.array([12, 3_456], dtype=np.int64),
+        unique_dsts=np.array([10, 3_000], dtype=np.int64),
+    )
+
+
+@pytest.fixture()
+def flows():
+    return FlowTable(
+        router=np.array([0, 2], dtype=np.int8),
+        day=np.array([0, 5], dtype=np.int32),
+        src=np.array([167_772_161, 167_772_162], dtype=np.uint32),
+        dport=np.array([23, 443], dtype=np.uint16),
+        proto=np.array([6, 6], dtype=np.uint8),
+        packets=np.array([4_000, 9_000], dtype=np.int64),
+        sampled=np.array([4, 9], dtype=np.int64),
+    )
+
+
+class TestEventLog:
+    def test_roundtrip(self, events, tmp_path):
+        path = tmp_path / "events.csv"
+        save_events_csv(events, path)
+        loaded = load_events_csv(path)
+        assert len(loaded) == 2
+        assert loaded.src.tolist() == events.src.tolist()
+        assert loaded.packets.tolist() == events.packets.tolist()
+        assert loaded.start.tolist() == events.start.tolist()
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_events_csv(EventTable.empty(), path)
+        assert len(load_events_csv(path)) == 0
+
+    def test_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_events_csv(path)
+
+    def test_human_readable_ips(self, events, tmp_path):
+        path = tmp_path / "events.csv"
+        save_events_csv(events, path)
+        content = path.read_text()
+        assert "10.0.0.1" in content
+
+
+class TestFlowLog:
+    def test_roundtrip(self, flows, tmp_path):
+        path = tmp_path / "flows.csv"
+        save_flows_csv(flows, path)
+        loaded = load_flows_csv(path)
+        assert len(loaded) == 2
+        assert loaded.router.tolist() == flows.router.tolist()
+        assert loaded.packets.tolist() == flows.packets.tolist()
+        assert loaded.src.tolist() == flows.src.tolist()
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_flows_csv(FlowTable(), path)
+        assert len(load_flows_csv(path)) == 0
+
+    def test_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x\n1\n")
+        with pytest.raises(ValueError):
+            load_flows_csv(path)

@@ -1,0 +1,168 @@
+"""Tests for the IPv6 future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro.ipv6.addr import format_ipv6, in_prefix_v6, parse_ipv6, prefix_base_v6
+from repro.ipv6.hitlist import AddressPattern, Hitlist, HitlistConfig, build_hitlist
+from repro.ipv6.scanner import Ipv6Scanner, build_ipv6_population
+from repro.ipv6.telescope import (
+    AddressInterner,
+    Ipv6Telescope,
+    detect_ipv6_hitters,
+)
+
+DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def hitlist():
+    return build_hitlist(HitlistConfig(seed=11, prefix_count=120, entries_per_prefix=40.0))
+
+
+@pytest.fixture(scope="module")
+def telescope(hitlist):
+    return Ipv6Telescope(hitlist=hitlist)
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(77)
+    return build_ipv6_population(rng, duration=7 * DAY)
+
+
+class TestAddr:
+    def test_roundtrip(self):
+        addr = parse_ipv6("2001:db8::1")
+        assert format_ipv6(addr) == "2001:db8::1"
+        assert addr == (0x20010DB8 << 96) | 1
+
+    def test_compressed_forms(self):
+        assert parse_ipv6("2001:0db8:0000:0000:0000:0000:0000:0001") == parse_ipv6(
+            "2001:db8::1"
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv6(2**128)
+
+    def test_prefix_math(self):
+        addr = parse_ipv6("2001:db8:aaaa:bbbb::42")
+        base = prefix_base_v6(addr, 48)
+        assert format_ipv6(base) == "2001:db8:aaaa::"
+        assert in_prefix_v6(addr, base, 48)
+        assert not in_prefix_v6(parse_ipv6("2001:db8:cccc::1"), base, 48)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            prefix_base_v6(0, 129)
+
+
+class TestHitlist:
+    def test_deterministic(self):
+        a = build_hitlist(HitlistConfig(seed=5, prefix_count=30))
+        b = build_hitlist(HitlistConfig(seed=5, prefix_count=30))
+        assert a.addresses == b.addresses
+        assert np.array_equal(a.dark, b.dark)
+
+    def test_dark_fraction_respected(self, hitlist):
+        share = hitlist.dark_size / len(hitlist)
+        assert 0.02 < share < 0.35
+
+    def test_dark_clusters_by_prefix(self, hitlist):
+        # A prefix is either entirely dark or entirely lit.
+        for p in np.unique(hitlist.prefix_of):
+            flags = hitlist.dark[hitlist.prefix_of == p]
+            assert flags.all() or not flags.any()
+
+    def test_patterns_present(self, hitlist):
+        counts = hitlist.pattern_counts()
+        assert set(counts) == set(AddressPattern)
+        assert counts[AddressPattern.LOW_BYTE] > counts[AddressPattern.PRIVACY] * 0.5
+
+    def test_low_byte_entries_look_low(self, hitlist):
+        for addr, pattern in zip(hitlist.addresses, hitlist.patterns):
+            if pattern is AddressPattern.LOW_BYTE:
+                assert addr & 0xFFFFFFFFFFFFFFFF < 256
+
+    def test_eui64_marker(self, hitlist):
+        for addr, pattern in zip(hitlist.addresses, hitlist.patterns):
+            if pattern is AddressPattern.EUI64:
+                assert (addr >> 24) & 0xFFFF == 0xFFFE
+                break
+
+    def test_documentation_prefix_only(self, hitlist):
+        for addr in hitlist.addresses[:200]:
+            assert addr >> 96 == 0x20010DB8
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            HitlistConfig(dark_fraction=0.0)
+        with pytest.raises(ValueError):
+            HitlistConfig(pattern_mix=(0.5, 0.5, 0.5))
+
+
+class TestInterner:
+    def test_bijection(self):
+        interner = AddressInterner()
+        a = interner.intern(2**100)
+        b = interner.intern(42)
+        assert interner.intern(2**100) == a
+        assert interner.resolve(a) == 2**100
+        assert interner.resolve(b) == 42
+        assert len(interner) == 2
+
+
+class TestScanners:
+    def test_population_tiers(self, population):
+        behaviors = {s.behavior for s in population}
+        assert behaviors == {"v6-aggressive", "v6-pattern-miner", "v6-dabbler"}
+
+    def test_pattern_miner_candidates(self, population, hitlist):
+        miner = next(s for s in population if s.behavior == "v6-pattern-miner")
+        candidates = miner.candidate_indexes(hitlist)
+        patterns = {hitlist.patterns[i] for i in candidates}
+        assert AddressPattern.PRIVACY not in patterns
+
+    def test_emission_targets_hitlist(self, population, hitlist):
+        scanner = population[0]
+        probes = scanner.emit(hitlist)
+        assert probes
+        assert all(0 <= p.target_index < len(hitlist) for p in probes)
+
+    def test_emission_deterministic(self, population, hitlist):
+        scanner = population[0]
+        a = [p.target_index for p in scanner.emit(hitlist)]
+        b = [p.target_index for p in scanner.emit(hitlist)]
+        assert a == b
+
+
+class TestDetection:
+    def test_aggressive_detected(self, telescope, population):
+        detection = detect_ipv6_hitters(telescope, population)
+        hitters = detection.hitters(1)
+        aggressive = {s.src for s in population if s.behavior == "v6-aggressive"}
+        dabblers = {s.src for s in population if s.behavior == "v6-dabbler"}
+        # Most aggressive sweepers qualify; no dabbler does.
+        assert len(hitters & aggressive) >= len(aggressive) * 0.5
+        assert not hitters & dabblers
+
+    def test_capture_only_dark_entries(self, telescope, population):
+        detection = detect_ipv6_hitters(telescope, population)
+        capture = detection.capture
+        dark_addresses = {
+            telescope.hitlist.addresses[i] for i in telescope.hitlist.dark_indexes()
+        }
+        for interned in np.unique(capture.packets.dst):
+            assert capture.targets.resolve(int(interned)) in dark_addresses
+
+    def test_events_built(self, telescope, population):
+        detection = detect_ipv6_hitters(telescope, population)
+        assert len(detection.events) > 0
+        detection.events.validate_invariants()
+
+    def test_hitter_addresses_are_v6(self, telescope, population):
+        detection = detect_ipv6_hitters(telescope, population)
+        for address in detection.hitters(1):
+            assert address > 2**32
+            assert format_ipv6(address).startswith("2001:db8:")

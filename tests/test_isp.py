@@ -1,0 +1,134 @@
+"""Unit tests for the ISP network models."""
+
+import numpy as np
+import pytest
+
+from repro.flows.isp import build_campus_like, build_merit_like
+from repro.flows.netflow import NetflowExporter
+from repro.net.internet import InternetConfig, build_internet
+from repro.scanners.base import Scanner
+from repro.sim.clock import SimClock
+from tests.test_scanner_base import coverage_session
+
+
+@pytest.fixture()
+def world():
+    internet = build_internet(InternetConfig(seed=7, core_as_count=30, tail_as_count=20))
+    dark = internet.allocator.allocate(20)
+    merit, internet = build_merit_like(internet, dark, lit_prefix_length=18)
+    campus, internet = build_campus_like(internet, prefix_length=20)
+    merit.internet = internet
+    campus.internet = internet
+    return internet, dark, merit, campus
+
+
+class TestBuilders:
+    def test_merit_registered_in_plan(self, world):
+        internet, dark, merit, _ = world
+        system = internet.registry.by_asn(237)
+        assert system.org == "telescope-operator-isp"
+        assert any(p.base == dark.base for p in system.prefixes)
+
+    def test_transit_view_covers_dark_space(self, world):
+        _, dark, merit, _ = world
+        probe = np.array([dark.base + 5], dtype=np.uint32)
+        assert merit.transit_view.prefixes.contains_array(probe).all()
+
+    def test_campus_single_router(self, world):
+        _, _, _, campus = world
+        assert campus.router_count == 1
+        assert campus.lit_slash24s == 16  # /20 = 16 x /24
+
+    def test_merit_three_routers(self, world):
+        _, _, merit, _ = world
+        assert merit.router_count == 3
+        assert merit.lit_slash24s == 64 + 16  # lit /18 + dark /20
+
+    def test_traffic_model_count_checked(self, world):
+        from repro.flows.isp import ISPNetwork
+        from repro.flows.router import RoutingPolicy
+
+        _, _, merit, _ = world
+        with pytest.raises(ValueError):
+            ISPNetwork(
+                name="x",
+                transit_view=merit.transit_view,
+                lit_slash24s=1,
+                policy=RoutingPolicy.default_three_router(),
+                traffic_models=merit.traffic_models[:2],
+                internet=merit.internet,
+            )
+
+
+class TestFlowCollection:
+    def _scanner(self, src, coverage=0.9):
+        return Scanner(
+            src=src, behavior="t",
+            sessions=[coverage_session(coverage, duration=86_400.0)], seed=src,
+        )
+
+    def test_collect_and_totals(self, world, rng):
+        internet, _, merit, _ = world
+        # Source from a known AS in the plan.
+        src = int(internet.registry.systems[0].prefixes[0].base + 10)
+        clock = SimClock()
+        flows, true_totals = merit.collect_scanner_flows(
+            [self._scanner(src)], (0.0, 86_400.0), clock, rng,
+            exporter=NetflowExporter(sampling_rate=1),
+        )
+        # The scanner's traffic fans out over the ingress routers
+        # according to its deterministic router mix.
+        assert 1 <= len(flows) <= merit.router_count
+        mix = merit.router_mix(src)
+        total = flows.total_packets()
+        for router in range(merit.router_count):
+            observed = int(flows.packets[flows.router == router].sum())
+            assert abs(observed - mix[router] * total) < 0.1 * total + 1
+            if observed:
+                assert true_totals[(router, 0)] == observed
+        assert sum(true_totals.values()) == total
+
+    def test_router_mix_properties(self, world):
+        internet, _, merit, _ = world
+        src = int(internet.registry.systems[0].prefixes[0].base + 10)
+        mix = merit.router_mix(src)
+        assert mix.sum() == pytest.approx(1.0)
+        assert len(mix) == merit.router_count
+        # Shares are multiples of 1/dst_blocks.
+        assert all(
+            abs(share * merit.dst_blocks - round(share * merit.dst_blocks)) < 1e-9
+            for share in mix
+        )
+
+    def test_router_day_totals_include_scanners(self, world):
+        _, _, merit, _ = world
+        clock = SimClock()
+        scan_totals = {(0, 0): 1_000_000}
+        # Identical RNG streams isolate the scanner contribution.
+        totals = merit.router_day_totals(
+            [0], scan_totals, clock, np.random.default_rng(1)
+        )
+        bare = merit.router_day_totals([0], {}, clock, np.random.default_rng(1))
+        assert totals[(0, 0)] - bare[(0, 0)] == 1_000_000
+        assert set(totals) == {(0, 0), (1, 0), (2, 0)}
+
+    def test_campus_assigns_everything_to_border(self, world, rng):
+        internet, _, _, campus = world
+        srcs = internet.registry.systems[1].prefixes[0]
+        for offset in (0, 7, 99):
+            assert campus.assign_router(srcs.base + offset) == 0
+
+    def test_flow_day_alignment(self, world, rng):
+        internet, _, merit, _ = world
+        src = int(internet.registry.systems[0].prefixes[0].base + 10)
+        scanner = Scanner(
+            src=src, behavior="t",
+            sessions=[coverage_session(0.9, start=86_400.0, duration=86_400.0)],
+            seed=1,
+        )
+        clock = SimClock()
+        flows, _ = merit.collect_scanner_flows(
+            [scanner], (0.0, 3 * 86_400.0), clock, rng,
+            exporter=NetflowExporter(sampling_rate=1),
+        )
+        assert set(flows.day.tolist()) == {1}

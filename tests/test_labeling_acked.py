@@ -1,0 +1,96 @@
+"""Unit tests for the acknowledged-scanner registry."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.acknowledged import (
+    AckedOrg,
+    AcknowledgedRegistry,
+    default_org_specs,
+)
+
+
+def build_registry(rng, list_coverage=0.5, ptr_coverage=1.0, fleet=20):
+    orgs = (
+        AckedOrg("alpha", "Alpha Labs", "alpha", list_coverage, ptr_coverage, 1.0),
+        AckedOrg("beta", "Beta Inc", "beta", list_coverage, ptr_coverage, 1.0),
+    )
+    fleets = {
+        "alpha": np.arange(1_000, 1_000 + fleet, dtype=np.uint32),
+        "beta": np.arange(2_000, 2_000 + fleet, dtype=np.uint32),
+    }
+    return AcknowledgedRegistry.build(orgs, fleets, rng)
+
+
+class TestOrgSpecs:
+    def test_default_count(self):
+        assert len(default_org_specs()) == 36
+        assert len(default_org_specs(20)) == 20
+
+    def test_unique_slugs_and_keywords(self):
+        orgs = default_org_specs()
+        assert len({o.slug for o in orgs}) == len(orgs)
+        assert len({o.keyword for o in orgs}) == len(orgs)
+
+    def test_some_orgs_not_aggressive(self):
+        orgs = default_org_specs()
+        assert any(not o.aggressive for o in orgs)
+        assert sum(o.aggressive for o in orgs) > len(orgs) // 2
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            AckedOrg("x", "X", "x", list_coverage=1.5)
+        with pytest.raises(ValueError):
+            AckedOrg("x", "X", "x", ptr_coverage=-0.1)
+
+
+class TestRegistry:
+    def test_published_subset_of_fleet(self, rng):
+        registry = build_registry(rng)
+        assert registry.published_ips() <= registry.all_fleet_ips()
+
+    def test_list_coverage_statistics(self, rng):
+        registry = build_registry(rng, list_coverage=0.5, fleet=500)
+        share = len(registry.published_ips()) / len(registry.all_fleet_ips())
+        assert 0.4 < share < 0.6
+
+    def test_ip_match_precedence(self, rng):
+        registry = build_registry(rng, list_coverage=1.0, ptr_coverage=1.0)
+        match = registry.match(1_005)
+        assert match == ("alpha", "ip")
+
+    def test_domain_match_when_unlisted(self, rng):
+        registry = build_registry(rng, list_coverage=0.0, ptr_coverage=1.0)
+        match = registry.match(2_003)
+        assert match == ("beta", "domain")
+
+    def test_no_match_for_stranger(self, rng):
+        registry = build_registry(rng)
+        assert registry.match(999_999) is None
+
+    def test_no_match_without_ptr_or_listing(self, rng):
+        registry = build_registry(rng, list_coverage=0.0, ptr_coverage=0.0)
+        assert registry.match(1_001) is None
+
+    def test_match_many_consistent(self, rng):
+        registry = build_registry(rng, list_coverage=0.3, ptr_coverage=0.9, fleet=100)
+        candidates = list(registry.all_fleet_ips()) + [9_999_999]
+        bulk = registry.match_many(candidates)
+        for addr in candidates:
+            single = registry.match(addr)
+            if single is None:
+                assert addr not in bulk
+            else:
+                assert bulk[addr] == single
+
+    def test_org_of_ground_truth(self, rng):
+        registry = build_registry(rng)
+        assert registry.org_of(1_000) == "alpha"
+        assert registry.org_of(2_000) == "beta"
+        assert registry.org_of(5) is None
+
+    def test_empty_fleet_handled(self, rng):
+        orgs = (AckedOrg("ghost", "Ghost", "ghost"),)
+        registry = AcknowledgedRegistry.build(orgs, {}, rng)
+        assert registry.published["ghost"] == set()
+        assert registry.match(123) is None

@@ -1,0 +1,114 @@
+"""Tests for the detection-latency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.core.detection import detect_dispersion
+from repro.core.events import build_events
+from repro.core.latency import (
+    LatencyRecord,
+    _event_latency,
+    detection_latencies,
+    latency_summary,
+)
+from repro.packet import PacketBatch, Protocol
+
+TCP = Protocol.TCP_SYN.value
+
+
+def uniform_scan_batch(src, n, rate, dark_size=1_000, seed=0, start=0.0):
+    """A scan at `rate` pps touching n distinct dark addresses."""
+    rng = np.random.default_rng(seed)
+    ts = start + np.arange(n) / rate
+    dst = rng.permutation(dark_size)[:n].astype(np.uint32)
+    return PacketBatch(
+        ts=ts,
+        src=np.full(n, src, dtype=np.uint32),
+        dst=dst,
+        dport=np.full(n, 23, dtype=np.uint16),
+        proto=np.full(n, TCP, dtype=np.uint8),
+        ipid=np.zeros(n, dtype=np.uint16),
+    )
+
+
+class TestEventLatency:
+    def test_exact_threshold_crossing(self):
+        ts = np.array([0.0, 1.0, 2.0, 3.0])
+        dst = np.array([1, 2, 2, 3])
+        # Third distinct dst arrives at t=3.
+        assert _event_latency(ts, dst, threshold=3) == 3.0
+        assert _event_latency(ts, dst, threshold=1) == 0.0
+
+    def test_never_reaches(self):
+        ts = np.array([0.0, 1.0])
+        dst = np.array([1, 1])
+        assert _event_latency(ts, dst, threshold=2) is None
+
+
+class TestDetectionLatencies:
+    def test_rate_determines_latency(self):
+        dark_size = 1_000
+        fast = uniform_scan_batch(1, 500, rate=100.0, dark_size=dark_size, seed=1)
+        slow = uniform_scan_batch(
+            2, 500, rate=1.0, dark_size=dark_size, seed=2, start=0.0
+        )
+        batch = PacketBatch.concat([fast, slow]).sorted_by_time()
+        events = build_events(batch, timeout=3_600.0)
+        detection = detect_dispersion(events, dark_size, DetectionConfig())
+        records = detection_latencies(batch, detection, dark_size)
+        by_src = {r.src: r for r in records}
+        assert set(by_src) == {1, 2}
+        # 100 distinct dsts at 100 pps: ~1 s; at 1 pps: ~100 s.
+        assert by_src[1].latency == pytest.approx(0.99, abs=0.2)
+        assert by_src[2].latency == pytest.approx(99.0, abs=2.0)
+        assert by_src[1].unique_needed == 100
+        assert by_src[1].detected_at == by_src[1].start + by_src[1].latency
+
+    def test_max_events_cap(self):
+        dark_size = 200
+        batches = [
+            uniform_scan_batch(i, 100, rate=10.0, dark_size=dark_size, seed=i)
+            for i in range(5)
+        ]
+        batch = PacketBatch.concat(batches).sorted_by_time()
+        events = build_events(batch, timeout=600.0)
+        detection = detect_dispersion(events, dark_size, DetectionConfig())
+        records = detection_latencies(batch, detection, dark_size, max_events=2)
+        assert len(records) == 2
+
+    def test_empty_detection(self):
+        batch = uniform_scan_batch(1, 5, rate=1.0)
+        events = build_events(batch, timeout=600.0)
+        detection = detect_dispersion(events, dark_size=1_000_000)
+        assert detection_latencies(batch, detection, 1_000_000) == []
+
+    def test_on_tiny_scenario(self, tiny_result):
+        records = detection_latencies(
+            tiny_result.capture.packets,
+            tiny_result.detections[1],
+            tiny_result.telescope.size,
+            max_events=40,
+        )
+        assert records
+        for record in records:
+            assert record.latency >= 0.0
+            assert record.unique_needed == int(
+                np.ceil(0.1 * tiny_result.telescope.size)
+            )
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        records = [
+            LatencyRecord(1, 23, 6, 0.0, latency, 100)
+            for latency in (1.0, 2.0, 3.0, 4.0, 100.0)
+        ]
+        summary = latency_summary(records)
+        assert summary["n"] == 5
+        assert summary["median"] == 3.0
+        assert summary["max"] == 100.0
+        assert summary["p10"] <= summary["p90"]
+
+    def test_empty(self):
+        assert latency_summary([]) == {"n": 0}

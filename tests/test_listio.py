@@ -1,0 +1,116 @@
+"""Tests for the blocklist publishing / subscription format."""
+
+import pytest
+
+from repro.core.lists import BlocklistEntry, DailyBlocklist
+from repro.io.listio import (
+    BlocklistDiff,
+    diff_blocklists,
+    expire_merged,
+    load_blocklist,
+    merge_blocklists,
+    save_blocklist,
+)
+
+
+def entry(address, packets=10, defs=(1,), acked=False):
+    return BlocklistEntry(
+        address=address,
+        definitions=tuple(defs),
+        packets=packets,
+        asn=64_512,
+        country="US",
+        acknowledged=acked,
+    )
+
+
+def blocklist(day, addresses):
+    return DailyBlocklist(day=day, entries=[entry(a) for a in addresses])
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, tmp_path):
+        original = DailyBlocklist(
+            day=5,
+            entries=[
+                entry(167_772_161, packets=99, defs=(1, 2)),
+                entry(167_772_162, packets=5, defs=(3,), acked=True),
+            ],
+        )
+        path = tmp_path / "list.csv"
+        save_blocklist(original, path)
+        loaded = load_blocklist(path)
+        assert loaded.day == 5
+        assert len(loaded) == 2
+        assert loaded.entries[0].address == 167_772_161
+        assert loaded.entries[0].definitions == (1, 2)
+        assert loaded.entries[1].acknowledged is True
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_blocklist(DailyBlocklist(day=0), path)
+        assert len(load_blocklist(path)) == 0
+
+    def test_missing_day_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ip,definitions\n")
+        with pytest.raises(ValueError):
+            load_blocklist(path)
+
+    def test_bad_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# day=0\nfoo,bar\n")
+        with pytest.raises(ValueError):
+            load_blocklist(path)
+
+    def test_scenario_blocklist_roundtrip(self, tiny_report, tmp_path):
+        original = tiny_report.daily_blocklist(1)
+        path = tmp_path / "day1.csv"
+        save_blocklist(original, path)
+        loaded = load_blocklist(path)
+        assert loaded.addresses() == original.addresses()
+        assert [e.packets for e in loaded.entries] == [
+            e.packets for e in original.entries
+        ]
+
+
+class TestDiff:
+    def test_delta(self):
+        old = blocklist(0, [1, 2, 3])
+        new = blocklist(1, [2, 3, 4, 5])
+        diff = diff_blocklists(old, new)
+        assert diff.added == (4, 5)
+        assert diff.removed == (1,)
+        assert diff.retained == (2, 3)
+        assert diff.churn == pytest.approx(3 / 5)
+
+    def test_no_change(self):
+        same = blocklist(0, [7])
+        diff = diff_blocklists(same, blocklist(1, [7]))
+        assert diff.churn == 0.0
+
+    def test_empty_lists(self):
+        diff = diff_blocklists(blocklist(0, []), blocklist(1, []))
+        assert diff.churn == 0.0
+        assert diff.added == ()
+
+
+class TestMerge:
+    def test_last_seen_wins(self):
+        merged = merge_blocklists(
+            [blocklist(0, [1, 2]), blocklist(2, [2, 3])]
+        )
+        assert merged == {1: 0, 2: 2, 3: 2}
+
+    def test_order_independent(self):
+        a = [blocklist(0, [1]), blocklist(3, [1])]
+        assert merge_blocklists(a) == merge_blocklists(list(reversed(a)))
+
+    def test_expire(self):
+        merged = {1: 0, 2: 2, 3: 4}
+        kept = expire_merged(merged, current_day=4, window_days=3)
+        assert kept == {2: 2, 3: 4}
+
+    def test_expire_validation(self):
+        with pytest.raises(ValueError):
+            expire_merged({}, 0, 0)

@@ -1,0 +1,106 @@
+"""Unit tests for the operational blocklists."""
+
+import numpy as np
+import pytest
+
+from repro.core import lists
+from repro.core.lists import BlocklistEntry, DailyBlocklist
+
+
+def entry(address, packets, defs=(1,), acked=False):
+    return BlocklistEntry(
+        address=address,
+        definitions=tuple(defs),
+        packets=packets,
+        asn=65_001,
+        country="US",
+        acknowledged=acked,
+    )
+
+
+class TestBlocklist:
+    def test_entry_format(self):
+        line = entry(167_772_161, 500, defs=(1, 2)).format()
+        assert line == "10.0.0.1,1+2,500,65001,US,0"
+
+    def test_render_header(self):
+        blocklist = DailyBlocklist(day=0, entries=[entry(1, 10)])
+        text = blocklist.render()
+        assert text.startswith("# ip,definitions")
+        assert len(text.splitlines()) == 2
+
+    def test_non_acknowledged_filter(self):
+        blocklist = DailyBlocklist(
+            day=0, entries=[entry(1, 10), entry(2, 20, acked=True)]
+        )
+        assert [e.address for e in blocklist.non_acknowledged()] == [1]
+
+    def test_top_by_packets(self):
+        blocklist = DailyBlocklist(
+            day=0, entries=[entry(1, 10), entry(2, 99), entry(3, 50)]
+        )
+        top = blocklist.top_by_packets(2)
+        assert [e.address for e in top] == [2, 3]
+
+
+class TestAmelioration:
+    def test_curve(self):
+        blocklist = DailyBlocklist(
+            day=0, entries=[entry(1, 50), entry(2, 30), entry(3, 20)]
+        )
+        curve = lists.amelioration_curve(blocklist)
+        assert curve.tolist() == pytest.approx([0.5, 0.8, 1.0])
+
+    def test_empty_curve(self):
+        assert len(lists.amelioration_curve(DailyBlocklist(day=0))) == 0
+
+    def test_size_for_share(self):
+        blocklist = DailyBlocklist(
+            day=0, entries=[entry(1, 50), entry(2, 30), entry(3, 20)]
+        )
+        assert lists.blocklist_size_for_share(blocklist, 0.5) == 1
+        assert lists.blocklist_size_for_share(blocklist, 0.6) == 2
+        assert lists.blocklist_size_for_share(blocklist, 1.0) == 3
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            lists.blocklist_size_for_share(DailyBlocklist(day=0), 0.0)
+
+
+class TestBuildFromScenario:
+    def test_build_daily(self, tiny_report):
+        day = 1
+        blocklist = tiny_report.daily_blocklist(day)
+        assert len(blocklist) > 0
+        active_union = set()
+        for result in tiny_report.detections.values():
+            active_union |= result.active_on(day)
+        assert blocklist.addresses() == active_union
+
+    def test_entries_sorted_by_packets(self, tiny_report):
+        blocklist = tiny_report.daily_blocklist(1)
+        packets = [e.packets for e in blocklist.entries]
+        assert packets == sorted(packets, reverse=True)
+
+    def test_origin_annotation(self, tiny_report):
+        blocklist = tiny_report.daily_blocklist(1)
+        assert all(e.asn > 0 for e in blocklist.entries)
+        assert all(len(e.country) == 2 for e in blocklist.entries)
+
+    def test_definitions_annotated(self, tiny_report):
+        blocklist = tiny_report.daily_blocklist(1)
+        for e in blocklist.entries:
+            assert e.definitions
+            assert set(e.definitions) <= {1, 2, 3}
+
+    def test_empty_day(self, tiny_report):
+        blocklist = tiny_report.daily_blocklist(9_999)
+        assert len(blocklist) == 0
+
+    def test_zipf_shape(self, tiny_report):
+        # Blocking a small top-k removes a disproportionate share.
+        blocklist = tiny_report.daily_blocklist(1)
+        curve = lists.amelioration_curve(blocklist)
+        if len(curve) >= 10:
+            top_tenth = curve[max(len(curve) // 10 - 1, 0)]
+            assert top_tenth > 1.5 / 10

@@ -1,0 +1,82 @@
+"""Unit tests for the origin-concentration machinery (Table 5 drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import slash24
+from repro.net.internet import FLAGSHIP_CLOUD_ASN, FLAGSHIP_CLOUD_ORG
+from repro.scanners.origins import (
+    AGGRESSIVE_AFFINITY,
+    BACKGROUND_AFFINITY,
+    OriginSampler,
+)
+
+
+class TestFlagshipCloud:
+    def test_flagship_exists(self, small_internet):
+        system = small_internet.registry.by_asn(FLAGSHIP_CLOUD_ASN)
+        assert system.org == FLAGSHIP_CLOUD_ORG
+        assert system.country == "US"
+        # Deliberately outsized: three /12s.
+        assert system.size == 3 * 2**20
+
+    def test_flagship_dominates_aggressive_origins(self, small_internet, rng):
+        sampler = OriginSampler(small_internet, AGGRESSIVE_AFFINITY)
+        sources = sampler.sample_sources(rng, 600)
+        idx = small_internet.registry.lookup_index(sources)
+        asns = [small_internet.registry.systems[i].asn for i in idx]
+        flagship_share = asns.count(FLAGSHIP_CLOUD_ASN) / len(asns)
+        # The single flagship AS originates more scanners than any
+        # uniform share would give it (1 of ~70 ASes).
+        assert flagship_share > 0.05
+        counts = {}
+        for asn in asns:
+            counts[asn] = counts.get(asn, 0) + 1
+        assert max(counts, key=counts.get) == FLAGSHIP_CLOUD_ASN
+
+
+class TestHeavyTail:
+    def test_per_as_popularity_is_heavy_tailed(self, small_internet, rng):
+        sampler = OriginSampler(small_internet, BACKGROUND_AFFINITY)
+        idx = sampler.sample_as_indexes(rng, 5_000)
+        counts = np.bincount(idx, minlength=len(small_internet.registry))
+        counts = np.sort(counts)[::-1]
+        # Top-5 ASes take far more than 5 uniform shares.
+        uniform_share = 5 / len(small_internet.registry)
+        assert counts[:5].sum() / counts.sum() > 3 * uniform_share
+
+    def test_popularity_deterministic_across_samplers(self, small_internet):
+        a = OriginSampler(small_internet, BACKGROUND_AFFINITY)
+        b = OriginSampler(small_internet, BACKGROUND_AFFINITY)
+        assert np.allclose(a._weights, b._weights)
+
+
+class TestSubnetClustering:
+    def test_sources_cluster_into_slash24s(self, small_internet, rng):
+        sampler = OriginSampler(small_internet, AGGRESSIVE_AFFINITY)
+        sources = sampler.sample_sources(rng, 400)
+        unique_24 = len({int(slash24(int(s))) for s in sources})
+        # The paper's top origin packs ~5 AH per /24; our clustering
+        # should land well below 1 subnet per source.
+        assert unique_24 < 0.8 * len(sources)
+
+    def test_reuse_rate_configurable(self, small_internet, rng):
+        tight = OriginSampler(
+            small_internet, AGGRESSIVE_AFFINITY, subnet_reuse=0.95
+        )
+        loose = OriginSampler(
+            small_internet, AGGRESSIVE_AFFINITY, subnet_reuse=0.0
+        )
+        tight_24 = len(
+            {int(slash24(int(s))) for s in tight.sample_sources(rng, 300)}
+        )
+        loose_24 = len(
+            {int(slash24(int(s))) for s in loose.sample_sources(rng, 300)}
+        )
+        assert tight_24 < loose_24
+
+    def test_clustered_sources_stay_in_as(self, small_internet, rng):
+        sampler = OriginSampler(small_internet, AGGRESSIVE_AFFINITY)
+        sources = sampler.sample_sources(rng, 300)
+        idx = small_internet.registry.lookup_index(sources)
+        assert np.all(idx >= 0)

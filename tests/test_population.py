@@ -1,0 +1,143 @@
+"""Unit tests for the population builder and origin sampling."""
+
+import numpy as np
+import pytest
+
+from repro.net.asn import ASType
+from repro.net.prefix import Prefix, PrefixSet
+from repro.scanners.origins import (
+    AGGRESSIVE_AFFINITY,
+    BACKGROUND_AFFINITY,
+    RESEARCH_AFFINITY,
+    OriginSampler,
+)
+from repro.scanners.population import PopulationConfig, build_population
+
+
+@pytest.fixture(scope="module")
+def small_population(small_internet_module):
+    internet = small_internet_module
+    dark = PrefixSet([Prefix.parse("5.0.0.0/20")]).ranges()
+    config = PopulationConfig(
+        seed=3,
+        duration=5 * 86_400.0,
+        n_sweepers=15,
+        n_mirai_aggressive=5,
+        n_mirai_small=30,
+        n_omniscanners=2,
+        omni_port_low=100,
+        omni_port_high=300,
+        n_multiport=8,
+        n_small_scanners=100,
+        n_misconfig=80,
+        acked_fleet_scale=1.0,
+    )
+    return build_population(internet, dark, config)
+
+
+@pytest.fixture(scope="module")
+def small_internet_module():
+    from repro.net.internet import InternetConfig, build_internet
+
+    return build_internet(InternetConfig(seed=99, core_as_count=40, tail_as_count=30))
+
+
+class TestOriginSampler:
+    def test_aggressive_skews_to_us_cloud(self, small_internet_module, rng):
+        sampler = OriginSampler(small_internet_module, AGGRESSIVE_AFFINITY)
+        idx = sampler.sample_as_indexes(rng, 3_000)
+        systems = small_internet_module.registry.systems
+        us_cloud = sum(
+            1
+            for i in idx
+            if systems[i].as_type is ASType.CLOUD and systems[i].country == "US"
+        )
+        share = us_cloud / len(idx)
+        # US cloud ASes are a small minority of ASes but a large share
+        # of aggressive-scanner origins.
+        as_share = sum(
+            1
+            for s in systems
+            if s.as_type is ASType.CLOUD and s.country == "US"
+        ) / len(systems)
+        assert share > 2 * as_share
+
+    def test_background_roughly_uniform(self, small_internet_module, rng):
+        sampler = OriginSampler(small_internet_module, BACKGROUND_AFFINITY)
+        idx = sampler.sample_as_indexes(rng, 5_000)
+        # Every AS should be reachable.
+        assert len(np.unique(idx)) > 0.5 * len(small_internet_module.registry)
+
+    def test_distinct_sources(self, small_internet_module, rng):
+        sampler = OriginSampler(small_internet_module, RESEARCH_AFFINITY)
+        used: set = set()
+        a = sampler.sample_sources(rng, 50, used)
+        b = sampler.sample_sources(rng, 50, used)
+        assert len(set(a.tolist()) | set(b.tolist())) == 100
+
+    def test_sources_resolve_to_registry(self, small_internet_module, rng):
+        sampler = OriginSampler(small_internet_module, BACKGROUND_AFFINITY)
+        srcs = sampler.sample_sources(rng, 100)
+        idx = small_internet_module.registry.lookup_index(srcs)
+        assert np.all(idx >= 0)
+
+
+class TestPopulation:
+    def test_counts_match_config(self, small_population):
+        by = small_population.by_behavior
+        assert len(by["masscan-sweep"]) == 15
+        assert len(by["mirai"]) == 5
+        assert len(by["mirai-small"]) == 30
+        assert len(by["omniscanner"]) == 2
+        assert len(by["multiport"]) == 8
+        assert len(by["small-scan"]) == 100
+        assert len(by["misconfig"]) == 80
+
+    def test_sources_unique(self, small_population):
+        srcs = small_population.sources()
+        assert len(np.unique(srcs)) == len(srcs)
+
+    def test_acked_registry_built(self, small_population):
+        acked = small_population.acked
+        assert len(acked.orgs) == 36
+        assert len(acked.all_fleet_ips()) > 0
+        # The published snapshot is a strict subset of the fleets.
+        assert acked.published_ips() <= acked.all_fleet_ips()
+
+    def test_research_scanners_have_orgs(self, small_population):
+        research = small_population.by_behavior.get("research", [])
+        assert research
+        assert all(s.org is not None for s in research)
+        fleet_ips = small_population.acked.all_fleet_ips()
+        assert all(int(s.src) in fleet_ips for s in research)
+
+    def test_scanners_for_subset(self, small_population):
+        wanted = {int(s.src) for s in small_population.scanners[:7]}
+        picked = small_population.scanners_for(wanted)
+        assert {int(s.src) for s in picked} == wanted
+
+    def test_ground_truth_aggressive(self, small_population):
+        truth = small_population.ground_truth_aggressive()
+        behaviors = {"masscan-sweep", "mirai", "research", "omniscanner"}
+        expected = {
+            int(s.src)
+            for b in behaviors
+            for s in small_population.by_behavior.get(b, [])
+        }
+        assert truth == expected
+
+    def test_deterministic(self, small_internet_module):
+        dark = PrefixSet([Prefix.parse("5.0.0.0/20")]).ranges()
+        config = PopulationConfig(
+            seed=9, duration=3 * 86_400.0, n_sweepers=5, n_mirai_aggressive=2,
+            n_mirai_small=5, n_omniscanners=1, omni_port_low=50,
+            omni_port_high=80, n_multiport=2, n_small_scanners=10,
+            n_misconfig=10, acked_fleet_scale=1.0,
+        )
+        a = build_population(small_internet_module, dark, config)
+        b = build_population(small_internet_module, dark, config)
+        assert a.sources().tolist() == b.sources().tolist()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(duration=0.0)

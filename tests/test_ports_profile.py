@@ -1,0 +1,97 @@
+"""Unit tests for the port/service popularity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.packet import Protocol
+from repro.scanners.ports import (
+    AGGRESSIVE_PROFILE_2021,
+    AGGRESSIVE_PROFILE_2022,
+    MIRAI_PORT_WEIGHTS,
+    MIRAI_PORTS,
+    RESEARCH_PROFILE,
+    SMALL_SCAN_PROFILE,
+    PortProfile,
+    profile_for_year,
+    service_label,
+)
+
+
+class TestProfiles:
+    def test_weights_normalized(self):
+        for profile in (
+            AGGRESSIVE_PROFILE_2021,
+            AGGRESSIVE_PROFILE_2022,
+            SMALL_SCAN_PROFILE,
+            RESEARCH_PROFILE,
+        ):
+            assert profile.weights().sum() == pytest.approx(1.0)
+
+    def test_redis_and_telnet_lead_aggressive(self):
+        for profile in (AGGRESSIVE_PROFILE_2021, AGGRESSIVE_PROFILE_2022):
+            weights = profile.weights()
+            order = np.argsort(weights)[::-1]
+            top_ports = [profile.entries[i][0] for i in order[:3]]
+            assert top_ports[0] == 6_379  # Redis first
+            assert top_ports[1] == 23  # Telnet second
+            assert top_ports[2] == 22  # SSH third
+
+    def test_twenty_of_25_shared_across_years(self):
+        keys_2021 = {(e[0], e[1]) for e in AGGRESSIVE_PROFILE_2021.entries}
+        keys_2022 = {(e[0], e[1]) for e in AGGRESSIVE_PROFILE_2022.entries}
+        assert len(keys_2021 & keys_2022) == 20
+
+    def test_four_udp_services_in_aggressive(self):
+        udp = [e for e in AGGRESSIVE_PROFILE_2022.entries if e[1] is Protocol.UDP]
+        assert len(udp) == 4
+
+    def test_icmp_completes_the_set(self):
+        icmp = [
+            e for e in AGGRESSIVE_PROFILE_2022.entries if e[1] is Protocol.ICMP_ECHO
+        ]
+        assert len(icmp) == 1
+
+    def test_445_only_in_small_scans(self):
+        aggressive_ports = {e[0] for e in AGGRESSIVE_PROFILE_2022.entries}
+        small_ports = {e[0] for e in SMALL_SCAN_PROFILE.entries}
+        assert 445 not in aggressive_ports
+        assert 445 in small_ports
+
+    def test_profile_for_year(self):
+        assert profile_for_year(2021) is AGGRESSIVE_PROFILE_2021
+        assert profile_for_year(2022) is AGGRESSIVE_PROFILE_2022
+        assert profile_for_year(2030) is AGGRESSIVE_PROFILE_2022
+
+    def test_sampling_follows_weights(self, rng):
+        profile = PortProfile(
+            entries=((80, Protocol.TCP_SYN, 9.0), (23, Protocol.TCP_SYN, 1.0))
+        )
+        draws = profile.sample_many(rng, 2_000)
+        share_80 = np.mean([p == 80 for p, _ in draws])
+        assert 0.85 < share_80 < 0.95
+
+    def test_sample_single(self, rng):
+        port, proto = SMALL_SCAN_PROFILE.sample(rng)
+        assert (port, proto, ) [0] in {e[0] for e in SMALL_SCAN_PROFILE.entries}
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            PortProfile(entries=())
+
+    def test_mirai_ports(self):
+        assert MIRAI_PORTS.tolist() == [23, 2_323]
+        assert MIRAI_PORT_WEIGHTS.sum() == pytest.approx(1.0)
+
+
+class TestServiceLabel:
+    def test_known_service(self):
+        assert service_label(6_379, Protocol.TCP_SYN) == "6379/TCP (Redis)"
+
+    def test_unknown_service(self):
+        assert service_label(12_345, Protocol.TCP_SYN) == "12345/TCP"
+
+    def test_udp(self):
+        assert service_label(123, Protocol.UDP) == "123/UDP (NTP)"
+
+    def test_icmp(self):
+        assert service_label(0, Protocol.ICMP_ECHO) == "ICMP Echo"

@@ -1,0 +1,142 @@
+"""Unit tests for CIDR prefixes and prefix sets."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import parse_ip
+from repro.net.prefix import (
+    Prefix,
+    PrefixSet,
+    intersect_ranges,
+    ranges_size,
+    sample_distinct_offsets,
+    sample_ranges,
+)
+
+
+class TestPrefix:
+    def test_parse_and_str_roundtrip(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert str(p) == "192.0.2.0/24"
+        assert p.size == 256
+        assert p.end == p.base + 256
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(parse_ip("192.0.2.1"), 24)
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("192.0.2.0")
+
+    def test_contains(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert parse_ip("10.255.255.255") in p
+        assert parse_ip("11.0.0.0") not in p
+
+    def test_contains_array(self):
+        p = Prefix.parse("10.0.0.0/8")
+        arr = np.array([parse_ip("10.1.2.3"), parse_ip("11.0.0.0")], dtype=np.uint32)
+        assert p.contains_array(arr).tolist() == [True, False]
+
+    def test_slash24s(self):
+        assert Prefix.parse("192.0.2.0/24").slash24s() == 1
+        assert Prefix.parse("10.0.0.0/16").slash24s() == 256
+        assert Prefix.parse("192.0.2.0/30").slash24s() == 1
+
+    def test_ordering(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("192.0.2.0/24")
+        assert a < b
+
+
+class TestPrefixSet:
+    def test_membership_and_lookup(self):
+        ps = PrefixSet.parse(["10.0.0.0/8", "192.0.2.0/24"])
+        assert parse_ip("10.5.5.5") in ps
+        assert parse_ip("192.0.2.9") in ps
+        assert parse_ip("172.16.0.1") not in ps
+        arr = np.array(
+            [parse_ip("10.0.0.1"), parse_ip("192.0.2.1"), parse_ip("8.8.8.8")],
+            dtype=np.uint32,
+        )
+        idx = ps.lookup(arr)
+        assert idx[0] == 0 and idx[1] == 1 and idx[2] == -1
+        assert ps.contains_array(arr).tolist() == [True, True, False]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixSet.parse(["10.0.0.0/8", "10.1.0.0/16"])
+
+    def test_size_and_slash24s(self):
+        ps = PrefixSet.parse(["10.0.0.0/24", "192.0.2.0/23"])
+        assert ps.size == 256 + 512
+        assert ps.slash24s() == 3
+
+    def test_sample_within(self, rng):
+        ps = PrefixSet.parse(["10.0.0.0/24", "192.0.2.0/24"])
+        samples = ps.sample(rng, 300)
+        assert np.all(ps.contains_array(samples))
+
+    def test_sample_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PrefixSet([]).sample(rng, 1)
+
+    def test_ranges_shape(self):
+        ps = PrefixSet.parse(["10.0.0.0/24", "192.0.2.0/24"])
+        ranges = ps.ranges()
+        assert ranges.shape == (2, 2)
+        assert ranges_size(ranges) == 512
+
+
+class TestRangeOps:
+    def test_intersection_basic(self):
+        a = np.array([[0, 100], [200, 300]], dtype=np.int64)
+        b = np.array([[50, 250]], dtype=np.int64)
+        inter = intersect_ranges(a, b)
+        assert inter.tolist() == [[50, 100], [200, 250]]
+
+    def test_intersection_disjoint(self):
+        a = np.array([[0, 10]], dtype=np.int64)
+        b = np.array([[20, 30]], dtype=np.int64)
+        assert len(intersect_ranges(a, b)) == 0
+
+    def test_intersection_identity(self):
+        a = np.array([[5, 15], [20, 40]], dtype=np.int64)
+        assert intersect_ranges(a, a).tolist() == a.tolist()
+
+    def test_ranges_size_empty(self):
+        assert ranges_size(np.empty((0, 2), dtype=np.int64)) == 0
+
+    def test_sample_ranges_bounds(self, rng):
+        ranges = np.array([[10, 20], [100, 110]], dtype=np.int64)
+        out = sample_ranges(rng, ranges, 500)
+        inside = ((out >= 10) & (out < 20)) | ((out >= 100) & (out < 110))
+        assert np.all(inside)
+
+    def test_sample_ranges_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_ranges(rng, np.empty((0, 2), dtype=np.int64), 1)
+
+
+class TestSampleDistinct:
+    def test_all_distinct(self, rng):
+        out = sample_distinct_offsets(rng, 1000, 600)
+        assert len(out) == 600
+        assert len(np.unique(out)) == 600
+        assert out.min() >= 0 and out.max() < 1000
+
+    def test_sparse_path(self, rng):
+        out = sample_distinct_offsets(rng, 10**9, 1000)
+        assert len(np.unique(out)) == 1000
+
+    def test_full_draw(self, rng):
+        out = sample_distinct_offsets(rng, 10, 10)
+        assert sorted(out.tolist()) == list(range(10))
+
+    def test_too_many_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_distinct_offsets(rng, 5, 6)
+
+    def test_zero(self, rng):
+        assert len(sample_distinct_offsets(rng, 5, 0)) == 0

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import jaccard
+from repro.core.ecdf import ECDF
+from repro.core.events import build_events
+from repro.core.lists import BlocklistEntry, DailyBlocklist, amelioration_curve
+from repro.net.addr import format_ip, parse_ip
+from repro.net.prefix import intersect_ranges, ranges_size, sample_distinct_offsets
+from repro.packet import PacketBatch, Protocol
+
+# ----------------------------------------------------------------------
+# Address arithmetic
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_ip_roundtrip(value):
+    assert parse_ip(format_ip(value)) == value
+
+
+# ----------------------------------------------------------------------
+# ECDF
+# ----------------------------------------------------------------------
+
+samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(samples, st.floats(min_value=1e-4, max_value=0.5))
+def test_ecdf_tail_mass_bounded_by_alpha(values, alpha):
+    ecdf = ECDF(np.array(values))
+    threshold = ecdf.tail_threshold(alpha)
+    assert ecdf.tail_mass_above(threshold) <= alpha + 1e-12
+
+
+@given(samples, st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+def test_ecdf_quantile_monotone(values, q1, q2):
+    ecdf = ECDF(np.array(values))
+    lo, hi = sorted((q1, q2))
+    assert ecdf.quantile(lo) <= ecdf.quantile(hi)
+
+
+@given(samples)
+def test_ecdf_evaluate_is_cdf(values):
+    ecdf = ECDF(np.array(values))
+    assert ecdf.evaluate(ecdf.values[-1]) == 1.0
+    assert ecdf.evaluate(ecdf.values[0] - 1) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Jaccard
+# ----------------------------------------------------------------------
+
+int_sets = st.sets(st.integers(min_value=0, max_value=50), max_size=30)
+
+
+@given(int_sets, int_sets)
+def test_jaccard_bounds_and_symmetry(a, b):
+    j = jaccard(a, b)
+    assert 0.0 <= j <= 1.0
+    assert j == jaccard(b, a)
+
+
+@given(int_sets)
+def test_jaccard_identity(a):
+    assert jaccard(a, a) == (1.0 if a else 0.0)
+
+
+@given(int_sets, int_sets)
+def test_jaccard_one_iff_equal(a, b):
+    if jaccard(a, b) == 1.0:
+        assert a == b and a
+
+
+# ----------------------------------------------------------------------
+# Event builder
+# ----------------------------------------------------------------------
+
+packet_rows = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=10_000, allow_nan=False),  # ts
+        st.integers(min_value=1, max_value=5),  # src
+        st.integers(min_value=0, max_value=30),  # dst
+        st.sampled_from([22, 23, 80]),  # dport
+        st.sampled_from([Protocol.TCP_SYN.value, Protocol.UDP.value]),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _batch_from_rows(rows):
+    arr = np.array(rows, dtype=np.float64)
+    return PacketBatch(
+        ts=arr[:, 0],
+        src=arr[:, 1].astype(np.uint32),
+        dst=arr[:, 2].astype(np.uint32),
+        dport=arr[:, 3].astype(np.uint16),
+        proto=arr[:, 4].astype(np.uint8),
+        ipid=np.zeros(len(rows), dtype=np.uint16),
+    )
+
+
+@given(packet_rows, st.floats(min_value=1.0, max_value=20_000.0))
+@settings(max_examples=60)
+def test_events_partition_packets(rows, timeout):
+    batch = _batch_from_rows(rows)
+    events = build_events(batch, timeout)
+    events.validate_invariants()
+    assert int(events.packets.sum()) == len(batch)
+
+
+@given(packet_rows)
+@settings(max_examples=40)
+def test_events_monotone_in_timeout(rows):
+    batch = _batch_from_rows(rows)
+    few = build_events(batch, timeout=10_001.0)
+    many = build_events(batch, timeout=1.0)
+    assert len(few) <= len(many)
+
+
+@given(packet_rows)
+@settings(max_examples=40)
+def test_events_sources_match_packets(rows):
+    batch = _batch_from_rows(rows)
+    events = build_events(batch, timeout=100.0)
+    assert events.sources_of() == {int(s) for s in np.unique(batch.src)}
+
+
+# ----------------------------------------------------------------------
+# Range math
+# ----------------------------------------------------------------------
+
+range_arrays = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=500),
+    ),
+    min_size=0,
+    max_size=10,
+).map(
+    lambda pairs: _disjoint_ranges(pairs)
+)
+
+
+def _disjoint_ranges(pairs):
+    """Make sorted, disjoint [start, end) ranges from (gap, length)."""
+    out = []
+    cursor = 0
+    for gap, length in pairs:
+        start = cursor + gap
+        out.append((start, start + length))
+        cursor = start + length
+    return np.array(out or np.empty((0, 2)), dtype=np.int64).reshape(-1, 2)
+
+
+@given(range_arrays, range_arrays)
+def test_intersection_bounded(a, b):
+    inter = intersect_ranges(a, b)
+    assert ranges_size(inter) <= min(ranges_size(a), ranges_size(b))
+
+
+@given(range_arrays)
+def test_intersection_idempotent(a):
+    inter = intersect_ranges(a, a)
+    assert ranges_size(inter) == ranges_size(a)
+
+
+@given(
+    st.integers(min_value=1, max_value=5_000),
+    st.integers(min_value=0, max_value=5_000),
+)
+def test_sample_distinct_offsets_properties(size, count):
+    count = min(count, size)
+    rng = np.random.default_rng(0)
+    out = sample_distinct_offsets(rng, size, count)
+    assert len(out) == count
+    assert len(np.unique(out)) == count
+    if count:
+        assert out.min() >= 0 and out.max() < size
+
+
+# ----------------------------------------------------------------------
+# Blocklists
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+def test_amelioration_curve_monotone(packet_counts):
+    entries = [
+        BlocklistEntry(
+            address=i,
+            definitions=(1,),
+            packets=p,
+            asn=1,
+            country="US",
+            acknowledged=False,
+        )
+        for i, p in enumerate(packet_counts)
+    ]
+    blocklist = DailyBlocklist(day=0, entries=entries)
+    curve = amelioration_curve(blocklist)
+    if sum(packet_counts) == 0:
+        assert np.all(curve == 0)
+    else:
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] == 1.0
+
+
+# ----------------------------------------------------------------------
+# PacketBatch
+# ----------------------------------------------------------------------
+
+
+@given(packet_rows, packet_rows)
+@settings(max_examples=40)
+def test_concat_length_additive(rows_a, rows_b):
+    a, b = _batch_from_rows(rows_a), _batch_from_rows(rows_b)
+    assert len(PacketBatch.concat([a, b])) == len(a) + len(b)
+
+
+@given(packet_rows)
+@settings(max_examples=40)
+def test_sort_preserves_multiset(rows):
+    batch = _batch_from_rows(rows)
+    sorted_batch = batch.sorted_by_time()
+    assert sorted(batch.ts.tolist()) == sorted_batch.ts.tolist()
+    assert sorted(batch.dst.tolist()) == sorted(sorted_batch.dst.tolist())

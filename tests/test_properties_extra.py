@@ -1,0 +1,171 @@
+"""Additional property-based tests: churn, lists, streams, sampling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.churn import daily_churn, staleness
+from repro.core.detection import DetectionResult
+from repro.core.lists import BlocklistEntry, DailyBlocklist
+from repro.flows.netflow import NetflowExporter
+from repro.flows.stream import StreamSeries
+from repro.io.listio import diff_blocklists, merge_blocklists
+
+
+# ----------------------------------------------------------------------
+# Churn
+# ----------------------------------------------------------------------
+
+daily_sets = st.dictionaries(
+    st.integers(min_value=0, max_value=8),
+    st.sets(st.integers(min_value=1, max_value=40), max_size=15),
+    min_size=1,
+    max_size=9,
+)
+
+
+def _detection(daily_active):
+    sources = set()
+    for s in daily_active.values():
+        sources |= s
+    return DetectionResult(
+        definition=1, sources=sources, threshold=0.0, daily_active=daily_active
+    )
+
+
+@given(daily_sets)
+def test_churn_points_are_consistent(daily_active):
+    detection = _detection(daily_active)
+    days = sorted(daily_active)
+    for point, (prev, cur) in zip(daily_churn(detection), zip(days, days[1:])):
+        assert point.day == cur
+        assert point.active == len(daily_active[cur])
+        assert point.retained + point.arrived == point.active
+        assert point.retained + point.departed == len(daily_active[prev])
+        assert 0.0 <= point.jaccard_with_previous <= 1.0
+
+
+@given(daily_sets, st.integers(min_value=1, max_value=5))
+def test_staleness_bounded(daily_active, refresh):
+    value = staleness(_detection(daily_active), refresh)
+    assert 0.0 <= value <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Blocklist diff / merge
+# ----------------------------------------------------------------------
+
+address_sets = st.sets(st.integers(min_value=1, max_value=100), max_size=25)
+
+
+def _blocklist(day, addresses):
+    return DailyBlocklist(
+        day=day,
+        entries=[
+            BlocklistEntry(
+                address=a,
+                definitions=(1,),
+                packets=a,
+                asn=1,
+                country="US",
+                acknowledged=False,
+            )
+            for a in sorted(addresses)
+        ],
+    )
+
+
+@given(address_sets, address_sets)
+def test_diff_partitions_union(old_addresses, new_addresses):
+    diff = diff_blocklists(_blocklist(0, old_addresses), _blocklist(1, new_addresses))
+    union = set(diff.added) | set(diff.removed) | set(diff.retained)
+    assert union == old_addresses | new_addresses
+    assert set(diff.added).isdisjoint(diff.removed)
+    assert set(diff.added) == new_addresses - old_addresses
+    assert set(diff.removed) == old_addresses - new_addresses
+    assert 0.0 <= diff.churn <= 1.0
+
+
+@given(st.lists(address_sets, min_size=1, max_size=5))
+def test_merge_tracks_latest_day(sets_by_day):
+    blocklists = [_blocklist(day, s) for day, s in enumerate(sets_by_day)]
+    merged = merge_blocklists(blocklists)
+    for address, day in merged.items():
+        assert address in sets_by_day[day]
+        # No later day lists this address.
+        for later in range(day + 1, len(sets_by_day)):
+            assert address not in sets_by_day[later]
+
+
+# ----------------------------------------------------------------------
+# Streams
+# ----------------------------------------------------------------------
+
+pps_series = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1_000),  # ah
+        st.integers(min_value=0, max_value=10_000),  # extra legit
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(pps_series)
+def test_stream_fractions_bounded(rows):
+    ah = np.array([a for a, _ in rows], dtype=np.int64)
+    total = ah + np.array([l for _, l in rows], dtype=np.int64)
+    series = StreamSeries(
+        network="t", start=0.0, total_pps=total, ah_pps=ah, slash24s=4
+    )
+    inst = series.instantaneous_fraction()
+    cum = series.cumulative_fraction()
+    assert np.all((inst >= 0.0) & (inst <= 1.0))
+    assert np.all((cum >= 0.0) & (cum <= 1.0))
+    if total.sum() > 0:
+        assert cum[-1] == series.summary()["overall_fraction"]
+
+
+@given(pps_series)
+def test_stream_normalization_linear(rows):
+    ah = np.array([a for a, _ in rows], dtype=np.int64)
+    total = ah + 1
+    series_a = StreamSeries(
+        network="t", start=0.0, total_pps=total, ah_pps=ah, slash24s=2
+    )
+    series_b = StreamSeries(
+        network="t", start=0.0, total_pps=total, ah_pps=ah, slash24s=8
+    )
+    assert np.allclose(
+        series_a.normalized_ah_rate(), 4 * series_b.normalized_ah_rate()
+    )
+
+
+# ----------------------------------------------------------------------
+# NetFlow sampling
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=200_000),
+    st.sampled_from([1, 10, 100, 1_000]),
+)
+@settings(max_examples=50)
+def test_sampling_never_exceeds_truth(true_count, rate):
+    exporter = NetflowExporter(sampling_rate=rate)
+    rng = np.random.default_rng(0)
+    sampled = exporter.sample_count(true_count, rng)
+    assert 0 <= sampled <= true_count
+
+
+@given(st.integers(min_value=1_000, max_value=50_000))
+@settings(max_examples=20)
+def test_sampling_unbiased_in_expectation(true_count):
+    exporter = NetflowExporter(sampling_rate=100)
+    rng = np.random.default_rng(1)
+    estimates = [
+        exporter.sample_count(true_count, rng) * 100 for _ in range(200)
+    ]
+    mean = float(np.mean(estimates))
+    sd = float(np.std(estimates)) / np.sqrt(len(estimates)) + 1e-9
+    assert abs(mean - true_count) < 6 * sd + 0.01 * true_count

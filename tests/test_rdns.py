@@ -1,0 +1,50 @@
+"""Unit tests for the synthetic reverse DNS store."""
+
+import numpy as np
+import pytest
+
+from repro.net.rdns import ReverseDNS
+
+
+class TestReverseDNS:
+    def test_register_and_resolve(self):
+        rdns = ReverseDNS()
+        rdns.register(167_772_161, "host.example")
+        assert rdns.resolve(167_772_161) == "host.example"
+        assert rdns.resolve(1) is None
+
+    def test_later_registration_wins(self):
+        rdns = ReverseDNS()
+        rdns.register(5, "old.example")
+        rdns.register(5, "new.example")
+        assert rdns.resolve(5) == "new.example"
+
+    def test_empty_hostname_rejected(self):
+        with pytest.raises(ValueError):
+            ReverseDNS().register(5, "")
+
+    def test_register_many_template(self):
+        rdns = ReverseDNS()
+        rdns.register_many([167_772_161], "scan-{dashed}.org.example")
+        assert rdns.resolve(167_772_161) == "scan-10-0-0-1.org.example"
+        rdns.register_many([167_772_162], "ptr.{ip}.example")
+        assert rdns.resolve(167_772_162) == "ptr.10.0.0.2.example"
+
+    def test_resolve_many(self):
+        rdns = ReverseDNS()
+        rdns.register(1, "a.example")
+        out = rdns.resolve_many(np.array([1, 2], dtype=np.uint32))
+        assert out == ["a.example", None]
+
+    def test_keyword_matching(self):
+        rdns = ReverseDNS()
+        rdns.register(1, "scan-1.NetCensus.example")
+        assert rdns.matches_keywords(1, ["netcensus"])
+        assert not rdns.matches_keywords(1, ["otherorg"])
+        assert not rdns.matches_keywords(2, ["netcensus"])
+
+    def test_len(self):
+        rdns = ReverseDNS()
+        rdns.register(1, "a")
+        rdns.register(2, "b")
+        assert len(rdns) == 2

@@ -1,0 +1,85 @@
+"""Unit tests for routing policy and region mapping."""
+
+import numpy as np
+import pytest
+
+from repro.flows.router import BorderRouter, RoutingPolicy, region_of
+
+
+class TestRegions:
+    @pytest.mark.parametrize(
+        "country,region",
+        [
+            ("CN", "asia"),
+            ("KR", "asia"),
+            ("DE", "europe"),
+            ("RU", "europe"),
+            ("US", "americas"),
+            ("BR", "americas"),
+            ("ZA", "other"),
+            ("??", "other"),
+        ],
+    )
+    def test_region_of(self, country, region):
+        assert region_of(country) == region
+
+
+class TestRoutingPolicy:
+    def test_default_policy_shape(self):
+        policy = RoutingPolicy.default_three_router()
+        assert len(policy.routers) == 3
+        assert policy.routers[0].name == "Router-1"
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            RoutingPolicy(
+                routers=(BorderRouter("r", 0),),
+                region_weights={"asia": (0.5,)},
+            )
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            RoutingPolicy(
+                routers=(BorderRouter("a", 0), BorderRouter("b", 1)),
+                region_weights={"asia": (1.0,)},
+            )
+
+    def test_deterministic_assignment(self):
+        policy = RoutingPolicy.default_three_router()
+        assert policy.router_of(12345, "CN") == policy.router_of(12345, "CN")
+
+    def test_asia_skews_to_router_one(self):
+        policy = RoutingPolicy.default_three_router()
+        rng = np.random.default_rng(0)
+        srcs = rng.integers(0, 2**32, 5_000)
+        assignments = np.array([policy.router_of(int(s), "CN") for s in srcs])
+        share = np.mean(assignments == 0)
+        assert 0.55 < share < 0.70  # policy weight 0.62
+
+    def test_americas_skews_away_from_router_one(self):
+        policy = RoutingPolicy.default_three_router()
+        rng = np.random.default_rng(0)
+        srcs = rng.integers(0, 2**32, 5_000)
+        assignments = np.array([policy.router_of(int(s), "US") for s in srcs])
+        assert np.mean(assignments == 2) > np.mean(assignments == 0)
+
+    def test_single_router_policy(self):
+        policy = RoutingPolicy.single_router()
+        assert policy.router_of(999, "CN") == 0
+        assert policy.router_of(999, "US") == 0
+
+    def test_assign_vector(self):
+        policy = RoutingPolicy.default_three_router()
+        srcs = np.array([1, 2, 3], dtype=np.uint32)
+        out = policy.assign(srcs, ["CN", "US", "DE"])
+        assert out.dtype == np.int8
+        assert len(out) == 3
+
+    def test_assign_mismatched(self):
+        policy = RoutingPolicy.single_router()
+        with pytest.raises(ValueError):
+            policy.assign(np.array([1]), ["CN", "US"])
+
+    def test_expected_share(self):
+        policy = RoutingPolicy.default_three_router()
+        assert policy.expected_share("asia", 0) == pytest.approx(0.62)

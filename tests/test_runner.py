@@ -1,0 +1,83 @@
+"""Unit tests for the scenario runner and result surface."""
+
+import numpy as np
+import pytest
+
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import Scenario, tiny_scenario
+
+
+class TestScenarioSurface:
+    def test_window(self):
+        scenario = tiny_scenario()
+        assert scenario.window() == (0.0, scenario.days * 86_400.0)
+        assert scenario.duration == scenario.days * 86_400.0
+
+    def test_dark_prefix_matches_config(self, tiny_result):
+        assert tiny_result.telescope.size == 2 ** (
+            32 - tiny_result.scenario.dark_prefix_length
+        )
+
+
+class TestResultErrors:
+    @pytest.fixture(scope="class")
+    def darknet_only(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            tiny_scenario(),
+            with_isp=False,
+            with_campus=False,
+            flow_days=(),
+            stream_window=None,
+        )
+        return run_scenario(scenario)
+
+    def test_no_isp_model(self, darknet_only):
+        assert darknet_only.merit is None
+        assert darknet_only.campus is None
+        with pytest.raises(RuntimeError, match="without an ISP"):
+            darknet_only.collect_flows()
+        with pytest.raises(RuntimeError, match="without stream"):
+            darknet_only.record_streams()
+
+    def test_detections_still_available(self, darknet_only):
+        assert set(darknet_only.detections) == {1, 2, 3}
+        assert len(darknet_only.capture) > 0
+
+    def test_no_flow_days_configured(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(tiny_scenario(), flow_days=())
+        result = run_scenario(scenario)
+        with pytest.raises(RuntimeError, match="no flow days"):
+            result.collect_flows()
+
+
+class TestResultHelpers:
+    def test_ah_sources_per_definition(self, tiny_result):
+        for definition in (1, 2, 3):
+            assert tiny_result.ah_sources(definition) == (
+                tiny_result.detections[definition].sources
+            )
+
+    def test_event_timeout_override(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(tiny_scenario(), event_timeout=60.0)
+        result = run_scenario(scenario)
+        default = run_scenario(tiny_scenario())
+        # A much shorter timeout shatters slow flows into more events.
+        assert len(result.events) > len(default.events)
+
+    def test_stream_custom_sources(self, tiny_result):
+        # Passing an explicit AH set bypasses the cache and changes the
+        # attributed traffic.
+        custom = tiny_result.record_streams(ah_sources=set())
+        assert custom["merit"].ah_pps.sum() == 0
+        cached = tiny_result.record_streams()
+        assert cached["merit"].ah_pps.sum() > 0
+
+    def test_flow_scanners_exclude_spoofed(self, tiny_result):
+        srcs = {int(s.src) for s in tiny_result.flow_scanners()}
+        assert 0 not in srcs

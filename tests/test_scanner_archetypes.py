@@ -1,0 +1,194 @@
+"""Unit tests for the scanner archetype builders."""
+
+import numpy as np
+import pytest
+
+from repro.net.prefix import Prefix, PrefixSet
+from repro.packet import Protocol
+from repro.scanners import background, masscan, mirai, omniscanner, research
+from repro.scanners.base import ScanMode, View
+
+DURATION = 14 * 86_400.0
+
+
+def sources(n, start=1_000_000):
+    return np.arange(start, start + n, dtype=np.uint32)
+
+
+def dark_view():
+    return View(name="dark", prefixes=PrefixSet([Prefix.parse("10.0.0.0/19")]))
+
+
+class TestSweepers:
+    def test_build_shapes(self, rng):
+        scanners = masscan.build_sweepers(rng, sources(20), DURATION)
+        assert len(scanners) == 20
+        for s in scanners:
+            assert s.behavior == "masscan-sweep"
+            assert s.org is None
+            assert len(s.sessions) >= 1
+            for session in s.sessions:
+                assert session.mode is ScanMode.COVERAGE
+                assert 0.05 <= session.coverage <= 1.0
+                assert 0 <= session.start < DURATION
+
+    def test_unique_seeds(self, rng):
+        scanners = masscan.build_sweepers(rng, sources(10), DURATION, seed_base=50)
+        assert len({s.seed for s in scanners}) == 10
+
+    def test_coverage_bounds_respected(self, rng):
+        scanners = masscan.build_sweepers(
+            rng, sources(30), DURATION, coverage_low=0.2, coverage_high=0.3
+        )
+        for s in scanners:
+            for session in s.sessions:
+                assert 0.2 <= session.coverage <= 0.3
+
+    def test_many_reach_dispersion_threshold(self, rng):
+        scanners = masscan.build_sweepers(rng, sources(30), DURATION)
+        view = dark_view()
+        qualified = 0
+        for s in scanners:
+            batch = s.emit(view)
+            if len(batch) and len(np.unique(batch.dst)) >= 0.1 * view.size:
+                qualified += 1
+        assert qualified > 10
+
+
+class TestMirai:
+    def test_aggressive_bots_qualify(self, rng):
+        bots = mirai.build_aggressive_bots(rng, sources(10), DURATION)
+        view = dark_view()
+        hit_rates = []
+        for bot in bots:
+            batch = bot.emit(view)
+            hit_rates.append(len(np.unique(batch.dst)) / view.size)
+        assert np.median(hit_rates) >= 0.1
+
+    def test_ports_telnet_heavy(self, rng):
+        bots = mirai.build_aggressive_bots(rng, sources(5), DURATION)
+        batch = bots[0].emit(dark_view())
+        telnet_share = np.mean(batch.dport == 23)
+        assert telnet_share > 0.8
+        assert set(np.unique(batch.dport)) <= {23, 2323}
+
+    def test_small_bots_stay_small(self, rng):
+        bots = mirai.build_small_bots(rng, sources(20), DURATION)
+        view = dark_view()
+        for bot in bots:
+            batch = bot.emit(view)
+            assert len(np.unique(batch.dst)) < 0.1 * view.size
+
+    def test_behavior_labels(self, rng):
+        assert mirai.build_aggressive_bots(rng, sources(1), DURATION)[0].behavior == "mirai"
+        assert mirai.build_small_bots(rng, sources(1), DURATION)[0].behavior == "mirai-small"
+
+    def test_single_session_lifetime(self, rng):
+        bots = mirai.build_aggressive_bots(rng, sources(5), DURATION)
+        for bot in bots:
+            assert len(bot.sessions) == 1
+            assert bot.sessions[0].mode is ScanMode.RATE
+
+
+class TestOmniscanner:
+    def test_port_set_sizes(self, rng):
+        scanners = omniscanner.build_omniscanners(
+            rng, sources(5), DURATION, port_count_low=500, port_count_high=900
+        )
+        for s in scanners:
+            vertical = [x for x in s.sessions if x.mode is ScanMode.VERTICAL]
+            assert vertical
+            for session in vertical:
+                assert 500 <= len(session.ports) <= 900
+                assert len(np.unique(session.ports)) == len(session.ports)
+
+    def test_sessions_fit_days(self, rng):
+        scanners = omniscanner.build_omniscanners(
+            rng, sources(5), DURATION, port_count_low=100, port_count_high=200
+        )
+        for s in scanners:
+            for session in s.sessions:
+                assert session.end <= DURATION + 86_400.0
+
+    def test_multiport_smaller(self, rng):
+        scanners = omniscanner.build_multiport_scanners(rng, sources(10), DURATION)
+        for s in scanners:
+            assert 5 <= len(s.sessions[0].ports) <= 400
+            assert s.behavior == "multiport"
+
+
+class TestBackground:
+    def test_small_scanners_below_dispersion(self, rng):
+        scanners = background.build_small_scanners(rng, sources(50), DURATION)
+        view = dark_view()
+        for s in scanners[:20]:
+            batch = s.emit(view)
+            assert len(np.unique(batch.dst)) < 0.1 * view.size
+
+    def test_small_scanners_one_session(self, rng):
+        scanners = background.build_small_scanners(rng, sources(5), DURATION)
+        for s in scanners:
+            assert len(s.sessions) == 1
+            assert s.behavior == "small-scan"
+
+    def test_misconfig_targets_dark_space(self, rng):
+        view = dark_view()
+        scanners = background.build_misconfigured_hosts(
+            rng, sources(30), DURATION, view.ranges()
+        )
+        for s in scanners[:10]:
+            batch = s.emit(view)
+            if len(batch):
+                # All packets go to a single dark destination.
+                assert len(np.unique(batch.dst)) == 1
+                assert view.prefixes.contains_array(batch.dst).all()
+
+    def test_misconfig_invisible_elsewhere(self, rng):
+        dark = dark_view()
+        other = View(name="other", prefixes=PrefixSet([Prefix.parse("172.16.0.0/16")]))
+        scanners = background.build_misconfigured_hosts(
+            rng, sources(10), DURATION, dark.ranges()
+        )
+        for s in scanners:
+            assert len(s.emit(other)) == 0
+
+
+class TestResearch:
+    def test_org_recorded(self, rng):
+        scanners = research.build_org_scanners(
+            rng, "netcensus", sources(10), DURATION
+        )
+        assert all(s.org == "netcensus" for s in scanners)
+        assert all(s.behavior == "research" for s in scanners)
+
+    def test_recurring_sessions(self, rng):
+        scanners = research.build_org_scanners(
+            rng, "o", sources(20), DURATION, vertical_fraction=0.0
+        )
+        session_counts = [len(s.sessions) for s in scanners]
+        # 14-day scenario with 2-6 day cadence: at least 2 surveys each.
+        assert min(session_counts) >= 2
+
+    def test_vertical_fraction_one(self, rng):
+        scanners = research.build_org_scanners(
+            rng, "o", sources(5), DURATION, vertical_fraction=1.0
+        )
+        for s in scanners:
+            assert all(x.mode is ScanMode.VERTICAL for x in s.sessions)
+
+    def test_moderate_stays_below_threshold(self, rng):
+        scanners = research.build_moderate_org_scanners(
+            rng, "o", sources(10), DURATION
+        )
+        view = dark_view()
+        for s in scanners:
+            batch = s.emit(view)
+            assert len(np.unique(batch.dst)) < 0.1 * view.size
+            assert s.behavior == "research-moderate"
+
+    def test_zmap_tool_dominant(self, rng):
+        scanners = research.build_org_scanners(rng, "o", sources(10), DURATION)
+        from repro.fingerprint import Tool
+
+        tools = {sess.tool for s in scanners for sess in s.sessions}
+        assert tools == {Tool.ZMAP}

@@ -1,0 +1,329 @@
+"""Unit tests for scanner sessions and the emission math."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint import Tool, ZMAP_IPID, classify, masscan_ipid
+from repro.net.prefix import Prefix, PrefixSet
+from repro.packet import Protocol
+from repro.scanners.base import (
+    ScanMode,
+    ScanSession,
+    Scanner,
+    View,
+    emit_population,
+    full_ipv4_ranges,
+)
+
+
+def make_view(base="10.0.0.0", length=16, name="test-view"):
+    return View(name=name, prefixes=PrefixSet([Prefix.parse(f"{base}/{length}")]))
+
+
+def coverage_session(coverage=0.5, ports=(80,), start=0.0, duration=100.0, **kw):
+    return ScanSession(
+        start=start,
+        duration=duration,
+        ports=np.array(ports, dtype=np.uint16),
+        proto=kw.pop("proto", Protocol.TCP_SYN),
+        tool=kw.pop("tool", Tool.ZMAP),
+        mode=ScanMode.COVERAGE,
+        coverage=coverage,
+        **kw,
+    )
+
+
+class TestSessionValidation:
+    def test_coverage_bounds(self):
+        with pytest.raises(ValueError):
+            coverage_session(coverage=0.0)
+        with pytest.raises(ValueError):
+            coverage_session(coverage=1.5)
+
+    def test_rate_positive(self):
+        with pytest.raises(ValueError):
+            ScanSession(
+                start=0, duration=10, ports=np.array([80]), proto=Protocol.TCP_SYN,
+                tool=Tool.OTHER, mode=ScanMode.RATE, rate_pps=0,
+            )
+
+    def test_vertical_targets_positive(self):
+        with pytest.raises(ValueError):
+            ScanSession(
+                start=0, duration=10, ports=np.array([80]), proto=Protocol.TCP_SYN,
+                tool=Tool.OTHER, mode=ScanMode.VERTICAL, n_targets=0,
+            )
+
+    def test_needs_ports(self):
+        with pytest.raises(ValueError):
+            ScanSession(
+                start=0, duration=10, ports=np.array([], dtype=np.uint16),
+                proto=Protocol.TCP_SYN, tool=Tool.OTHER, mode=ScanMode.COVERAGE,
+                coverage=0.5,
+            )
+
+    def test_port_weights_normalized(self):
+        session = ScanSession(
+            start=0, duration=10, ports=np.array([23, 2323]), proto=Protocol.TCP_SYN,
+            tool=Tool.OTHER, mode=ScanMode.RATE, rate_pps=10.0,
+            port_weights=np.array([9.0, 1.0]),
+        )
+        assert session.port_weights.sum() == pytest.approx(1.0)
+
+    def test_port_weights_misaligned(self):
+        with pytest.raises(ValueError):
+            ScanSession(
+                start=0, duration=10, ports=np.array([23]), proto=Protocol.TCP_SYN,
+                tool=Tool.OTHER, mode=ScanMode.RATE, rate_pps=10.0,
+                port_weights=np.array([0.5, 0.5]),
+            )
+
+    def test_duration_positive(self):
+        with pytest.raises(ValueError):
+            coverage_session(duration=0.0)
+
+
+class TestCoverageEmission:
+    def test_full_coverage_hits_everything(self):
+        view = make_view(length=22)  # 1024 addrs
+        scanner = Scanner(src=1, behavior="t", sessions=[coverage_session(1.0)], seed=3)
+        batch = scanner.emit(view)
+        assert len(batch) == 1024
+        assert len(np.unique(batch.dst)) == 1024
+
+    def test_partial_coverage_statistics(self):
+        view = make_view(length=16)  # 65536 addrs
+        scanner = Scanner(src=1, behavior="t", sessions=[coverage_session(0.25)], seed=3)
+        batch = scanner.emit(view)
+        # Binomial(65536, 0.25): mean 16384, sd ~111.
+        assert abs(len(batch) - 16_384) < 800
+        assert len(np.unique(batch.dst)) == len(batch)
+
+    def test_probes_per_target(self):
+        view = make_view(length=24)
+        session = coverage_session(1.0, probes_per_target=3)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=3)
+        batch = scanner.emit(view)
+        assert len(batch) == 3 * 256
+        assert len(np.unique(batch.dst)) == 256
+
+    def test_timestamps_within_session(self):
+        view = make_view(length=20)
+        session = coverage_session(0.5, start=50.0, duration=25.0)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=3)
+        batch = scanner.emit(view)
+        assert batch.ts.min() >= 50.0 and batch.ts.max() < 75.0
+
+    def test_window_clipping_scales_volume(self):
+        view = make_view(length=16)
+        session = coverage_session(0.5, start=0.0, duration=100.0)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=3)
+        half = scanner.emit(view, window=(0.0, 50.0))
+        # Half the window -> about half the coverage.
+        assert abs(len(half) - 0.25 * view.size) < 900
+        assert half.ts.max() < 50.0
+
+    def test_window_outside_session_empty(self):
+        view = make_view(length=16)
+        scanner = Scanner(src=1, behavior="t", sessions=[coverage_session(0.5)], seed=3)
+        assert len(scanner.emit(view, window=(200.0, 300.0))) == 0
+
+    def test_source_constant(self):
+        view = make_view(length=20)
+        scanner = Scanner(src=42, behavior="t", sessions=[coverage_session(0.9)], seed=3)
+        batch = scanner.emit(view)
+        assert np.all(batch.src == 42)
+
+
+class TestRateEmission:
+    def _rate_scanner(self, rate, ports=(23,), weights=None, duration=1_000.0):
+        session = ScanSession(
+            start=0.0, duration=duration, ports=np.array(ports, dtype=np.uint16),
+            proto=Protocol.TCP_SYN, tool=Tool.OTHER, mode=ScanMode.RATE,
+            rate_pps=rate, port_weights=weights,
+        )
+        return Scanner(src=9, behavior="t", sessions=[session], seed=5)
+
+    def test_expected_volume(self):
+        view = make_view(length=12)  # 2^20 addrs -> fraction 2^-12
+        rate = 40_960.0  # expect rate * frac = 10 pps in view
+        scanner = self._rate_scanner(rate)
+        batch = scanner.emit(view)
+        assert abs(len(batch) - 10_000) < 500
+
+    def test_port_mix(self):
+        view = make_view(length=12)
+        scanner = self._rate_scanner(
+            40_960.0, ports=(23, 2323), weights=np.array([0.9, 0.1])
+        )
+        batch = scanner.emit(view)
+        share = np.mean(batch.dport == 23)
+        assert 0.85 < share < 0.95
+
+    def test_with_replacement_duplicates(self):
+        view = make_view(length=24)  # tiny view: collisions certain
+        scanner = self._rate_scanner(90e6, duration=100.0)
+        batch = scanner.emit(view)
+        assert len(np.unique(batch.dst)) < len(batch)
+
+    def test_targeted_ranges(self):
+        # A RATE session restricted to one address emits only to it.
+        target = np.array([[167_772_161, 167_772_162]], dtype=np.int64)
+        session = ScanSession(
+            start=0.0, duration=100.0, ports=np.array([8080]),
+            proto=Protocol.TCP_SYN, tool=Tool.OTHER, mode=ScanMode.RATE,
+            rate_pps=0.1, target_ranges=target,
+        )
+        scanner = Scanner(src=9, behavior="t", sessions=[session], seed=5)
+        view = make_view("10.0.0.0", 8)
+        batch = scanner.emit(view)
+        assert len(batch) > 0
+        assert np.all(batch.dst == 167_772_161)
+
+
+class TestVerticalEmission:
+    def test_every_port_per_target(self):
+        view = make_view(length=16)
+        ports = np.array([10, 20, 30], dtype=np.uint16)
+        session = ScanSession(
+            start=0.0, duration=100.0, ports=ports, proto=Protocol.TCP_SYN,
+            tool=Tool.MASSCAN, mode=ScanMode.VERTICAL,
+            n_targets=2**16 * 64,  # expect ~1024 targets in view
+        )
+        scanner = Scanner(src=3, behavior="t", sessions=[session], seed=7)
+        batch = scanner.emit(view)
+        targets = np.unique(batch.dst)
+        assert len(batch) == 3 * len(targets)
+        # Each target sees all three ports.
+        for t in targets[:10]:
+            assert sorted(batch.dport[batch.dst == t].tolist()) == [10, 20, 30]
+
+
+class TestFingerprints:
+    def test_zmap_session_fingerprint(self):
+        view = make_view(length=20)
+        scanner = Scanner(
+            src=1, behavior="t", sessions=[coverage_session(1.0, tool=Tool.ZMAP)], seed=1
+        )
+        batch = scanner.emit(view)
+        assert np.all(batch.ipid == ZMAP_IPID)
+        assert np.all(classify(batch) == Tool.ZMAP.value)
+
+    def test_masscan_session_fingerprint(self):
+        view = make_view(length=20)
+        scanner = Scanner(
+            src=1, behavior="t",
+            sessions=[coverage_session(1.0, tool=Tool.MASSCAN)], seed=1,
+        )
+        batch = scanner.emit(view)
+        assert np.array_equal(batch.ipid, masscan_ipid(batch.dst, batch.dport))
+
+    def test_icmp_uses_port_zero(self):
+        view = make_view(length=20)
+        session = coverage_session(1.0, ports=(0,), proto=Protocol.ICMP_ECHO)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=1)
+        batch = scanner.emit(view)
+        assert np.all(batch.dport == 0)
+        batch.validate_invariants()
+
+
+class TestAnalyticPaths:
+    def test_count_rows_match_expected_volume(self, rng):
+        view = make_view(length=16)
+        session = coverage_session(0.5, duration=86_400.0)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=1)
+        rows = scanner.count_rows(view, (0.0, 86_400.0), 86_400.0, rng)
+        assert len(rows) == 1
+        day, port, proto, count = rows[0]
+        assert day == 0 and port == 80 and proto == Protocol.TCP_SYN.value
+        assert abs(count - 32_768) < 1_000
+
+    def test_count_rows_split_across_days(self, rng):
+        view = make_view(length=16)
+        session = coverage_session(0.5, start=43_200.0, duration=86_400.0)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=1)
+        rows = scanner.count_rows(view, (0.0, 2 * 86_400.0), 86_400.0, rng)
+        days = sorted(r[0] for r in rows)
+        assert days == [0, 1]
+        total = sum(r[3] for r in rows)
+        assert abs(total - 32_768) < 1_200
+
+    def test_count_rows_window_restricts(self, rng):
+        view = make_view(length=16)
+        session = coverage_session(0.5, duration=86_400.0)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=1)
+        rows = scanner.count_rows(view, (10 * 86_400.0, 11 * 86_400.0), 86_400.0, rng)
+        assert rows == []
+
+    def test_accumulate_stream_total(self, rng):
+        view = make_view(length=12)
+        session = ScanSession(
+            start=100.0, duration=800.0, ports=np.array([23]),
+            proto=Protocol.TCP_SYN, tool=Tool.OTHER, mode=ScanMode.RATE,
+            rate_pps=40_960.0,  # 10 pps in the view
+        )
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=1)
+        acc = np.zeros(1_000, dtype=np.int64)
+        scanner.accumulate_stream(acc, view, (0.0, 1_000.0), rng)
+        assert acc[:100].sum() == 0
+        assert acc[900:].sum() == 0
+        assert abs(acc.sum() - 8_000) < 500
+
+    def test_stream_and_packet_paths_agree(self, rng):
+        view = make_view(length=14)
+        session = coverage_session(0.8, duration=500.0)
+        scanner = Scanner(src=1, behavior="t", sessions=[session], seed=1)
+        packets = scanner.emit(view)
+        acc = np.zeros(500, dtype=np.int64)
+        scanner.accumulate_stream(acc, view, (0.0, 500.0), rng)
+        # Independent draws of the same expectation: within 5%.
+        assert abs(acc.sum() - len(packets)) < 0.05 * len(packets) + 200
+
+
+class TestScannerHelpers:
+    def test_activity_bounds(self):
+        sessions = [coverage_session(0.5, start=10, duration=5),
+                    coverage_session(0.5, start=100, duration=20)]
+        scanner = Scanner(src=1, behavior="t", sessions=sessions, seed=1)
+        assert scanner.first_activity() == 10
+        assert scanner.last_activity() == 120
+
+    def test_activity_requires_sessions(self):
+        scanner = Scanner(src=1, behavior="t", sessions=[], seed=1)
+        with pytest.raises(ValueError):
+            scanner.first_activity()
+
+    def test_distinct_ports(self):
+        sessions = [coverage_session(0.5, ports=(80, 443)),
+                    coverage_session(0.5, ports=(443, 22))]
+        scanner = Scanner(src=1, behavior="t", sessions=sessions, seed=1)
+        assert scanner.distinct_ports() == 3
+
+    def test_emission_deterministic_per_view(self):
+        view = make_view(length=18)
+        scanner = Scanner(src=1, behavior="t", sessions=[coverage_session(0.5)], seed=11)
+        a = scanner.emit(view)
+        b = scanner.emit(view)
+        assert np.array_equal(a.dst, b.dst)
+        assert np.array_equal(a.ts, b.ts)
+
+    def test_emission_differs_across_views(self):
+        scanner = Scanner(src=1, behavior="t", sessions=[coverage_session(0.5)], seed=11)
+        a = scanner.emit(make_view(length=18, name="v1"))
+        b = scanner.emit(make_view(length=18, name="v2"))
+        assert not np.array_equal(a.dst, b.dst)
+
+    def test_emit_population_sorted(self):
+        view = make_view(length=18)
+        scanners = [
+            Scanner(src=i, behavior="t", sessions=[coverage_session(0.3)], seed=i)
+            for i in range(5)
+        ]
+        batch = emit_population(scanners, view)
+        assert np.all(np.diff(batch.ts) >= 0)
+        assert set(np.unique(batch.src)) == set(range(5))
+
+    def test_full_ipv4_ranges(self):
+        ranges = full_ipv4_ranges()
+        assert ranges.shape == (1, 2)
+        assert ranges[0, 1] - ranges[0, 0] == 2**32

@@ -1,0 +1,70 @@
+"""Unit tests for scenario presets."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sim.scenario import (
+    SCALED_ALPHA,
+    darknet_year_scenario,
+    flows_day_scenario,
+    flows_week_scenario,
+    stream_72h_scenario,
+    tiny_scenario,
+)
+
+
+class TestPresets:
+    def test_year_scenarios_differ(self):
+        s21 = darknet_year_scenario(2021)
+        s22 = darknet_year_scenario(2022)
+        assert s21.population.year == 2021
+        assert s22.population.year == 2022
+        # 2022 has more daily aggressive hitters (Figure 3 growth).
+        assert s22.population.n_sweepers > s21.population.n_sweepers
+        # 2022's exhaustive-port tier is larger and more extreme — the
+        # driver of the paper's def-3 threshold jump (6,542 -> 57,410
+        # ports/day).
+        assert s22.population.n_omniscanners > s21.population.n_omniscanners
+        assert s22.population.omni_port_low > s21.population.omni_port_low
+
+    def test_year_calendar(self):
+        scenario = darknet_year_scenario(2021)
+        assert scenario.clock.start_date == dt.date(2021, 1, 1)
+        assert scenario.duration == scenario.days * 86_400.0
+
+    def test_flows_week_covers_paper_dates(self):
+        scenario = flows_week_scenario()
+        labels = [scenario.clock.label(d) for d in scenario.flow_days]
+        assert labels[0] == "2022-01-15 (Sat)"
+        assert labels[-1] == "2022-01-21 (Fri)"
+        assert len(scenario.flow_days) == 7
+        assert scenario.with_isp
+
+    def test_flows_day_is_oct_first(self):
+        scenario = flows_day_scenario()
+        assert [scenario.clock.label(d) for d in scenario.flow_days] == [
+            "2022-10-01 (Sat)"
+        ]
+
+    def test_stream_starts_sunday(self):
+        scenario = stream_72h_scenario()
+        assert scenario.clock.date_of(0).strftime("%a") == "Sun"
+        assert scenario.stream_window == (0.0, 3 * 86_400.0)
+        assert scenario.with_campus
+
+    def test_population_duration_matches(self):
+        for scenario in (
+            darknet_year_scenario(2022),
+            flows_week_scenario(),
+            tiny_scenario(),
+        ):
+            assert scenario.population.duration == pytest.approx(scenario.duration)
+
+    def test_scaled_alpha_used(self):
+        assert darknet_year_scenario(2022).detection.alpha == SCALED_ALPHA
+
+    def test_tiny_is_small(self):
+        scenario = tiny_scenario()
+        assert scenario.population.n_small_scanners < 1_000
+        assert scenario.days <= 5

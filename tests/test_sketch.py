@@ -1,0 +1,198 @@
+"""Tests for the streaming heavy-hitter sketches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sketch import KMV, HeavyHitterSketch, SpaceSaving, _mix64
+from repro.packet import PacketBatch, Protocol
+
+
+class TestMix64:
+    def test_deterministic_and_distinct(self):
+        values = np.arange(1_000, dtype=np.uint64)
+        hashed = _mix64(values)
+        assert np.array_equal(hashed, _mix64(values))
+        assert len(np.unique(hashed)) == 1_000
+
+    def test_avalanche_roughly_uniform(self):
+        hashed = _mix64(np.arange(100_000, dtype=np.uint64))
+        # Normalized hashes should be close to uniform on [0, 1).
+        normalized = hashed / 2**64
+        assert abs(normalized.mean() - 0.5) < 0.01
+
+
+class TestKMV:
+    def test_exact_below_k(self):
+        kmv = KMV(k=32)
+        kmv.add_hashes(_mix64(np.arange(10, dtype=np.uint64)))
+        assert kmv.estimate() == 10.0
+
+    def test_estimates_large_cardinality(self):
+        kmv = KMV(k=256)
+        kmv.add_hashes(_mix64(np.arange(50_000, dtype=np.uint64)))
+        estimate = kmv.estimate()
+        assert abs(estimate - 50_000) < 0.25 * 50_000
+
+    def test_duplicates_ignored(self):
+        kmv = KMV(k=16)
+        hashes = _mix64(np.arange(8, dtype=np.uint64))
+        kmv.add_hashes(hashes)
+        kmv.add_hashes(hashes)
+        assert kmv.estimate() == 8.0
+
+    def test_incremental_equals_batch(self):
+        hashes = _mix64(np.arange(5_000, dtype=np.uint64))
+        a, b = KMV(k=64), KMV(k=64)
+        a.add_hashes(hashes)
+        for chunk in np.array_split(hashes, 7):
+            b.add_hashes(chunk)
+        assert a.estimate() == b.estimate()
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            KMV(k=1)
+
+
+class TestSpaceSaving:
+    def test_exact_when_under_capacity(self):
+        counter = SpaceSaving(capacity=10)
+        for key, n in ((1, 5), (2, 3), (3, 1)):
+            for _ in range(n):
+                counter.offer(key)
+        assert counter.count_of(1) == (5, 0)
+        assert counter.count_of(2) == (3, 0)
+        assert counter.top(2)[0][0] == 1
+
+    def test_overestimation_bound(self):
+        rng = np.random.default_rng(0)
+        counter = SpaceSaving(capacity=50)
+        # Heavy keys + a long tail.
+        stream = np.concatenate(
+            [
+                np.repeat(np.arange(5), 2_000),
+                rng.integers(100, 10_000, 20_000),
+            ]
+        )
+        rng.shuffle(stream)
+        truth: dict = {}
+        for key in stream:
+            truth[int(key)] = truth.get(int(key), 0) + 1
+            counter.offer(int(key))
+        bound = counter.total / counter.capacity
+        for key, count, error in counter.top(50):
+            assert count >= truth.get(key, 0)  # never undercounts
+            assert count - truth.get(key, 0) <= bound
+            assert error <= bound
+
+    def test_heavy_keys_retained(self):
+        rng = np.random.default_rng(1)
+        counter = SpaceSaving(capacity=100)
+        stream = np.concatenate(
+            [np.repeat(777, 5_000), rng.integers(1_000, 50_000, 30_000)]
+        )
+        rng.shuffle(stream)
+        for key in stream:
+            counter.offer(int(key))
+        guaranteed = counter.guaranteed_heavy(threshold=3_000)
+        assert 777 in guaranteed
+
+    def test_capacity_respected(self):
+        counter = SpaceSaving(capacity=5)
+        for key in range(100):
+            counter.offer(key)
+        assert len(counter) == 5
+
+    def test_weight_validated(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(10).offer(1, weight=0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+
+class TestHeavyHitterSketch:
+    def _batch(self, src, dst, proto=Protocol.TCP_SYN):
+        n = len(src)
+        return PacketBatch(
+            ts=np.arange(n, dtype=np.float64),
+            src=np.asarray(src, dtype=np.uint32),
+            dst=np.asarray(dst, dtype=np.uint32),
+            dport=np.full(n, 23, dtype=np.uint16),
+            proto=np.full(n, proto.value, dtype=np.uint8),
+            ipid=np.zeros(n, dtype=np.uint16),
+        )
+
+    def test_disperse_source_detected(self):
+        sketch = HeavyHitterSketch(capacity=64, kmv_size=64)
+        # Source 1: 2000 distinct destinations; source 2: one dst, often.
+        sketch.add_batch(self._batch(np.full(2_000, 1), np.arange(2_000)))
+        sketch.add_batch(self._batch(np.full(2_000, 2), np.full(2_000, 9)))
+        candidates = sketch.candidates(dispersion_threshold=500)
+        assert 1 in candidates
+        assert 2 not in candidates
+        assert abs(candidates[1] - 2_000) < 800
+
+    def test_backscatter_excluded(self):
+        sketch = HeavyHitterSketch(capacity=16)
+        sketch.add_batch(
+            self._batch(np.full(100, 5), np.arange(100), Protocol.TCP_SYNACK)
+        )
+        assert sketch.total_packets == 0
+        assert sketch.tracked == 0
+
+    def test_memory_bounded(self):
+        rng = np.random.default_rng(2)
+        sketch = HeavyHitterSketch(capacity=128, kmv_size=16)
+        for _ in range(5):
+            sketch.add_batch(
+                self._batch(
+                    rng.integers(0, 100_000, 5_000),
+                    rng.integers(0, 8_192, 5_000),
+                )
+            )
+        assert sketch.tracked <= 128
+
+    def test_against_exact_definition1(self, tiny_result):
+        """Sketch candidates recover the exact def-1 population."""
+        capture = tiny_result.capture
+        threshold = 0.1 * tiny_result.telescope.size
+        sketch = HeavyHitterSketch(capacity=512, kmv_size=128)
+        # Feed in day-sized chunks, as a live deployment would.
+        for day in range(tiny_result.scenario.days):
+            sketch.add_batch(capture.day_slice(day, 86_400.0))
+        candidates = set(sketch.candidates(threshold * 0.8))
+        exact = tiny_result.detections[1].sources
+        recall = len(exact & candidates) / len(exact)
+        assert recall > 0.9
+        # Candidates are a pre-filter: allowed to be broader, but not
+        # unboundedly so.
+        assert len(candidates) < 5 * len(exact) + 10
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=400))
+@settings(max_examples=50)
+def test_space_saving_never_undercounts(stream):
+    counter = SpaceSaving(capacity=8)
+    truth: dict = {}
+    for key in stream:
+        truth[key] = truth.get(key, 0) + 1
+        counter.offer(key)
+    for key, count, _ in counter.top(8):
+        assert count >= truth[key]
+    assert counter.total == len(stream)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**32 - 1), max_size=300))
+@settings(max_examples=50)
+def test_kmv_exact_in_small_regime(values):
+    kmv = KMV(k=512)
+    kmv.add_hashes(_mix64(np.array(sorted(values), dtype=np.uint64)))
+    assert kmv.estimate() == len(values)

@@ -1,0 +1,185 @@
+"""Spoofing / backscatter robustness of the detection pipeline.
+
+The paper's §7 stresses that the AH methodologies aim at "quality
+lists, minimizing false positives due to spoofing or misconfigurations".
+These tests exercise the two classic hazards:
+
+* **DDoS backscatter** — a victim's SYN-ACK replies to spoofed sources
+  can blanket the dark space at dispersion-level coverage, but must
+  never enter scanner detection (the event builder keys on scanning
+  packet types only).
+* **Spoofed scans** — probes with forged, rotating sources create
+  crowds of one-packet "sources" that stay far below every threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.core.detection import detect_all
+from repro.core.events import build_events
+from repro.net.prefix import Prefix, PrefixSet
+from repro.packet import PacketBatch, Protocol, SCANNING_PROTOCOLS
+from repro.scanners.background import SpoofedScan, build_backscatter_victims
+from repro.scanners.base import View
+from repro.telescope.darknet import Telescope
+
+DAY = 86_400.0
+
+
+@pytest.fixture()
+def telescope():
+    return Telescope.from_prefix(Prefix.parse("10.0.0.0/20"))
+
+
+class TestProtocolTaxonomy:
+    def test_scanning_flags(self):
+        assert Protocol.TCP_SYN.is_scanning
+        assert Protocol.UDP.is_scanning
+        assert Protocol.ICMP_ECHO.is_scanning
+        assert not Protocol.TCP_SYNACK.is_scanning
+        assert not Protocol.TCP_RST.is_scanning
+        assert SCANNING_PROTOCOLS == {
+            Protocol.TCP_SYN,
+            Protocol.UDP,
+            Protocol.ICMP_ECHO,
+        }
+
+    def test_backscatter_labels(self):
+        assert "backscatter" in Protocol.TCP_SYNACK.label()
+        assert "backscatter" in Protocol.TCP_RST.label()
+
+
+class TestBackscatter:
+    def test_victims_emit_non_scanning_types(self, telescope, rng):
+        victims = build_backscatter_victims(
+            rng,
+            np.arange(50, 55, dtype=np.uint32),
+            duration=2 * DAY,
+            attack_pps_low=5e6,
+            attack_pps_high=5e7,
+        )
+        batch = PacketBatch.concat(
+            [v.emit(telescope.view()) for v in victims]
+        )
+        assert len(batch) > 0
+        codes = set(np.unique(batch.proto).tolist())
+        assert codes <= {Protocol.TCP_SYNACK.value, Protocol.TCP_RST.value}
+
+    def test_backscatter_never_detected(self, telescope, rng):
+        # A violent attack: the victim's replies cover well over 10% of
+        # the dark space — dispersion-grade coverage in raw packets.
+        victims = build_backscatter_victims(
+            rng,
+            np.array([99], dtype=np.uint32),
+            duration=2 * DAY,
+            attack_pps_low=3e7,
+            attack_pps_high=3e7,
+            attack_minutes_low=200.0,
+            attack_minutes_high=240.0,
+        )
+        capture = telescope.capture(victims, (0.0, 2 * DAY))
+        coverage = capture.destination_count() / telescope.size
+        assert coverage > 0.1, "test setup: backscatter must blanket the darknet"
+
+        events = build_events(capture.packets, timeout=600.0)
+        assert len(events) == 0  # non-scanning types filtered out
+        detections = detect_all(events, telescope.size, DetectionConfig(alpha=0.01))
+        for result in detections.values():
+            assert 99 not in result.sources
+
+    def test_mixed_capture_keeps_scanning_events(self, telescope, rng):
+        from tests.test_scanner_base import coverage_session
+        from repro.scanners.base import Scanner
+
+        scanner = Scanner(
+            src=7, behavior="t", sessions=[coverage_session(0.5)], seed=7
+        )
+        victims = build_backscatter_victims(
+            rng, np.array([99], dtype=np.uint32), duration=DAY,
+            attack_pps_low=1e7, attack_pps_high=1e7,
+        )
+        capture = telescope.capture([scanner] + victims, (0.0, DAY))
+        events = build_events(capture.packets, timeout=600.0)
+        assert set(events.sources_of()) == {7}
+        assert int(events.packets.sum()) == capture.packets_from({7})
+
+
+class TestSpoofedScan:
+    def _spoofed(self, coverage=1.0, seed=5):
+        spoof_ranges = np.array([[2**24, 2**28]], dtype=np.int64)
+        return SpoofedScan(
+            start=100.0,
+            duration=3_600.0,
+            coverage=coverage,
+            dport=23,
+            spoof_ranges=spoof_ranges,
+            seed=seed,
+        )
+
+    def test_sources_rotate(self, telescope):
+        batch = self._spoofed().emit(telescope.view())
+        assert len(batch) == telescope.size
+        # Essentially every packet carries a fresh forged source.
+        assert len(np.unique(batch.src)) > 0.95 * len(batch)
+
+    def test_window_clipping(self, telescope):
+        spoofed = self._spoofed()
+        half = spoofed.emit(telescope.view(), window=(100.0, 1_900.0))
+        assert 0 < len(half) < telescope.size
+        assert half.ts.max() < 1_900.0
+
+    def test_never_detected(self, telescope):
+        capture = telescope.capture([self._spoofed()], (0.0, DAY))
+        events = build_events(capture.packets, timeout=600.0)
+        # The probes DO form (tiny) events — they are real SYNs — but
+        # no forged source ever crosses a threshold.
+        assert len(events) > 0
+        assert int(events.packets.max()) <= 3
+        detections = detect_all(
+            events, telescope.size, DetectionConfig(alpha=1e-4)
+        )
+        assert detections[1].sources == set()
+        assert detections[3].sources == set()
+
+    def test_flow_and_stream_paths_silent(self, telescope, rng):
+        spoofed = self._spoofed()
+        assert spoofed.count_rows(telescope.view(), (0.0, DAY), DAY, rng) == []
+        acc = np.zeros(10, dtype=np.int64)
+        spoofed.accumulate_stream(acc, telescope.view(), (0.0, 10.0), rng)
+        assert acc.sum() == 0
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            self._spoofed(coverage=0.0)
+
+
+class TestEventBuilderFilter:
+    def test_filter_is_exact(self):
+        # Hand-built batch mixing all five protocol codes.
+        n = 5
+        batch = PacketBatch(
+            ts=np.arange(n, dtype=np.float64),
+            src=np.full(n, 1, dtype=np.uint32),
+            dst=np.arange(n, dtype=np.uint32),
+            dport=np.array([80, 53, 0, 80, 80], dtype=np.uint16),
+            proto=np.array(
+                [
+                    Protocol.TCP_SYN.value,
+                    Protocol.UDP.value,
+                    Protocol.ICMP_ECHO.value,
+                    Protocol.TCP_SYNACK.value,
+                    Protocol.TCP_RST.value,
+                ],
+                dtype=np.uint8,
+            ),
+            ipid=np.zeros(n, dtype=np.uint16),
+        )
+        events = build_events(batch, timeout=60.0)
+        assert int(events.packets.sum()) == 3
+        kept = {int(p) for p in np.unique(events.proto)}
+        assert kept == {
+            Protocol.TCP_SYN.value,
+            Protocol.UDP.value,
+            Protocol.ICMP_ECHO.value,
+        }

@@ -1,0 +1,96 @@
+"""Unit tests for the packet-stream monitors."""
+
+import numpy as np
+import pytest
+
+from repro.flows.stream import StreamSeries
+
+
+def make_series(total, ah, slash24s=10, network="merit"):
+    return StreamSeries(
+        network=network,
+        start=0.0,
+        total_pps=np.asarray(total, dtype=np.int64),
+        ah_pps=np.asarray(ah, dtype=np.int64),
+        slash24s=slash24s,
+    )
+
+
+class TestStreamSeries:
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            make_series([1, 2, 3], [1, 2])
+
+    def test_instantaneous_fraction(self):
+        series = make_series([100, 200, 0], [10, 50, 0])
+        frac = series.instantaneous_fraction()
+        assert frac.tolist() == [0.1, 0.25, 0.0]
+
+    def test_cumulative_fraction(self):
+        series = make_series([100, 100], [10, 30])
+        cum = series.cumulative_fraction()
+        assert cum[0] == pytest.approx(0.1)
+        assert cum[1] == pytest.approx(0.2)
+
+    def test_cumulative_declines_when_ah_stops(self):
+        total = np.full(100, 100)
+        ah = np.concatenate([np.full(50, 50), np.zeros(50)])
+        series = make_series(total, ah)
+        cum = series.cumulative_fraction()
+        assert cum[-1] < cum[49]
+
+    def test_normalized_rate(self):
+        series = make_series([100, 100], [20, 40], slash24s=4)
+        assert series.normalized_ah_rate().tolist() == [5.0, 10.0]
+
+    def test_high_load_mask(self):
+        series = make_series([100, 500, 900], [0, 0, 0])
+        assert series.high_load_mask(500).tolist() == [False, True, True]
+
+    def test_summary_fields(self):
+        series = make_series([100, 100], [10, 30])
+        summary = series.summary()
+        assert summary["total_packets"] == 200
+        assert summary["ah_packets"] == 40
+        assert summary["overall_fraction"] == pytest.approx(0.2)
+        assert summary["max_instantaneous_fraction"] == pytest.approx(0.3)
+        assert summary["peak_total_pps"] == 100
+
+    def test_empty_series(self):
+        series = make_series([], [])
+        assert len(series) == 0
+        assert series.peak_total_pps() == 0
+
+
+class TestMonitorsOnTinyScenario:
+    def test_both_stations_record(self, tiny_result):
+        streams = tiny_result.record_streams()
+        assert set(streams) == {"merit", "campus"}
+        for series in streams.values():
+            assert len(series) == 86_400
+            assert series.total_pps.sum() > 0
+
+    def test_total_includes_ah(self, tiny_result):
+        for series in tiny_result.record_streams().values():
+            assert np.all(series.total_pps >= series.ah_pps)
+
+    def test_ah_traffic_present_at_isp(self, tiny_result):
+        merit = tiny_result.record_streams()["merit"]
+        assert merit.ah_pps.sum() > 0
+
+    def test_campus_normalized_rate_exceeds_isp(self, tiny_result):
+        # The Figure 2 result: per-/24, the campus is hit at least as
+        # hard as the ISP station (which only mirrors one router and
+        # normalizes over the whole ISP's /24s).
+        streams = tiny_result.record_streams()
+        merit = streams["merit"].normalized_ah_rate().mean()
+        campus = streams["campus"].normalized_ah_rate().mean()
+        assert campus > merit
+
+    def test_caching_depresses_absolute_fraction_at_campus(self, tiny_result):
+        # The ISP's cache-shrunk denominator makes its absolute AH
+        # fraction larger than the campus one (Figure 1 top row).
+        streams = tiny_result.record_streams()
+        merit = streams["merit"].summary()["overall_fraction"]
+        campus = streams["campus"].summary()["overall_fraction"]
+        assert merit > campus

@@ -1,0 +1,158 @@
+"""Tests for the incremental (streaming) event builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import build_events
+from repro.core.streaming import (
+    StreamingEventBuilder,
+    chunked_events,
+    tables_equivalent,
+)
+from repro.packet import PacketBatch, Protocol
+from tests.test_events import _packets
+
+TCP = Protocol.TCP_SYN.value
+
+
+class TestBasics:
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            StreamingEventBuilder(0.0)
+
+    def test_single_chunk_matches_batch(self):
+        batch = _packets(
+            [(0, 1, 10, 80, TCP), (5, 1, 11, 80, TCP), (700, 1, 12, 80, TCP)]
+        )
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(batch)
+        streamed = builder.finish()
+        assert tables_equivalent(streamed, build_events(batch, 60.0))
+
+    def test_flow_survives_chunk_boundary(self):
+        # Packets 10s apart split across two chunks: one event.
+        first = _packets([(0, 1, 10, 80, TCP)])
+        second = _packets([(10, 1, 11, 80, TCP)])
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(first)
+        builder.add_batch(second)
+        events = builder.finish()
+        assert len(events) == 1
+        assert events.packets[0] == 2
+        assert events.unique_dsts[0] == 2
+
+    def test_flow_expires_across_chunks(self):
+        first = _packets([(0, 1, 10, 80, TCP)])
+        second = _packets([(1_000, 1, 11, 80, TCP)])
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(first)
+        builder.add_batch(second)
+        events = builder.finish()
+        assert len(events) == 2
+
+    def test_out_of_order_chunk_rejected(self):
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(_packets([(100, 1, 10, 80, TCP)]))
+        with pytest.raises(ValueError):
+            builder.add_batch(_packets([(50, 2, 10, 80, TCP)]))
+
+    def test_empty_batches_ignored(self):
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(PacketBatch.empty())
+        assert builder.watermark is None
+        assert len(builder.finish()) == 0
+
+    def test_backscatter_filtered(self):
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(
+            _packets([(0, 1, 80, 80, Protocol.TCP_SYNACK.value)])
+        )
+        assert builder.open_flows == 0
+        assert len(builder.finish()) == 0
+
+
+class TestTelemetry:
+    def test_open_flow_count(self):
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(
+            _packets([(0, 1, 10, 80, TCP), (0.5, 2, 10, 23, TCP)])
+        )
+        assert builder.open_flows == 2
+        # A later chunk expires both.
+        builder.add_batch(_packets([(1_000, 3, 10, 80, TCP)]))
+        assert builder.open_flows == 1
+        assert builder.closed_events == 2
+
+    def test_watermark_advances(self):
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(_packets([(5, 1, 10, 80, TCP)]))
+        assert builder.watermark == 5
+        builder.add_batch(_packets([(9, 1, 10, 80, TCP)]))
+        assert builder.watermark == 9
+
+    def test_early_emission(self):
+        builder = StreamingEventBuilder(timeout=60.0)
+        builder.add_batch(_packets([(0, 1, 10, 80, TCP)]))
+        builder.add_batch(_packets([(1_000, 2, 10, 80, TCP)]))
+        final = builder.finalized_events()
+        assert len(final) == 1  # src 1 expired; src 2 still open
+        assert final.src[0] == 1
+        # finish() still returns everything.
+        assert len(builder.finish()) == 2
+
+
+class TestEquivalenceWithBatchBuilder:
+    def test_chunked_equivalence_on_scenario(self, tiny_result):
+        batch = tiny_result.capture.packets
+        timeout = tiny_result.telescope.default_timeout()
+        streamed = chunked_events(batch, timeout, chunk_seconds=7_200.0)
+        batched = build_events(batch, timeout)
+        assert tables_equivalent(streamed, batched)
+
+    def test_chunk_size_irrelevant(self):
+        rng = np.random.default_rng(4)
+        n = 3_000
+        batch = PacketBatch(
+            ts=np.sort(rng.random(n) * 50_000.0),
+            src=rng.integers(1, 40, n).astype(np.uint32),
+            dst=rng.integers(0, 64, n).astype(np.uint32),
+            dport=rng.choice(np.array([23, 80], dtype=np.uint16), n),
+            proto=np.full(n, TCP, dtype=np.uint8),
+            ipid=np.zeros(n, dtype=np.uint16),
+        )
+        coarse = chunked_events(batch, timeout=300.0, chunk_seconds=25_000.0)
+        fine = chunked_events(batch, timeout=300.0, chunk_seconds=100.0)
+        assert tables_equivalent(coarse, fine)
+        assert tables_equivalent(fine, build_events(batch, 300.0))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunked_events(PacketBatch.empty(), 60.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Property: any chunking reproduces the batch builder exactly.
+# ----------------------------------------------------------------------
+
+packet_rows = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=5_000, allow_nan=False),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=20),
+        st.sampled_from([22, 23, 80]),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(packet_rows, st.floats(min_value=10.0, max_value=2_000.0),
+       st.floats(min_value=50.0, max_value=6_000.0))
+@settings(max_examples=60)
+def test_streaming_equals_batch(rows, timeout, chunk_seconds):
+    batch = _packets([(ts, s, d, p, TCP) for ts, s, d, p in rows])
+    streamed = chunked_events(batch, timeout, chunk_seconds)
+    batched = build_events(batch, timeout)
+    assert tables_equivalent(streamed, batched)

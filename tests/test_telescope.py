@@ -1,0 +1,95 @@
+"""Unit tests for the telescope and darknet capture."""
+
+import numpy as np
+import pytest
+
+from repro.config import event_timeout_seconds
+from repro.net.prefix import Prefix, PrefixSet
+from repro.scanners.base import Scanner
+from repro.telescope.capture import DarknetCapture
+from repro.telescope.darknet import Telescope
+from tests.test_scanner_base import coverage_session
+
+
+@pytest.fixture()
+def telescope():
+    return Telescope.from_prefix(Prefix.parse("10.0.0.0/20"))
+
+
+def make_scanners(n=3, coverage=0.5):
+    return [
+        Scanner(src=100 + i, behavior="t", sessions=[coverage_session(coverage)], seed=i)
+        for i in range(n)
+    ]
+
+
+class TestTelescope:
+    def test_size(self, telescope):
+        assert telescope.size == 4_096
+
+    def test_view_name(self, telescope):
+        assert telescope.view().name == "darknet"
+
+    def test_default_timeout_matches_rule(self, telescope):
+        assert telescope.default_timeout() == pytest.approx(
+            event_timeout_seconds(4_096)
+        )
+
+    def test_capture_only_dark_destinations(self, telescope):
+        capture = telescope.capture(make_scanners())
+        assert telescope.prefixes.contains_array(capture.packets.dst).all()
+
+    def test_capture_sorted(self, telescope):
+        capture = telescope.capture(make_scanners(5))
+        assert np.all(np.diff(capture.packets.ts) >= 0)
+
+    def test_capture_window(self, telescope):
+        scanners = [
+            Scanner(
+                src=1, behavior="t",
+                sessions=[coverage_session(0.9, start=0.0, duration=100.0)], seed=1,
+            )
+        ]
+        capture = telescope.capture(scanners, window=(50.0, 100.0))
+        assert capture.packets.ts.min() >= 50.0
+
+
+class TestCapture:
+    def test_summary(self, telescope):
+        capture = telescope.capture(make_scanners(4, coverage=0.9))
+        summary = capture.summary()
+        assert summary["packets"] == len(capture)
+        assert summary["source_ips"] == 4
+        assert summary["dark_size"] == 4_096
+        assert summary["dest_ips"] <= 4_096
+
+    def test_day_slice(self, telescope):
+        scanners = [
+            Scanner(
+                src=1, behavior="t",
+                sessions=[coverage_session(0.9, start=90_000.0, duration=100.0)],
+                seed=1,
+            )
+        ]
+        capture = telescope.capture(scanners)
+        assert len(capture.day_slice(0, 86_400.0)) == 0
+        assert len(capture.day_slice(1, 86_400.0)) == len(capture)
+
+    def test_packets_from(self, telescope):
+        capture = telescope.capture(make_scanners(3, coverage=1.0))
+        per_source = capture.packets_from({100})
+        assert per_source == 4_096
+        assert capture.packets_from(set()) == 0
+        assert capture.packets_from({100, 101}) == 8_192
+
+    def test_select_sources(self, telescope):
+        capture = telescope.capture(make_scanners(3))
+        sub = capture.select_sources({101})
+        assert np.all(sub.src == 101)
+
+    def test_capture_resorts_unsorted_batch(self, telescope):
+        scanners = make_scanners(2)
+        batch = scanners[0].emit(telescope.view())
+        shuffled = batch.select(np.random.default_rng(0).permutation(len(batch)))
+        capture = DarknetCapture(packets=shuffled, telescope=telescope)
+        assert np.all(np.diff(capture.packets.ts) >= 0)

@@ -1,0 +1,104 @@
+"""Unit tests for ACKed-list and honeypot validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import validation
+from repro.labeling.acknowledged import AckedOrg, AcknowledgedRegistry
+from repro.labeling.greynoise import Classification, GreyNoiseDB, GreyNoiseRecord
+
+
+@pytest.fixture()
+def registry(rng):
+    orgs = (
+        AckedOrg("alpha", "Alpha", "alpha", list_coverage=1.0, ptr_coverage=1.0),
+        AckedOrg("beta", "Beta", "beta", list_coverage=0.0, ptr_coverage=1.0),
+        AckedOrg("gamma", "Gamma", "gamma", list_coverage=0.0, ptr_coverage=0.0),
+    )
+    fleets = {
+        "alpha": np.array([10, 11], dtype=np.uint32),
+        "beta": np.array([20, 21], dtype=np.uint32),
+        "gamma": np.array([30], dtype=np.uint32),
+    }
+    return AcknowledgedRegistry.build(orgs, fleets, rng)
+
+
+class TestMatchAcknowledged:
+    def test_partition_of_matches(self, registry):
+        result = validation.match_acknowledged({10, 11, 20, 30, 99}, registry)
+        assert result.ip_matches == 2  # alpha, listed
+        assert result.domain_matches == 1  # beta via PTR
+        assert result.total_ips == 3
+        assert result.orgs == 2
+        assert result.matched_sources() == {10, 11, 20}
+
+    def test_gamma_unmatchable(self, registry):
+        result = validation.match_acknowledged({30}, registry)
+        assert result.total_ips == 0
+
+    def test_packet_accounting(self, registry, tiny_result):
+        # Use the tiny scenario's capture with a synthetic AH set that
+        # includes a couple of real darknet sources.
+        srcs = tiny_result.capture.packets.unique_sources()[:5]
+        ah = {int(s) for s in srcs}
+        result = validation.match_acknowledged(ah, registry, tiny_result.capture)
+        # None of those random sources belong to the toy registry.
+        assert result.packets == 0
+        assert result.packets_share_of_ah == 0.0
+
+    def test_unlisted_org_ips(self, registry):
+        out = validation.unlisted_org_ips({10, 20, 21, 99}, registry)
+        assert out == {20, 21}
+
+
+class TestGreyNoiseValidation:
+    @pytest.fixture()
+    def db(self):
+        db = GreyNoiseDB()
+        db.records[1] = GreyNoiseRecord(1, Classification.MALICIOUS, ("Mirai",))
+        db.records[2] = GreyNoiseRecord(2, Classification.UNKNOWN, ("ZMap Client",))
+        db.records[3] = GreyNoiseRecord(3, Classification.BENIGN, ("Web Crawler",))
+        return db
+
+    def test_overlap_average(self, db):
+        daily = {0: {1, 2}, 1: {1, 9}}
+        assert validation.greynoise_overlap(daily, db) == pytest.approx(0.75)
+
+    def test_overlap_skips_empty_days(self, db):
+        assert validation.greynoise_overlap({0: set()}, db) == 0.0
+
+    def test_breakdown_removes_acked(self, db):
+        out = validation.greynoise_breakdown({1, 2, 3, 4}, {3}, db)
+        assert out["acked"] == 1
+        assert out["malicious"] == 1
+        assert out["unknown"] == 1
+        assert out["not-seen"] == 1
+        assert out["benign"] == 0
+
+    def test_tags_exclude_acked(self, db):
+        rows = validation.greynoise_tags({1, 2, 3}, {3}, db)
+        tags = dict(rows)
+        assert "Web Crawler" not in tags
+        assert tags["Mirai"] == 1
+        assert tags["ZMap Client"] == 1
+
+    def test_tags_top_n(self, db):
+        rows = validation.greynoise_tags({1, 2}, set(), db, top_n=1)
+        assert len(rows) == 1
+
+
+class TestScenarioLevelValidation:
+    def test_gn_overlap_high_for_tiny_ah(self, tiny_report):
+        # The paper's 99.3% check: detected AH are near-universally
+        # visible at the distributed honeypots.
+        assert tiny_report.greynoise_overlap() > 0.9
+
+    def test_breakdown_sums_to_population(self, tiny_report):
+        breakdown = tiny_report.greynoise_breakdown()
+        assert sum(breakdown.values()) == len(tiny_report.detections[1])
+
+    def test_tags_present(self, tiny_report):
+        rows = tiny_report.greynoise_tags_table()
+        assert rows
+        tags = dict(rows)
+        assert any("Mirai" in t or "ZMap" in t for t in tags)
