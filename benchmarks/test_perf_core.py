@@ -56,6 +56,33 @@ def test_perf_event_builder(benchmark, capture):
     assert per_second > 200_000
 
 
+def test_perf_streaming(benchmark, capture):
+    """Throughput of the incremental builder over hourly chunks.
+
+    Drives the same capture as ``test_perf_event_builder`` through the
+    streaming path (24 epoch-aligned hourly chunks with open flows
+    carried across every boundary) — the chunked group-by must stay
+    within a small factor of the batch builder, not collapse to
+    per-packet Python speed.
+    """
+    from repro.core.streaming import StreamingEventBuilder
+
+    chunks = [c for _, _, c in capture.iter_time_chunks(3_600.0)]
+    assert len(chunks) == 24
+
+    def stream():
+        builder = StreamingEventBuilder(600.0)
+        for chunk in chunks:
+            builder.add_batch(chunk)
+        return builder.finish()
+
+    events = benchmark(stream)
+    assert int(events.packets.sum()) == len(capture)
+    # Streaming floor: > 200k packets/second end to end.
+    per_second = len(capture) / benchmark.stats.stats.mean
+    assert per_second > 200_000
+
+
 def test_perf_detection(benchmark, events):
     """All three definitions over a pre-built event table."""
     results = benchmark(

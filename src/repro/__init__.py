@@ -22,7 +22,14 @@ from repro.config import DetectionConfig, EventConfig, StudyConfig, event_timeou
 from repro.core.detection import detect_all, jaccard
 from repro.core.events import build_events
 from repro.core.pipeline import StudyReport, run_study
+from repro.core.streaming import (
+    StreamingDetector,
+    StreamingEventBuilder,
+    stream_detect,
+)
+from repro.core.telemetry import PipelineTelemetry
 from repro.sim.runner import run_scenario
+from repro.telescope.chunks import CaptureChunk, ChunkedCaptureSource
 from repro.sim.scenario import (
     Scenario,
     darknet_year_scenario,
@@ -35,9 +42,14 @@ from repro.sim.scenario import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CaptureChunk",
+    "ChunkedCaptureSource",
     "DetectionConfig",
     "EventConfig",
+    "PipelineTelemetry",
     "Scenario",
+    "StreamingDetector",
+    "StreamingEventBuilder",
     "StudyConfig",
     "StudyReport",
     "__version__",
@@ -50,6 +62,7 @@ __all__ = [
     "jaccard",
     "run_scenario",
     "run_study",
+    "stream_detect",
     "stream_72h_scenario",
     "tiny_scenario",
 ]

@@ -86,6 +86,17 @@ def _cmd_summary(report: StudyReport) -> None:
     print()
     print(format_table(["definition", "AH sources", "threshold"], rows))
     print(f"\nJaccard(def1, def2) = {report.definition_jaccard():.2f}")
+    telemetry = report.result.telemetry
+    if telemetry is not None:
+        print()
+        print(
+            format_table(
+                ["gauge", "value"],
+                telemetry.summary_rows(),
+                title="Streaming pipeline telemetry",
+                align_right=False,
+            )
+        )
 
 
 def _cmd_impact(report: StudyReport) -> None:
@@ -261,6 +272,23 @@ def build_parser() -> argparse.ArgumentParser:
             "or a path to a .json scenario file"
         ),
     )
+    parser.add_argument(
+        "--mode",
+        choices=("batch", "streaming"),
+        default="batch",
+        help=(
+            "batch: events + detection over the whole capture at once; "
+            "streaming: chunked capture -> incremental detection "
+            "(same results, bounded memory, telemetry in the summary)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-hours",
+        type=float,
+        default=None,
+        metavar="H",
+        help="streaming chunk size in simulated hours (default: 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("summary", help="dataset + detection summary")
     sub.add_parser("impact", help="Table 2 network impact (flows scenarios)")
@@ -283,7 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    report = run_study(_scenario(args.scenario))
+    chunk_seconds = (
+        args.chunk_hours * 3_600.0 if args.chunk_hours is not None else None
+    )
+    if args.chunk_hours is not None and args.mode != "streaming":
+        raise SystemExit("--chunk-hours requires --mode streaming")
+    if args.chunk_hours is not None and args.chunk_hours <= 0:
+        raise SystemExit("--chunk-hours must be positive")
+    report = run_study(
+        _scenario(args.scenario), mode=args.mode, chunk_seconds=chunk_seconds
+    )
     if args.command == "summary":
         _cmd_summary(report)
     elif args.command == "impact":

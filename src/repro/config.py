@@ -47,6 +47,10 @@ TIMEOUT_SPLIT_PROBABILITY = 0.05
 PAPER_DARKNET_SIZE = 475_000
 DEFAULT_DARK_PREFIX_LENGTH = 19
 
+#: Capture window for streaming-mode runs: one simulated hour, matching
+#: how the real telescope rotates pcap files.
+DEFAULT_CHUNK_SECONDS = 3_600.0
+
 #: Paper-reported /24 counts used for the Figure 2 normalization.
 PAPER_MERIT_SLASH24 = 28_561
 PAPER_CU_SLASH24 = 291

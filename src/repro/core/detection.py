@@ -102,15 +102,41 @@ def _daily_breakdown(
     return daily_new, daily_active
 
 
-def detect_dispersion(
-    events: EventTable,
-    dark_size: int,
-    config: Optional[DetectionConfig] = None,
-    day_seconds: float = 86_400.0,
+# ----------------------------------------------------------------------
+# Shared threshold rules and result builders.
+#
+# The batch detectors below and the streaming detector
+# (:class:`repro.core.streaming.StreamingDetector`) both go through
+# these helpers, so the two execution modes cannot drift apart: they
+# differ only in *when* the inputs (event table, ECDF sample, port-day
+# counts) are accumulated, never in how thresholds are derived or
+# applied.
+# ----------------------------------------------------------------------
+
+
+def dispersion_threshold(dark_size: int, config: DetectionConfig) -> float:
+    """Definition 1 critical value: a fraction of the dark space."""
+    return config.dispersion_fraction * dark_size
+
+
+def volume_threshold(ecdf, config: DetectionConfig) -> float:
+    """Definition 2 critical value: ECDF tail with a floor."""
+    return max(
+        ecdf.tail_threshold(config.alpha), float(config.min_packet_threshold)
+    )
+
+
+def ports_threshold(ecdf, config: DetectionConfig) -> float:
+    """Definition 3 critical value: ECDF tail with a floor."""
+    return max(
+        ecdf.tail_threshold(config.alpha), float(config.min_port_threshold)
+    )
+
+
+def dispersion_result(
+    events: EventTable, threshold: float, day_seconds: float
 ) -> DetectionResult:
-    """Definition 1: address dispersion (>= 10% of the dark space)."""
-    config = config or DetectionConfig()
-    threshold = config.dispersion_fraction * dark_size
+    """Definition 1 result from a threshold already derived."""
     mask = events.unique_dsts >= threshold
     daily_new, daily_active = _daily_breakdown(events, mask, day_seconds)
     return DetectionResult(
@@ -123,46 +149,32 @@ def detect_dispersion(
     )
 
 
-def detect_volume(
-    events: EventTable,
-    config: Optional[DetectionConfig] = None,
-    day_seconds: float = 86_400.0,
+def volume_result(
+    events: EventTable, threshold: float, day_seconds: float
 ) -> DetectionResult:
-    """Definition 2: per-event packet volume above the ECDF tail."""
-    config = config or DetectionConfig()
-    if len(events) == 0:
-        return DetectionResult(definition=2, sources=set(), threshold=0.0)
-    ecdf = ECDF(events.packets.astype(np.float64))
-    threshold = max(
-        ecdf.tail_threshold(config.alpha), float(config.min_packet_threshold)
-    )
+    """Definition 2 result from a threshold already derived."""
     mask = events.packets > threshold
     daily_new, daily_active = _daily_breakdown(events, mask, day_seconds)
     return DetectionResult(
         definition=2,
         sources=events.sources_of(mask),
-        threshold=threshold,
+        threshold=float(threshold),
         daily_new=daily_new,
         daily_active=daily_active,
         qualifying_events=events.select(mask),
     )
 
 
-def detect_ports(
-    events: EventTable,
+def ports_result_from_counts(
+    counts: Dict[tuple, int],
     config: Optional[DetectionConfig] = None,
-    day_seconds: float = 86_400.0,
 ) -> DetectionResult:
-    """Definition 3: distinct darknet ports contacted per day."""
+    """Definition 3 result from per-(src, day) distinct-port counts."""
     config = config or DetectionConfig()
-    counts = events.daily_port_counts(day_seconds)
     if not counts:
         return DetectionResult(definition=3, sources=set(), threshold=0.0)
     sample = np.array(list(counts.values()), dtype=np.float64)
-    ecdf = ECDF(sample)
-    threshold = max(
-        ecdf.tail_threshold(config.alpha), float(config.min_port_threshold)
-    )
+    threshold = ports_threshold(ECDF(sample), config)
     sources: set = set()
     daily_new: Dict[int, set] = {}
     daily_active: Dict[int, set] = {}
@@ -183,6 +195,43 @@ def detect_ports(
         daily_new=daily_new,
         daily_active=daily_active,
         qualifying_events=None,
+    )
+
+
+def detect_dispersion(
+    events: EventTable,
+    dark_size: int,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> DetectionResult:
+    """Definition 1: address dispersion (>= 10% of the dark space)."""
+    config = config or DetectionConfig()
+    threshold = dispersion_threshold(dark_size, config)
+    return dispersion_result(events, threshold, day_seconds)
+
+
+def detect_volume(
+    events: EventTable,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> DetectionResult:
+    """Definition 2: per-event packet volume above the ECDF tail."""
+    config = config or DetectionConfig()
+    if len(events) == 0:
+        return DetectionResult(definition=2, sources=set(), threshold=0.0)
+    ecdf = ECDF(events.packets.astype(np.float64))
+    return volume_result(events, volume_threshold(ecdf, config), day_seconds)
+
+
+def detect_ports(
+    events: EventTable,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> DetectionResult:
+    """Definition 3: distinct darknet ports contacted per day."""
+    config = config or DetectionConfig()
+    return ports_result_from_counts(
+        events.daily_port_counts(day_seconds), config
     )
 
 

@@ -9,6 +9,7 @@ quantile and tail-threshold queries.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -71,3 +72,60 @@ class ECDF:
             "p99": self.quantile(0.99),
             "max": float(self.values[-1]),
         }
+
+
+class StreamingECDF:
+    """An :class:`ECDF` whose sample grows incrementally.
+
+    The streaming detection path folds per-chunk observations in as
+    flows finalize; thresholds are only needed at snapshot/finish time.
+    Observations are buffered per :meth:`add` call and merged into one
+    sorted array lazily, so adding is O(chunk) and the first query after
+    an add pays one merge.  Because the merged sample is exactly the
+    concatenation of everything added, every query returns what a batch
+    :class:`ECDF` over the same observations would — the streaming and
+    batch detectors therefore compute identical thresholds.
+    """
+
+    def __init__(self) -> None:
+        self._runs: List[np.ndarray] = []
+        self._n = 0
+        self._cached: Optional[ECDF] = None
+
+    def __len__(self) -> int:
+        return self._n
+
+    def add(self, values) -> None:
+        """Fold new observations into the sample."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        if np.any(~np.isfinite(values)):
+            raise ValueError("ECDF sample contains non-finite values")
+        self._runs.append(np.sort(values))
+        self._n += values.size
+        self._cached = None
+
+    def ecdf(self) -> ECDF:
+        """The batch-equivalent :class:`ECDF` over everything added."""
+        if self._n == 0:
+            raise ValueError("ECDF needs at least one observation")
+        if self._cached is None:
+            # Each run is pre-sorted; timsort exploits the runs, making
+            # the compaction close to a linear multi-way merge.
+            merged = np.sort(np.concatenate(self._runs), kind="stable")
+            self._runs = [merged]
+            self._cached = ECDF(merged)
+        return self._cached
+
+    def evaluate(self, x):
+        """P(X <= x); see :meth:`ECDF.evaluate`."""
+        return self.ecdf().evaluate(x)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF; see :meth:`ECDF.quantile`."""
+        return self.ecdf().quantile(q)
+
+    def tail_threshold(self, alpha: float) -> float:
+        """The (1 - alpha)-percentile critical value."""
+        return self.ecdf().tail_threshold(alpha)

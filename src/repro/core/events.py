@@ -18,7 +18,7 @@ multi-million-packet captures build in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -84,6 +84,35 @@ class EventTable:
             unique_dsts=np.empty(0, dtype=np.int64),
         )
 
+    @classmethod
+    def concat(cls, tables: Sequence["EventTable"]) -> "EventTable":
+        """Concatenate tables (row order preserved, no sorting)."""
+        tables = [t for t in tables if len(t)]
+        if not tables:
+            return cls.empty()
+        if len(tables) == 1:
+            return tables[0]
+        return cls(
+            src=np.concatenate([t.src for t in tables]),
+            dport=np.concatenate([t.dport for t in tables]),
+            proto=np.concatenate([t.proto for t in tables]),
+            start=np.concatenate([t.start for t in tables]),
+            end=np.concatenate([t.end for t in tables]),
+            packets=np.concatenate([t.packets for t in tables]),
+            unique_dsts=np.concatenate([t.unique_dsts for t in tables]),
+        )
+
+    def sorted_canonical(self) -> "EventTable":
+        """Rows ordered by (src, dport, proto, start).
+
+        This is exactly the order :func:`build_events` emits (its flow
+        key preserves the (src, dport, proto) lexicographic order), so a
+        canonically sorted streaming table compares array-equal to the
+        batch builder's output.
+        """
+        order = np.lexsort((self.start, self.proto, self.dport, self.src))
+        return self.select(order)
+
     def select(self, mask: np.ndarray) -> "EventTable":
         """Row subset."""
         return EventTable(
@@ -133,6 +162,37 @@ class EventTable:
         day = np.repeat(first, spans) + offsets
         return event_index, day
 
+    def daily_port_triples(self, day_seconds: float) -> tuple:
+        """Unique (src, day, port·proto) triples over the day expansion.
+
+        An event contributes its (port, proto) pair to every day it
+        overlaps.  Returns three aligned arrays ``(src, day, port_proto)``
+        sorted lexicographically with duplicates removed — the raw
+        material of Definition 3, in a form the streaming detector can
+        merge across chunks (set union of triples is associative).
+        """
+        if len(self) == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        event_index, day = self._expand_event_days(day_seconds)
+        src = self.src.astype(np.int64)[event_index]
+        port_proto = (
+            (self.dport.astype(np.int64) << 8) | self.proto.astype(np.int64)
+        )[event_index]
+        order = np.lexsort((port_proto, day, src))
+        src, day, port_proto = src[order], day[order], port_proto[order]
+        first = np.empty(len(src), dtype=bool)
+        first[0] = True
+        first[1:] = (
+            (src[1:] != src[:-1])
+            | (day[1:] != day[:-1])
+            | (port_proto[1:] != port_proto[:-1])
+        )
+        return src[first], day[first], port_proto[first]
+
     def daily_port_counts(self, day_seconds: float) -> dict:
         """Distinct (port, proto) pairs contacted per (src, day).
 
@@ -140,37 +200,7 @@ class EventTable:
         at event granularity: an event contributes its port to every day
         it overlaps.  Returns ``{(src, day): port_count}``.
         """
-        if len(self) == 0:
-            return {}
-        event_index, day = self._expand_event_days(day_seconds)
-        # Dense source ids keep the composite key inside 64 bits:
-        # src_id (<= ~26 bits at any realistic scale) | day | port+proto.
-        unique_src, src_id = np.unique(self.src, return_inverse=True)
-        day_offset = int(day.min())
-        day_norm = (day - day_offset).astype(np.uint64)
-        if day_norm.max() >= 2**16 or len(unique_src) >= 2**24:
-            raise OverflowError("event table too wide for the day/src key")
-        port_proto = (
-            self.dport.astype(np.uint64) << np.uint64(8)
-        ) | self.proto.astype(np.uint64)
-        keys = (
-            (src_id.astype(np.uint64)[event_index] << np.uint64(40))
-            | (day_norm << np.uint64(24))
-            | port_proto[event_index]
-        )
-        unique_keys = np.unique(keys)
-        group = unique_keys >> np.uint64(24)  # (src_id, day)
-        boundaries = np.concatenate(
-            [[True], group[1:] != group[:-1]]
-        )
-        group_ids = group[boundaries]
-        counts = np.diff(np.concatenate([np.flatnonzero(boundaries), [len(group)]]))
-        out: dict = {}
-        for gid, count in zip(group_ids, counts):
-            src = int(unique_src[int(gid >> np.uint64(16))])
-            day_value = int(gid & np.uint64(0xFFFF)) + day_offset
-            out[(src, day_value)] = int(count)
-        return out
+        return port_counts_from_triples(*self.daily_port_triples(day_seconds))
 
     def validate_invariants(self) -> None:
         """Raise when structural invariants are violated."""
@@ -182,6 +212,38 @@ class EventTable:
             raise ValueError("event with no destinations")
         if np.any(self.unique_dsts > self.packets):
             raise ValueError("more unique destinations than packets")
+
+
+def port_counts_from_triples(
+    src: np.ndarray, day: np.ndarray, port_proto: np.ndarray
+) -> dict:
+    """Group (src, day, port·proto) triples into per-(src, day)
+    distinct-port counts, ``{(src, day): count}``.
+
+    Duplicate triples are tolerated and counted once — the streaming
+    detector hands in a concatenation of per-chunk runs, where a flow
+    active in several chunks repeats its triple.
+    """
+    if len(src) == 0:
+        return {}
+    order = np.lexsort((port_proto, day, src))
+    src, day, port_proto = src[order], day[order], port_proto[order]
+    fresh = np.empty(len(src), dtype=bool)
+    fresh[0] = True
+    fresh[1:] = (
+        (src[1:] != src[:-1])
+        | (day[1:] != day[:-1])
+        | (port_proto[1:] != port_proto[:-1])
+    )
+    src, day = src[fresh], day[fresh]
+    boundary = np.empty(len(src), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (src[1:] != src[:-1]) | (day[1:] != day[:-1])
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.concatenate([starts, [len(src)]]))
+    return {
+        (int(src[i]), int(day[i])): int(c) for i, c in zip(starts, counts)
+    }
 
 
 def build_events(batch: PacketBatch, timeout: float) -> EventTable:

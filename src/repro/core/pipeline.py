@@ -236,6 +236,17 @@ class StudyReport:
         )
 
 
-def run_study(scenario: Scenario) -> StudyReport:
-    """Run a scenario and wrap it for analysis."""
-    return StudyReport(result=run_scenario(scenario))
+def run_study(
+    scenario: Scenario,
+    *,
+    mode: str = "batch",
+    chunk_seconds: Optional[float] = None,
+) -> StudyReport:
+    """Run a scenario and wrap it for analysis.
+
+    ``mode="streaming"`` routes detection through the chunked pipeline
+    (identical results, bounded memory, telemetry on the result).
+    """
+    return StudyReport(
+        result=run_scenario(scenario, mode=mode, chunk_seconds=chunk_seconds)
+    )

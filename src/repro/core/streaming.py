@@ -1,4 +1,4 @@
-"""Incremental darknet-event construction.
+"""Incremental darknet-event construction and detection.
 
 A production telescope never sees its year of traffic at once: captures
 arrive in chunks (hourly pcaps, kafka batches), and the event pipeline
@@ -9,62 +9,108 @@ that and is equivalent to the batch builder: feeding it any chunking of
 a capture yields the same events as one :func:`~repro.core.events.build_events`
 call over the concatenation (a property test pins this down).
 
-It also exposes the operational telemetry a live deployment needs —
-number of open flows (state size) and watermarks — and supports
-*early-emission* queries: the events that are already final given the
-data seen so far (everything whose flow expired before the watermark).
+``StreamingDetector`` stacks incremental detection on top: it drains
+finalized events out of the builder after every chunk and folds them
+into per-definition state — a streaming ECDF of per-event packet counts
+(Definition 2), the running set of dispersion-qualified sources
+(Definition 1) and merged per-(src, day) distinct-port triples
+(Definition 3).  At :meth:`~StreamingDetector.finish` the accumulated
+state is handed to the *same* threshold rules and result builders the
+batch path uses (:mod:`repro.core.detection`), so both modes produce
+identical :class:`~repro.core.detection.DetectionResult`\\ s by
+construction.
+
+Both layers expose the operational telemetry a live deployment needs —
+number of open flows (state size, with its running peak) and watermarks
+— and support *early-emission* queries: the events that are already
+final given the data seen so far (everything whose flow expired before
+the watermark).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.events import EventTable, build_events
+from repro.config import DetectionConfig
+from repro.core.detection import (
+    DetectionResult,
+    dispersion_result,
+    dispersion_threshold,
+    ports_result_from_counts,
+    volume_result,
+    volume_threshold,
+)
+from repro.core.ecdf import StreamingECDF
+from repro.core.events import (
+    EventTable,
+    _flow_keys,
+    build_events,
+    port_counts_from_triples,
+)
 from repro.packet import PacketBatch, SCANNING_PROTOCOLS
 
 
-@dataclass
-class _OpenFlow:
-    """State of one live (src, dport, proto) flow."""
-
-    src: int
-    dport: int
-    proto: int
-    start: float
-    last: float
-    packets: int
-    # Distinct destinations seen so far (bounded by the darknet size).
-    dsts: set = field(default_factory=set)
-
-    def to_row(self) -> tuple:
-        return (
-            self.src,
-            self.dport,
-            self.proto,
-            self.start,
-            self.last,
-            self.packets,
-            len(self.dsts),
-        )
+# Open-flow state is a plain list (not a dataclass) because the splice
+# loop in ``add_batch`` touches one record per live flow per chunk and
+# attribute access is measurably slower than indexing there.  Layout:
+# [src, dport, proto, start, last, packets, dst_segments] where
+# dst_segments is a list of per-segment destination lists, each already
+# deduplicated *within* itself.  Most flows are opened and expired
+# without ever being continued, so the cross-segment union (the only
+# genuinely per-element Python work) is deferred to close time and paid
+# only by multi-segment flows.
+_F_START, _F_LAST, _F_PACKETS, _F_DSTS = 3, 4, 5, 6
 
 
-def _rows_to_table(rows: List[tuple]) -> EventTable:
-    if not rows:
-        return EventTable.empty()
-    rows.sort(key=lambda r: (r[0], r[1], r[2], r[3]))
-    arr = np.array([r[:7] for r in rows], dtype=np.float64)
-    return EventTable(
-        src=arr[:, 0].astype(np.uint32),
-        dport=arr[:, 1].astype(np.uint16),
-        proto=arr[:, 2].astype(np.uint8),
-        start=arr[:, 3],
-        end=arr[:, 4],
-        packets=arr[:, 5].astype(np.int64),
-        unique_dsts=arr[:, 6].astype(np.int64),
+def _flow_row(flow: list) -> tuple:
+    """Finalize an open-flow record into an event row."""
+    segments = flow[_F_DSTS]
+    if len(segments) == 1:
+        n_dsts = len(segments[0])
+    else:
+        n_dsts = len(set().union(*segments))
+    return (
+        flow[0],
+        flow[1],
+        flow[2],
+        flow[_F_START],
+        flow[_F_LAST],
+        flow[_F_PACKETS],
+        n_dsts,
     )
+
+
+def _rows_to_columns(rows: List[tuple]) -> tuple:
+    arr = np.array(rows, dtype=np.float64)
+    return (
+        arr[:, 0].astype(np.uint32),
+        arr[:, 1].astype(np.uint16),
+        arr[:, 2].astype(np.uint8),
+        arr[:, 3],
+        arr[:, 4],
+        arr[:, 5].astype(np.int64),
+        arr[:, 6].astype(np.int64),
+    )
+
+
+def _columns_to_table(chunks: List[tuple]) -> EventTable:
+    tables = [
+        EventTable(
+            src=c[0],
+            dport=c[1],
+            proto=c[2],
+            start=c[3],
+            end=c[4],
+            packets=c[5],
+            unique_dsts=c[6],
+        )
+        for c in chunks
+        if len(c[0])
+    ]
+    return EventTable.concat(tables)
 
 
 class StreamingEventBuilder:
@@ -77,14 +123,26 @@ class StreamingEventBuilder:
     internally unsorted; it is sorted on entry).  Feeding a chunk whose
     earliest packet predates the previous chunk's watermark raises —
     that data could belong to already-expired flows.
+
+    Each chunk is folded in with a vectorized group-by (the same
+    lexsort/segment-boundary construction the batch builder uses):
+    per-packet work is all numpy, and Python-level iteration happens
+    only once per *flow* active in the chunk — to splice chunk-local
+    events into the open-flow state that survives chunk boundaries.
     """
 
     def __init__(self, timeout: float):
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         self.timeout = float(timeout)
-        self._open: Dict[tuple, _OpenFlow] = {}
-        self._closed: List[tuple] = []
+        self._open: Dict[tuple, list] = {}
+        #: finalized single rows (flow expiries) and vectorized column
+        #: chunks (in-chunk closures) awaiting drain/finish.
+        self._closed_rows: List[tuple] = []
+        self._closed_cols: List[tuple] = []
+        self._pending_closed = 0
+        self._n_closed = 0
+        self._peak_open = 0
         self._watermark: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -94,9 +152,14 @@ class StreamingEventBuilder:
         return len(self._open)
 
     @property
+    def peak_open_flows(self) -> int:
+        """Largest state size observed so far (memory high-water mark)."""
+        return self._peak_open
+
+    @property
     def closed_events(self) -> int:
-        """Events finalized so far."""
-        return len(self._closed)
+        """Events finalized so far (cumulative, survives draining)."""
+        return self._n_closed
 
     @property
     def watermark(self) -> Optional[float]:
@@ -116,8 +179,8 @@ class StreamingEventBuilder:
             batch = batch.select(keep)
         if len(batch) == 0:
             return
-        batch = batch.sorted_by_time()
-        first_ts = float(batch.ts[0])
+        first_ts = float(batch.ts.min())
+        last_ts = float(batch.ts.max())
         if self._watermark is not None and first_ts < self._watermark:
             raise ValueError(
                 f"out-of-order chunk: starts at {first_ts:.3f}, watermark "
@@ -127,54 +190,181 @@ class StreamingEventBuilder:
         # chunk even begins — keeps the open-state bounded.
         self._expire_before(first_ts)
 
-        for i in range(len(batch)):
-            key = (
-                int(batch.src[i]),
-                int(batch.dport[i]),
-                int(batch.proto[i]),
-            )
-            ts = float(batch.ts[i])
-            flow = self._open.get(key)
-            if flow is not None and ts - flow.last > self.timeout:
-                self._closed.append(flow.to_row())
-                flow = None
-            if flow is None:
-                flow = _OpenFlow(
-                    src=key[0],
-                    dport=key[1],
-                    proto=key[2],
-                    start=ts,
-                    last=ts,
-                    packets=0,
+        # Chunk-local segmentation, identical to the batch builder:
+        # sort by (flow key, ts), events start at key or gap boundaries.
+        n = len(batch)
+        keys = _flow_keys(batch)
+        order = np.lexsort((batch.ts, keys))
+        keys = keys[order]
+        ts = batch.ts[order]
+        dst = batch.dst[order]
+        new_key = np.empty(n, dtype=bool)
+        new_key[0] = True
+        new_key[1:] = keys[1:] != keys[:-1]
+        gap = np.empty(n, dtype=bool)
+        gap[0] = False
+        gap[1:] = (ts[1:] - ts[:-1]) > self.timeout
+        starts = new_key | gap
+        event_id = np.cumsum(starts) - 1
+        n_events = int(event_id[-1]) + 1
+        start_idx = np.flatnonzero(starts)
+        end_idx = np.concatenate([start_idx[1:], [n]]) - 1
+        ev_packets = np.bincount(event_id, minlength=n_events).astype(np.int64)
+
+        # Per-event deduplicated destination values in CSR form: the
+        # counts close pure in-chunk events, the values seed or extend
+        # the open-flow destination sets.
+        pair_order = np.lexsort((dst, event_id))
+        eid_sorted = event_id[pair_order]
+        dst_sorted = dst[pair_order]
+        first_pair = np.empty(n, dtype=bool)
+        first_pair[0] = True
+        first_pair[1:] = (eid_sorted[1:] != eid_sorted[:-1]) | (
+            dst_sorted[1:] != dst_sorted[:-1]
+        )
+        ev_unique = np.bincount(
+            eid_sorted[first_pair], minlength=n_events
+        ).astype(np.int64)
+        ev_dst = dst_sorted[first_pair].tolist()
+        ev_off = np.concatenate(
+            [[0], np.cumsum(ev_unique)]
+        ).tolist()
+
+        ev_src = batch.src[order][start_idx]
+        ev_dport = batch.dport[order][start_idx]
+        ev_proto = batch.proto[order][start_idx]
+        ev_start = ts[start_idx]
+        ev_end = ts[end_idx]
+
+        # Python-level views for the per-flow splice loop.
+        src_l = ev_src.tolist()
+        dport_l = ev_dport.tolist()
+        proto_l = ev_proto.tolist()
+        start_l = ev_start.tolist()
+        end_l = ev_end.tolist()
+        packets_l = ev_packets.tolist()
+        key_first_ev = np.flatnonzero(new_key[start_idx]).tolist()
+        key_bounds = key_first_ev[1:] + [n_events]
+
+        closed_mask = np.ones(n_events, dtype=bool)
+        open_flows = self._open
+        closed_rows = self._closed_rows
+        timeout = self.timeout
+        n_rows_before = len(closed_rows)
+
+        for e0, e_stop in zip(key_first_ev, key_bounds):
+            last_e = e_stop - 1
+            key = (src_l[e0], dport_l[e0], proto_l[e0])
+            flow = open_flows.get(key)
+            if flow is not None:
+                if start_l[e0] - flow[_F_LAST] <= timeout:
+                    # The key's first event continues the open flow.
+                    flow[_F_DSTS].append(ev_dst[ev_off[e0]:ev_off[e0 + 1]])
+                    flow[_F_PACKETS] += packets_l[e0]
+                    flow[_F_LAST] = end_l[e0]
+                    closed_mask[e0] = False
+                    if e0 == last_e:
+                        continue  # single event: flow stays open
+                    # A gap follows within the chunk: the merged event
+                    # is final.
+                    closed_rows.append(_flow_row(flow))
+                else:
+                    # Open flow expired before the key's first packet.
+                    closed_rows.append(_flow_row(flow))
+            # Events between the first and last close in-chunk
+            # (vectorized below); the key's final event becomes the new
+            # open flow.
+            closed_mask[last_e] = False
+            open_flows[key] = [
+                key[0],
+                key[1],
+                key[2],
+                start_l[last_e],
+                end_l[last_e],
+                packets_l[last_e],
+                [ev_dst[ev_off[last_e]:ev_off[last_e + 1]]],
+            ]
+
+        n_new_rows = len(closed_rows) - n_rows_before
+        if bool(closed_mask.any()):
+            self._closed_cols.append(
+                (
+                    ev_src[closed_mask],
+                    ev_dport[closed_mask],
+                    ev_proto[closed_mask],
+                    ev_start[closed_mask],
+                    ev_end[closed_mask],
+                    ev_packets[closed_mask],
+                    ev_unique[closed_mask],
                 )
-                self._open[key] = flow
-            flow.last = ts
-            flow.packets += 1
-            flow.dsts.add(int(batch.dst[i]))
-        self._watermark = float(batch.ts[-1])
+            )
+            n_new_rows += int(closed_mask.sum())
+        self._n_closed += n_new_rows
+        self._pending_closed += n_new_rows
+        self._peak_open = max(self._peak_open, len(open_flows))
+        self._watermark = last_ts
 
     def _expire_before(self, now: float) -> None:
         expired = [
             key
             for key, flow in self._open.items()
-            if now - flow.last > self.timeout
+            if now - flow[_F_LAST] > self.timeout
         ]
         for key in expired:
-            self._closed.append(self._open.pop(key).to_row())
+            self._closed_rows.append(_flow_row(self._open.pop(key)))
+        self._n_closed += len(expired)
+        self._pending_closed += len(expired)
 
     # ------------------------------------------------------------------
+    def _pending_table(self) -> EventTable:
+        chunks = list(self._closed_cols)
+        if self._closed_rows:
+            chunks.append(_rows_to_columns(self._closed_rows))
+        return _columns_to_table(chunks)
+
     def finalized_events(self) -> EventTable:
-        """Events already final given the watermark (early emission)."""
+        """Events already final given the watermark (early emission).
+
+        Does not consume the events; excludes anything already drained
+        via :meth:`drain_finalized`.
+        """
         if self._watermark is not None:
             self._expire_before(self._watermark)
-        return _rows_to_table(list(self._closed))
+        return self._pending_table().sorted_canonical()
+
+    def drain_finalized(self) -> EventTable:
+        """Consume and return the events finalized since the last drain.
+
+        The incremental-detection layer calls this after every chunk so
+        finalized events leave the builder immediately — the builder's
+        live memory is then only the open-flow state.  Rows come back in
+        no particular order.
+        """
+        if self._watermark is not None:
+            self._expire_before(self._watermark)
+        table = self._pending_table()
+        self._closed_rows = []
+        self._closed_cols = []
+        self._pending_closed = 0
+        return table
 
     def finish(self) -> EventTable:
-        """Close all remaining flows and return the complete table."""
-        rows = list(self._closed) + [f.to_row() for f in self._open.values()]
-        self._closed = []
+        """Close all remaining flows and return their table.
+
+        Includes everything not yet drained; after this the builder is
+        empty.  When no :meth:`drain_finalized` calls were made this is
+        the complete event table, ordered like the batch builder's.
+        """
+        chunks = list(self._closed_cols)
+        rows = list(self._closed_rows)
+        rows.extend(_flow_row(flow) for flow in self._open.values())
+        if rows:
+            chunks.append(_rows_to_columns(rows))
+        self._closed_rows = []
+        self._closed_cols = []
+        self._pending_closed = 0
         self._open = {}
-        return _rows_to_table(rows)
+        return _columns_to_table(chunks).sorted_canonical()
 
 
 def chunked_events(
@@ -183,20 +373,20 @@ def chunked_events(
     """Convenience: run the streaming builder over fixed time chunks.
 
     Produces the same table as ``build_events(batch, timeout)`` (up to
-    row order) — the equivalence is asserted in the test suite.
+    row order) — the equivalence is asserted in the test suite.  Chunk
+    edges are computed as ``start + i * chunk_seconds`` so they stay
+    exact over arbitrarily long captures (accumulating ``edge +=
+    chunk_seconds`` drifts in floating point).
     """
-    if chunk_seconds <= 0:
-        raise ValueError("chunk_seconds must be positive")
     builder = StreamingEventBuilder(timeout)
     if len(batch) == 0:
+        if chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be positive")
         return builder.finish()
-    batch = batch.sorted_by_time()
-    start = float(batch.ts[0])
-    end = float(batch.ts[-1])
-    edge = start
-    while edge <= end:
-        builder.add_batch(batch.time_slice(edge, edge + chunk_seconds))
-        edge += chunk_seconds
+    for _, _, chunk in batch.iter_time_chunks(
+        chunk_seconds, align_to_epoch=False
+    ):
+        builder.add_batch(chunk)
     return builder.finish()
 
 
@@ -220,3 +410,188 @@ def tables_equivalent(a: EventTable, b: EventTable) -> bool:
         return sorted(rows)
 
     return canon(a) == canon(b)
+
+
+# ----------------------------------------------------------------------
+# Incremental detection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkReport:
+    """What one :meth:`StreamingDetector.add_batch` call did."""
+
+    packets: int
+    events_finalized: int
+    open_flows: int
+    watermark: Optional[float]
+
+
+class StreamingDetector:
+    """Incremental aggressive-hitter detection over capture chunks.
+
+    Feed time-ordered chunks with :meth:`add_batch`; call :meth:`finish`
+    once to obtain the complete event table and the per-definition
+    :class:`~repro.core.detection.DetectionResult`\\ s.  The results are
+    identical to ``detect_all(build_events(capture), ...)`` over the
+    concatenated capture, for any chunking — pinned by property tests.
+
+    Per chunk, the detector drains the builder's finalized events and
+    folds them into per-definition state:
+
+    * Definition 1 (dispersion): threshold is static, so qualifying
+      sources accumulate into a running set.
+    * Definition 2 (volume): per-event packet counts accumulate into a
+      :class:`~repro.core.ecdf.StreamingECDF`; the tail threshold only
+      exists over the full sample, so membership is applied at finish.
+    * Definition 3 (ports): per-chunk (src, day, port) triples are kept
+      as mergeable runs; the per-day distinct-port counts and their
+      ECDF threshold are derived at finish.
+
+    Memory is bounded by the open-flow state plus the (much smaller)
+    finalized event columns — the raw packet chunks are never retained.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        dark_size: int,
+        config: Optional[DetectionConfig] = None,
+        day_seconds: float = 86_400.0,
+    ):
+        self.builder = StreamingEventBuilder(timeout)
+        self.dark_size = int(dark_size)
+        self.config = config or DetectionConfig()
+        self.day_seconds = float(day_seconds)
+        self._chunks: List[EventTable] = []
+        self._volume_sample = StreamingECDF()
+        self._triple_runs: List[tuple] = []
+        self._d1_threshold = dispersion_threshold(self.dark_size, self.config)
+        self._d1_sources: set = set()
+        self._packets_seen = 0
+        self._events_finalized = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def packets_seen(self) -> int:
+        """Packets folded in so far (before protocol filtering)."""
+        return self._packets_seen
+
+    @property
+    def events_finalized(self) -> int:
+        """Events finalized and folded into detection state so far."""
+        return self._events_finalized
+
+    @property
+    def open_flows(self) -> int:
+        return self.builder.open_flows
+
+    @property
+    def peak_open_flows(self) -> int:
+        return self.builder.peak_open_flows
+
+    @property
+    def watermark(self) -> Optional[float]:
+        return self.builder.watermark
+
+    # ------------------------------------------------------------------
+    def add_batch(self, batch: PacketBatch) -> ChunkReport:
+        """Fold one capture chunk through events into detection state."""
+        if self._finished:
+            raise RuntimeError("detector already finished")
+        self.builder.add_batch(batch)
+        before = self._events_finalized
+        self._fold(self.builder.drain_finalized())
+        self._packets_seen += len(batch)
+        return ChunkReport(
+            packets=len(batch),
+            events_finalized=self._events_finalized - before,
+            open_flows=self.builder.open_flows,
+            watermark=self.builder.watermark,
+        )
+
+    def _fold(self, events: EventTable) -> None:
+        if len(events) == 0:
+            return
+        self._chunks.append(events)
+        self._events_finalized += len(events)
+        self._volume_sample.add(events.packets.astype(np.float64))
+        self._d1_sources |= events.sources_of(
+            events.unique_dsts >= self._d1_threshold
+        )
+        self._triple_runs.append(events.daily_port_triples(self.day_seconds))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A provisional mid-stream view (no full recomputation)."""
+        return {
+            "packets": self._packets_seen,
+            "events_finalized": self._events_finalized,
+            "open_flows": self.builder.open_flows,
+            "peak_open_flows": self.builder.peak_open_flows,
+            "watermark": self.builder.watermark,
+            "dispersion_sources": len(self._d1_sources),
+            "volume_threshold": (
+                volume_threshold(self._volume_sample.ecdf(), self.config)
+                if len(self._volume_sample)
+                else None
+            ),
+        }
+
+    def finish(self) -> Tuple[EventTable, Dict[int, DetectionResult]]:
+        """Flush remaining flows and produce the final detections."""
+        if self._finished:
+            raise RuntimeError("detector already finished")
+        self._fold(self.builder.finish())
+        self._finished = True
+        events = EventTable.concat(self._chunks).sorted_canonical()
+        self._chunks = [events]
+
+        results: Dict[int, DetectionResult] = {
+            1: dispersion_result(events, self._d1_threshold, self.day_seconds)
+        }
+        if len(events) == 0:
+            results[2] = DetectionResult(
+                definition=2, sources=set(), threshold=0.0
+            )
+        else:
+            results[2] = volume_result(
+                events,
+                volume_threshold(self._volume_sample.ecdf(), self.config),
+                self.day_seconds,
+            )
+        if self._triple_runs:
+            triples = tuple(
+                np.concatenate([run[i] for run in self._triple_runs])
+                for i in range(3)
+            )
+        else:
+            triples = (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        results[3] = ports_result_from_counts(
+            port_counts_from_triples(*triples), self.config
+        )
+        return events, results
+
+
+def stream_detect(
+    chunks,
+    timeout: float,
+    dark_size: int,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+) -> Tuple[EventTable, Dict[int, DetectionResult]]:
+    """Run the full incremental path over an iterable of chunks.
+
+    ``chunks`` yields :class:`~repro.packet.PacketBatch` objects in time
+    order.  Equivalent to ``detect_all(build_events(concat(chunks)))``
+    with bounded live memory.
+    """
+    detector = StreamingDetector(timeout, dark_size, config, day_seconds)
+    for chunk in chunks:
+        detector.add_batch(chunk)
+    return detector.finish()

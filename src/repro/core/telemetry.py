@@ -1,0 +1,145 @@
+"""Operational telemetry for the streaming pipeline.
+
+A live telescope deployment needs to know, per stage, how fast data is
+moving (packets/s into the event builder, events/s out of it), how much
+state the pipeline is holding (open flows — the only unbounded-looking
+structure, which the timeout actually bounds) and how far processing
+lags behind the data (watermark lag).  ``PipelineTelemetry`` collects
+those from the chunk loop in :func:`repro.sim.runner.run_scenario` and
+renders a compact table for the CLI summary.
+
+Nothing here affects results — the telemetry layer only observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StageStats:
+    """Throughput accounting for one pipeline stage."""
+
+    name: str
+    #: units consumed (packets for capture/build, events for detection).
+    items_in: int = 0
+    #: units produced (packets chunked, events finalized...).
+    items_out: int = 0
+    seconds: float = 0.0
+
+    def add(self, items_in: int, items_out: int, seconds: float) -> None:
+        self.items_in += int(items_in)
+        self.items_out += int(items_out)
+        self.seconds += float(seconds)
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Items consumed per second of stage time (None before data)."""
+        if self.seconds <= 0.0:
+            return None
+        return self.items_in / self.seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "items_in": self.items_in,
+            "items_out": self.items_out,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+        }
+
+
+@dataclass
+class PipelineTelemetry:
+    """Counters and gauges for one streaming pipeline run."""
+
+    chunk_seconds: Optional[float] = None
+    chunks: int = 0
+    total_packets: int = 0
+    total_events: int = 0
+    #: high-water mark of the open-flow state (memory gauge).
+    peak_open_flows: int = 0
+    #: open flows remaining when the run finished (0 after a flush).
+    final_open_flows: int = 0
+    #: largest single chunk, in packets.
+    peak_chunk_packets: int = 0
+    #: timestamp of the newest packet folded in.
+    watermark: Optional[float] = None
+    #: worst observed (chunk end edge - watermark) gap: how stale the
+    #: detector's view was, at its worst, relative to the data's clock.
+    max_watermark_lag: float = 0.0
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageStats:
+        """Get or create the named stage accumulator."""
+        if name not in self.stages:
+            self.stages[name] = StageStats(name)
+        return self.stages[name]
+
+    def record_chunk(
+        self,
+        packets: int,
+        events_finalized: int,
+        open_flows: int,
+        window_end: float,
+        watermark: Optional[float],
+    ) -> None:
+        """Fold one processed chunk into the gauges."""
+        self.chunks += 1
+        self.total_packets += int(packets)
+        self.total_events += int(events_finalized)
+        self.peak_open_flows = max(self.peak_open_flows, int(open_flows))
+        self.peak_chunk_packets = max(self.peak_chunk_packets, int(packets))
+        if watermark is not None:
+            self.watermark = watermark
+            self.max_watermark_lag = max(
+                self.max_watermark_lag, float(window_end) - float(watermark)
+            )
+
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> List[tuple]:
+        """(label, value) pairs for the CLI telemetry table."""
+        rows: List[tuple] = [
+            ("chunks", str(self.chunks)),
+            ("chunk seconds", _fmt_opt(self.chunk_seconds)),
+            ("packets", f"{self.total_packets:,}"),
+            ("events", f"{self.total_events:,}"),
+            ("peak open flows", f"{self.peak_open_flows:,}"),
+            ("final open flows", f"{self.final_open_flows:,}"),
+            ("peak chunk packets", f"{self.peak_chunk_packets:,}"),
+            ("watermark", _fmt_opt(self.watermark)),
+            ("max watermark lag", f"{self.max_watermark_lag:.1f}s"),
+        ]
+        for stage in self.stages.values():
+            throughput = stage.throughput
+            rate = (
+                f"{throughput:,.0f}/s" if throughput is not None else "n/a"
+            )
+            rows.append(
+                (
+                    f"stage {stage.name}",
+                    f"{stage.items_in:,} in, {stage.items_out:,} out, "
+                    f"{stage.seconds:.2f}s ({rate})",
+                )
+            )
+        return rows
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form for reports."""
+        return {
+            "chunk_seconds": self.chunk_seconds,
+            "chunks": self.chunks,
+            "total_packets": self.total_packets,
+            "total_events": self.total_events,
+            "peak_open_flows": self.peak_open_flows,
+            "final_open_flows": self.final_open_flows,
+            "peak_chunk_packets": self.peak_chunk_packets,
+            "watermark": self.watermark,
+            "max_watermark_lag": self.max_watermark_lag,
+            "stages": {k: v.as_dict() for k, v in self.stages.items()},
+        }
+
+
+def _fmt_opt(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:,.1f}"

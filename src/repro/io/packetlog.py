@@ -50,3 +50,45 @@ def load_packets_npz(path: Union[str, Path]) -> PacketBatch:
             proto=archive["proto"],
             ipid=archive["ipid"],
         )
+
+
+def save_packets_chunked(
+    batch: PacketBatch,
+    directory: Union[str, Path],
+    chunk_seconds: float,
+) -> int:
+    """Split a capture into per-window archives (hourly-pcap style).
+
+    Writes ``chunk-00000.npz``, ``chunk-00001.npz``, ... into
+    ``directory`` (created if missing), one per non-empty time window of
+    ``chunk_seconds``, epoch-aligned.  Filename order is time order, so
+    the directory can be streamed back with :func:`iter_packets_chunked`
+    without ever materializing the whole capture.
+
+    Returns the number of chunk files written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for _, _, chunk in batch.iter_time_chunks(chunk_seconds):
+        if len(chunk) == 0:
+            continue
+        save_packets_npz(chunk, directory / f"chunk-{written:05d}.npz")
+        written += 1
+    return written
+
+
+def iter_packets_chunked(directory: Union[str, Path]):
+    """Yield the chunks of :func:`save_packets_chunked` in time order.
+
+    Loads one archive at a time — the memory profile of the streaming
+    pipeline over an on-disk capture is one chunk plus detector state.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"not a chunk directory: {directory}")
+    paths = sorted(directory.glob("chunk-*.npz"))
+    if not paths:
+        raise ValueError(f"no chunk archives in {directory}")
+    for path in paths:
+        yield load_packets_npz(path)

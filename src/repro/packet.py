@@ -11,6 +11,7 @@ join (telescope capture, flow sampling, AH membership) stays vectorized.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -148,6 +149,45 @@ class PacketBatch:
         """Packets with ``start <= ts < end`` (no sort assumed)."""
         mask = (self.ts >= start) & (self.ts < end)
         return self.select(mask)
+
+    def iter_time_chunks(
+        self, chunk_seconds: float, align_to_epoch: bool = True
+    ):
+        """Yield ``(window_start, window_end, sub_batch)`` per time chunk.
+
+        The batch is time-sorted once and sliced with binary searches, so
+        each chunk is a cheap view.  Window edges are computed as
+        ``first_edge + i * chunk_seconds`` (never accumulated), so edges
+        stay exact over arbitrarily long captures.  With
+        ``align_to_epoch`` the first edge is snapped down to a multiple
+        of ``chunk_seconds`` (hourly-pcap-style calendar windows);
+        otherwise it starts at the first packet's timestamp.  Every
+        window in the covered span is yielded, including empty ones.
+        """
+        if chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be positive")
+        if len(self) == 0:
+            return
+        batch = self.sorted_by_time()
+        first_ts = float(batch.ts[0])
+        last_ts = float(batch.ts[-1])
+        if align_to_epoch:
+            first_edge = math.floor(first_ts / chunk_seconds) * chunk_seconds
+        else:
+            first_edge = first_ts
+        n_chunks = int(math.floor((last_ts - first_edge) / chunk_seconds)) + 1
+        # Guard the pathological float case where last_ts lands exactly
+        # on the final computed edge (windows are half-open).
+        while first_edge + n_chunks * chunk_seconds <= last_ts:
+            n_chunks += 1
+        edges = first_edge + np.arange(n_chunks + 1, dtype=np.float64) * chunk_seconds
+        bounds = np.searchsorted(batch.ts, edges, side="left")
+        for i in range(n_chunks):
+            yield (
+                float(edges[i]),
+                float(edges[i + 1]),
+                batch.select(slice(int(bounds[i]), int(bounds[i + 1]))),
+            )
 
     # ------------------------------------------------------------------
     # Analysis helpers

@@ -51,6 +51,7 @@ _TOP_LEVEL_KEYS = {
     "alpha",
     "dispersion_fraction",
     "event_timeout",
+    "chunk_seconds",
     "with_isp",
     "with_campus",
     "flow_days",
@@ -133,6 +134,9 @@ def scenario_from_dict(spec: dict) -> Scenario:
         stream_window=stream_window,
         event_timeout=(
             float(spec["event_timeout"]) if "event_timeout" in spec else None
+        ),
+        chunk_seconds=(
+            float(spec["chunk_seconds"]) if "chunk_seconds" in spec else None
         ),
     )
 

@@ -8,13 +8,17 @@ so the analyses can be re-run cheaply.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.config import DEFAULT_CHUNK_SECONDS
 from repro.core.detection import DetectionResult, detect_all
 from repro.core.events import EventTable, build_events
+from repro.core.streaming import StreamingDetector
+from repro.core.telemetry import PipelineTelemetry
 from repro.flows.isp import ISPNetwork, build_campus_like, build_merit_like
 from repro.flows.netflow import FlowTable, NetflowExporter
 from repro.flows.stream import StreamMonitor, StreamSeries
@@ -23,6 +27,7 @@ from repro.scanners.base import Scanner
 from repro.scanners.population import ScannerPopulation, build_population
 from repro.sim.scenario import Scenario
 from repro.telescope.capture import DarknetCapture
+from repro.telescope.chunks import ChunkedCaptureSource
 from repro.telescope.darknet import Telescope
 
 
@@ -39,6 +44,10 @@ class ScenarioResult:
     detections: Dict[int, DetectionResult]
     merit: Optional[ISPNetwork] = None
     campus: Optional[ISPNetwork] = None
+    #: how the events/detections were produced ("batch" or "streaming").
+    mode: str = "batch"
+    #: pipeline counters/gauges; populated only by streaming runs.
+    telemetry: Optional[PipelineTelemetry] = None
     _flow_cache: Optional[tuple] = field(default=None, repr=False)
     _stream_cache: Optional[dict] = field(default=None, repr=False)
 
@@ -124,14 +133,87 @@ class ScenarioResult:
         return out
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
+def _stream_events_and_detections(
+    capture: DarknetCapture,
+    timeout: float,
+    dark_size: int,
+    scenario: Scenario,
+    chunk_seconds: float,
+) -> tuple:
+    """Run the chunked-capture -> incremental-detection pipeline.
+
+    Returns ``(events, detections, telemetry)``.  The detections are
+    identical to the batch path's (``detect_all`` over ``build_events``)
+    — the streaming layer only changes *when* work happens, never what
+    is computed — while peak memory is bounded by one chunk plus the
+    open-flow state.
+    """
+    source = ChunkedCaptureSource.from_capture(capture, chunk_seconds)
+    detector = StreamingDetector(
+        timeout,
+        dark_size,
+        scenario.detection,
+        scenario.clock.seconds_per_day,
+    )
+    telemetry = PipelineTelemetry(chunk_seconds=chunk_seconds)
+    capture_stage = telemetry.stage("capture")
+    detect_stage = telemetry.stage("detect")
+
+    t_prev = time.perf_counter()
+    for chunk in source:
+        t_chunked = time.perf_counter()
+        capture_stage.add(len(chunk), len(chunk), t_chunked - t_prev)
+        report = detector.add_batch(chunk.packets)
+        t_detected = time.perf_counter()
+        detect_stage.add(
+            report.packets, report.events_finalized, t_detected - t_chunked
+        )
+        telemetry.record_chunk(
+            packets=report.packets,
+            events_finalized=report.events_finalized,
+            open_flows=report.open_flows,
+            window_end=chunk.end,
+            watermark=report.watermark,
+        )
+        t_prev = time.perf_counter()
+
+    t0 = time.perf_counter()
+    events, detections = detector.finish()
+    flush_events = len(events) - telemetry.total_events
+    detect_stage.add(0, flush_events, time.perf_counter() - t0)
+    telemetry.total_events = len(events)
+    telemetry.peak_open_flows = max(
+        telemetry.peak_open_flows, detector.peak_open_flows
+    )
+    telemetry.final_open_flows = detector.open_flows
+    return events, detections, telemetry
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    mode: str = "batch",
+    chunk_seconds: Optional[float] = None,
+) -> ScenarioResult:
     """Execute a scenario: build the world, capture and detect.
 
     The simulation order mirrors the real measurement pipeline: the
     address plan and monitored networks exist first, the scanner
     population probes everything, the telescope records its share, the
     event builder summarizes, and the three detectors produce AH lists.
+
+    Args:
+        scenario: what to simulate.
+        mode: ``"batch"`` builds events and detects over the full
+            capture at once; ``"streaming"`` drives the chunked
+            capture -> incremental detection pipeline instead (same
+            detections, bounded memory, telemetry attached).
+        chunk_seconds: streaming window size; defaults to the
+            scenario's ``chunk_seconds``, then to
+            :data:`repro.config.DEFAULT_CHUNK_SECONDS`.
     """
+    if mode not in ("batch", "streaming"):
+        raise ValueError(f"unknown mode: {mode!r}")
     internet = build_internet(scenario.internet)
     dark_prefix = internet.allocator.allocate(scenario.dark_prefix_length)
     telescope = Telescope.from_prefix(dark_prefix)
@@ -151,13 +233,25 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         if scenario.event_timeout is not None
         else telescope.default_timeout()
     )
-    events = build_events(capture.packets, timeout)
-    detections = detect_all(
-        events,
-        telescope.size,
-        scenario.detection,
-        scenario.clock.seconds_per_day,
-    )
+    telemetry = None
+    if mode == "streaming":
+        if chunk_seconds is None:
+            chunk_seconds = (
+                scenario.chunk_seconds
+                if scenario.chunk_seconds is not None
+                else DEFAULT_CHUNK_SECONDS
+            )
+        events, detections, telemetry = _stream_events_and_detections(
+            capture, timeout, telescope.size, scenario, chunk_seconds
+        )
+    else:
+        events = build_events(capture.packets, timeout)
+        detections = detect_all(
+            events,
+            telescope.size,
+            scenario.detection,
+            scenario.clock.seconds_per_day,
+        )
     # The ISP models were built before the population, but their
     # internet snapshot lacks nothing the flows need: router assignment
     # only reads AS country data, which is identical in both snapshots.
@@ -175,4 +269,6 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         detections=detections,
         merit=merit,
         campus=campus,
+        mode=mode,
+        telemetry=telemetry,
     )

@@ -57,6 +57,9 @@ class Scenario:
     #: override for the darknet event timeout (None = derive from the
     #: telescope aperture per the paper's rule).
     event_timeout: Optional[float] = None
+    #: capture window size for streaming-mode runs (None = the default
+    #: from :data:`repro.config.DEFAULT_CHUNK_SECONDS`).
+    chunk_seconds: Optional[float] = None
 
     @property
     def duration(self) -> float:

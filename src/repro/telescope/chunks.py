@@ -1,0 +1,113 @@
+"""Chunked capture sources for the streaming pipeline.
+
+A real telescope does not hand the analysis a year of packets at once —
+capture arrives as hourly pcaps (ORION rotates files on the hour) or as
+bounded batches off a queue.  ``ChunkedCaptureSource`` models that
+boundary: it yields :class:`CaptureChunk` windows in time order, either
+by slicing an in-memory capture (simulation runs) or by loading one
+archive at a time from a chunk directory written by
+:func:`repro.io.packetlog.save_packets_chunked` (replay runs, bounded
+memory end to end).
+
+Downstream, each chunk feeds
+:class:`repro.core.streaming.StreamingDetector` — the source is the
+first stage of the streaming pipeline and the only one that ever sees
+raw packets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.packet import PacketBatch
+
+
+@dataclass(frozen=True)
+class CaptureChunk:
+    """One time window of captured packets."""
+
+    index: int
+    #: half-open window [start, end) in capture time.
+    start: float
+    end: float
+    packets: PacketBatch
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+class ChunkedCaptureSource:
+    """Yields a capture as time-ordered :class:`CaptureChunk` windows.
+
+    Construct with :meth:`from_capture` (slice an in-memory capture
+    into epoch-aligned windows) or :meth:`from_directory` (stream
+    archives written by ``save_packets_chunked`` one file at a time).
+    Iterating yields only non-empty chunks; quiet windows are skipped
+    but window edges stay calendar-aligned.
+    """
+
+    def __init__(self, chunks: Iterator[CaptureChunk], chunk_seconds: float):
+        if chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be positive")
+        self._chunks = chunks
+        self.chunk_seconds = float(chunk_seconds)
+
+    def __iter__(self) -> Iterator[CaptureChunk]:
+        return self._chunks
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_capture(
+        cls, capture, chunk_seconds: float
+    ) -> "ChunkedCaptureSource":
+        """Chunk an in-memory capture (or bare :class:`PacketBatch`).
+
+        Windows are epoch-aligned (``floor(first_ts / chunk_seconds)``
+        starts the grid), matching how hourly pcap rotation would cut
+        the same traffic.
+        """
+        batch = getattr(capture, "packets", capture)
+
+        def generate() -> Iterator[CaptureChunk]:
+            index = 0
+            for start, end, chunk in batch.iter_time_chunks(
+                chunk_seconds, align_to_epoch=True
+            ):
+                if len(chunk) == 0:
+                    continue
+                yield CaptureChunk(
+                    index=index, start=start, end=end, packets=chunk
+                )
+                index += 1
+
+        return cls(generate(), chunk_seconds)
+
+    @classmethod
+    def from_directory(
+        cls, directory: Union[str, Path], chunk_seconds: float
+    ) -> "ChunkedCaptureSource":
+        """Stream a chunk directory written by ``save_packets_chunked``.
+
+        Loads one archive at a time; window edges are derived from each
+        chunk's own timestamps on the epoch-aligned grid.
+        """
+        from repro.io.packetlog import iter_packets_chunked
+
+        if chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be positive")
+
+        def generate() -> Iterator[CaptureChunk]:
+            for index, batch in enumerate(iter_packets_chunked(directory)):
+                first = float(batch.ts.min())
+                start = math.floor(first / chunk_seconds) * chunk_seconds
+                yield CaptureChunk(
+                    index=index,
+                    start=start,
+                    end=start + chunk_seconds,
+                    packets=batch,
+                )
+
+        return cls(generate(), chunk_seconds)

@@ -22,6 +22,18 @@ class TestParser:
         args = cli.build_parser().parse_args(["blocklist", "--day", "2"])
         assert args.day == 2
 
+    def test_mode_default_and_choices(self):
+        args = cli.build_parser().parse_args(["summary"])
+        assert args.mode == "batch"
+        args = cli.build_parser().parse_args(["--mode", "streaming", "summary"])
+        assert args.mode == "streaming"
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["--mode", "bogus", "summary"])
+
+    def test_chunk_hours_requires_streaming(self):
+        with pytest.raises(SystemExit, match="requires --mode streaming"):
+            cli.main(["--chunk-hours", "2", "summary"])
+
 
 class TestCommands:
     """End-to-end CLI runs over the tiny scenario (one per command)."""
@@ -32,6 +44,26 @@ class TestCommands:
         assert "darknet packets" in out
         assert "Definition 1" in out
         assert "Jaccard" in out
+
+    def test_summary_streaming(self, capsys):
+        assert (
+            cli.main(
+                [
+                    "--scenario", "tiny",
+                    "--mode", "streaming",
+                    "--chunk-hours", "6",
+                    "summary",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Streaming pipeline telemetry" in out
+        assert "peak open flows" in out
+        assert "max watermark lag" in out
+        assert "stage detect" in out
+        # Same detections as the batch table would show.
+        assert "Definition 1" in out
 
     def test_impact(self, capsys):
         assert cli.main(["--scenario", "tiny", "impact"]) == 0

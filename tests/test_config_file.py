@@ -97,6 +97,11 @@ class TestParsing:
         with pytest.raises(ValueError):
             scenario_from_dict({"days": 0})
 
+    def test_chunk_seconds(self):
+        assert scenario_from_dict({}).chunk_seconds is None
+        scenario = scenario_from_dict({"chunk_seconds": 7_200})
+        assert scenario.chunk_seconds == 7_200.0
+
 
 class TestLoading:
     def test_load_and_run(self, tmp_path):

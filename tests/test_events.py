@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.events import EventTable, build_events
+from repro.core.events import (
+    EventTable,
+    build_events,
+    port_counts_from_triples,
+)
 from repro.packet import PacketBatch, Protocol
 
 
@@ -153,3 +157,64 @@ class TestEventTable:
                 packets=np.array([1]),
                 unique_dsts=np.array([1]),
             )
+
+
+class TestStreamingSupport:
+    """Helpers added for the streaming pipeline: concat, canonical
+    order, and mergeable daily-port triples."""
+
+    def _table(self):
+        return build_events(
+            _packets(
+                [
+                    (0, 2, 10, 80, 6),
+                    (5, 1, 11, 23, 6),
+                    (700, 1, 12, 23, 6),
+                    (90_000, 1, 13, 23, 6),
+                ]
+            ),
+            timeout=60.0,
+        )
+
+    def test_concat(self):
+        table = self._table()
+        first = table.select(np.array([0]))
+        rest = table.select(np.arange(1, len(table)))
+        merged = EventTable.concat([first, EventTable.empty(), rest])
+        assert len(merged) == len(table)
+        assert merged.src.tolist() == table.src.tolist()
+
+    def test_concat_empty(self):
+        assert len(EventTable.concat([])) == 0
+        assert len(EventTable.concat([EventTable.empty()])) == 0
+
+    def test_sorted_canonical_matches_builder_order(self):
+        table = self._table()
+        rng = np.random.default_rng(0)
+        shuffled = table.select(rng.permutation(len(table)))
+        restored = shuffled.sorted_canonical()
+        for column in ("src", "dport", "proto", "start", "end"):
+            assert (
+                getattr(restored, column).tolist()
+                == getattr(table, column).tolist()
+            ), column
+
+    def test_daily_port_triples_unique_and_sorted(self):
+        table = self._table()
+        src, day, port_proto = table.daily_port_triples(86_400.0)
+        triples = list(zip(src.tolist(), day.tolist(), port_proto.tolist()))
+        assert triples == sorted(set(triples))
+
+    def test_port_counts_tolerate_duplicate_triples(self):
+        table = self._table()
+        src, day, port_proto = table.daily_port_triples(86_400.0)
+        doubled = port_counts_from_triples(
+            np.concatenate([src, src]),
+            np.concatenate([day, day]),
+            np.concatenate([port_proto, port_proto]),
+        )
+        assert doubled == table.daily_port_counts(86_400.0)
+
+    def test_port_counts_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert port_counts_from_triples(empty, empty, empty) == {}

@@ -7,6 +7,11 @@ from repro.core.events import EventTable
 from repro.flows.netflow import FlowTable
 from repro.io.eventlog import load_events_csv, save_events_csv
 from repro.io.flowlog import load_flows_csv, save_flows_csv
+from repro.io.packetlog import (
+    iter_packets_chunked,
+    save_packets_chunked,
+)
+from repro.packet import PacketBatch, Protocol
 
 
 @pytest.fixture()
@@ -61,6 +66,48 @@ class TestEventLog:
         save_events_csv(events, path)
         content = path.read_text()
         assert "10.0.0.1" in content
+
+
+class TestChunkedPacketLog:
+    @pytest.fixture()
+    def batch(self):
+        rng = np.random.default_rng(8)
+        n = 4_000
+        return PacketBatch(
+            ts=np.sort(rng.random(n) * 30_000.0),
+            src=rng.integers(1, 50, n).astype(np.uint32),
+            dst=rng.integers(0, 256, n).astype(np.uint32),
+            dport=np.full(n, 23, dtype=np.uint16),
+            proto=np.full(n, Protocol.TCP_SYN.value, dtype=np.uint8),
+            ipid=np.zeros(n, dtype=np.uint16),
+        )
+
+    def test_roundtrip(self, batch, tmp_path):
+        n_files = save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        assert n_files == len(list((tmp_path / "cap").glob("chunk-*.npz")))
+        chunks = list(iter_packets_chunked(tmp_path / "cap"))
+        assert len(chunks) == n_files
+        restored = PacketBatch.concat(chunks)
+        assert len(restored) == len(batch)
+        assert np.array_equal(restored.ts, batch.ts)
+        assert np.array_equal(restored.src, batch.src)
+        assert np.array_equal(restored.dst, batch.dst)
+
+    def test_chunks_are_time_ordered(self, batch, tmp_path):
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        previous_end = -np.inf
+        for chunk in iter_packets_chunked(tmp_path / "cap"):
+            assert float(chunk.ts.min()) >= previous_end
+            previous_end = float(chunk.ts.max())
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_packets_chunked(tmp_path / "nope"))
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "cap").mkdir()
+        with pytest.raises(ValueError, match="no chunk archives"):
+            list(iter_packets_chunked(tmp_path / "cap"))
 
 
 class TestFlowLog:

@@ -1,0 +1,82 @@
+"""Unit tests for the pipeline telemetry layer."""
+
+from repro.core.telemetry import PipelineTelemetry, StageStats
+
+
+class TestStageStats:
+    def test_accumulates(self):
+        stage = StageStats("detect")
+        stage.add(100, 10, 0.5)
+        stage.add(300, 20, 1.5)
+        assert stage.items_in == 400
+        assert stage.items_out == 30
+        assert stage.seconds == 2.0
+        assert stage.throughput == 200.0
+
+    def test_throughput_before_data(self):
+        assert StageStats("idle").throughput is None
+
+    def test_as_dict(self):
+        stage = StageStats("capture")
+        stage.add(50, 50, 0.25)
+        d = stage.as_dict()
+        assert d["name"] == "capture"
+        assert d["throughput"] == 200.0
+
+
+class TestPipelineTelemetry:
+    def _telemetry(self):
+        telemetry = PipelineTelemetry(chunk_seconds=3_600.0)
+        telemetry.record_chunk(
+            packets=1_000,
+            events_finalized=50,
+            open_flows=200,
+            window_end=3_600.0,
+            watermark=3_400.0,
+        )
+        telemetry.record_chunk(
+            packets=2_000,
+            events_finalized=80,
+            open_flows=150,
+            window_end=7_200.0,
+            watermark=7_150.0,
+        )
+        return telemetry
+
+    def test_gauges(self):
+        telemetry = self._telemetry()
+        assert telemetry.chunks == 2
+        assert telemetry.total_packets == 3_000
+        assert telemetry.total_events == 130
+        assert telemetry.peak_open_flows == 200
+        assert telemetry.peak_chunk_packets == 2_000
+        assert telemetry.watermark == 7_150.0
+        # Worst lag came from the first chunk (200s vs 50s).
+        assert telemetry.max_watermark_lag == 200.0
+
+    def test_stage_registry(self):
+        telemetry = PipelineTelemetry()
+        stage = telemetry.stage("detect")
+        stage.add(10, 5, 1.0)
+        assert telemetry.stage("detect") is stage
+
+    def test_summary_rows(self):
+        telemetry = self._telemetry()
+        telemetry.stage("detect").add(3_000, 130, 0.5)
+        rows = dict(telemetry.summary_rows())
+        assert rows["chunks"] == "2"
+        assert rows["packets"] == "3,000"
+        assert rows["peak open flows"] == "200"
+        assert "6,000/s" in rows["stage detect"]
+
+    def test_as_dict(self):
+        telemetry = self._telemetry()
+        d = telemetry.as_dict()
+        assert d["chunks"] == 2
+        assert d["max_watermark_lag"] == 200.0
+        assert d["stages"] == {}
+
+    def test_empty_formatting(self):
+        rows = dict(PipelineTelemetry().summary_rows())
+        assert rows["watermark"] == "n/a"
+        assert rows["chunk seconds"] == "n/a"

@@ -93,3 +93,65 @@ class TestCapture:
         shuffled = batch.select(np.random.default_rng(0).permutation(len(batch)))
         capture = DarknetCapture(packets=shuffled, telescope=telescope)
         assert np.all(np.diff(capture.packets.ts) >= 0)
+
+
+class TestChunkedCaptureSource:
+    def _capture(self, telescope):
+        return telescope.capture(make_scanners(3, coverage=1.0))
+
+    def test_covers_all_packets(self, telescope):
+        from repro.telescope.chunks import ChunkedCaptureSource
+        from repro.packet import PacketBatch
+
+        capture = self._capture(telescope)
+        source = ChunkedCaptureSource.from_capture(capture, 600.0)
+        chunks = list(source)
+        restored = PacketBatch.concat([c.packets for c in chunks])
+        assert len(restored) == len(capture)
+        assert np.array_equal(
+            np.sort(restored.ts), np.sort(capture.packets.ts)
+        )
+        assert all(len(c) > 0 for c in chunks)
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+    def test_windows_epoch_aligned(self, telescope):
+        from repro.telescope.chunks import ChunkedCaptureSource
+
+        capture = self._capture(telescope)
+        for chunk in ChunkedCaptureSource.from_capture(capture, 600.0):
+            assert chunk.start % 600.0 == 0.0
+            assert chunk.end == chunk.start + 600.0
+            assert float(chunk.packets.ts.min()) >= chunk.start
+            assert float(chunk.packets.ts.max()) < chunk.end
+
+    def test_accepts_bare_batch(self, telescope):
+        from repro.telescope.chunks import ChunkedCaptureSource
+
+        capture = self._capture(telescope)
+        from_batch = list(
+            ChunkedCaptureSource.from_capture(capture.packets, 600.0)
+        )
+        from_capture = list(
+            ChunkedCaptureSource.from_capture(capture, 600.0)
+        )
+        assert len(from_batch) == len(from_capture)
+
+    def test_from_directory(self, telescope, tmp_path):
+        from repro.io.packetlog import save_packets_chunked
+        from repro.telescope.chunks import ChunkedCaptureSource
+        from repro.packet import PacketBatch
+
+        capture = self._capture(telescope)
+        save_packets_chunked(capture.packets, tmp_path / "cap", 600.0)
+        chunks = list(
+            ChunkedCaptureSource.from_directory(tmp_path / "cap", 600.0)
+        )
+        restored = PacketBatch.concat([c.packets for c in chunks])
+        assert len(restored) == len(capture)
+        assert all(c.start % 600.0 == 0.0 for c in chunks)
+
+    def test_invalid_chunk_seconds(self, telescope):
+        from repro.telescope.chunks import ChunkedCaptureSource
+
+        with pytest.raises(ValueError):
+            ChunkedCaptureSource.from_capture(self._capture(telescope), 0.0)
