@@ -1,0 +1,22 @@
+# Single source of truth for the commands CI runs — `make lint` locally
+# is exactly the lint job, `make bench-smoke` exactly the bench job.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint test bench bench-smoke
+
+lint:
+	ruff check .
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full benchmark harness: timing rounds + regenerated tables/figures.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
+
+# One pass through every benchmark without timing rounds — catches
+# import/logic rot cheaply; artifacts still land in benchmarks/results/.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable

@@ -13,7 +13,7 @@ average.
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.analysis.figures import downsample, series_stats, sparkline
+from repro.analysis.figures import downsample, sparkline
 from repro.analysis.tables import format_table, render_percent
 
 

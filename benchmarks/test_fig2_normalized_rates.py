@@ -6,7 +6,6 @@ hit *harder per announced /24* than the ISP station (which mirrors only
 one of three core routers but normalizes over the whole ISP's /24s).
 """
 
-import numpy as np
 
 from benchmarks.conftest import emit
 from repro.analysis.figures import downsample, series_stats, sparkline

@@ -9,7 +9,6 @@ disjoint from the other two.
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import format_table
-from repro.core.detection import jaccard
 
 
 def test_table7_definitions(benchmark, darknet_2021, darknet_2022, results_dir):

@@ -289,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="H",
         help="streaming chunk size in simulated hours (default: 1)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard the streaming pipeline by source address across N "
+            "worker processes (requires --mode streaming; results are "
+            "identical for any N)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("summary", help="dataset + detection summary")
     sub.add_parser("impact", help="Table 2 network impact (flows scenarios)")
@@ -318,8 +329,15 @@ def main(argv: Optional[list] = None) -> int:
         raise SystemExit("--chunk-hours requires --mode streaming")
     if args.chunk_hours is not None and args.chunk_hours <= 0:
         raise SystemExit("--chunk-hours must be positive")
+    if args.workers is not None and args.mode != "streaming":
+        raise SystemExit("--workers requires --mode streaming")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     report = run_study(
-        _scenario(args.scenario), mode=args.mode, chunk_seconds=chunk_seconds
+        _scenario(args.scenario),
+        mode=args.mode,
+        chunk_seconds=chunk_seconds,
+        workers=args.workers,
     )
     if args.command == "summary":
         _cmd_summary(report)

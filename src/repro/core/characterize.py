@@ -21,7 +21,7 @@ from repro.core.detection import DetectionResult
 from repro.fingerprint import Tool, classify
 from repro.net.addr import slash24
 from repro.net.asn import ASRegistry
-from repro.packet import PacketBatch, Protocol
+from repro.packet import Protocol
 from repro.telescope.capture import DarknetCapture
 
 

@@ -106,6 +106,23 @@ class StreamingECDF:
         self._n += values.size
         self._cached = None
 
+    def merge(self, other: "StreamingECDF") -> None:
+        """Fold another streaming sample into this one.
+
+        The merged sample is exactly the concatenation of both samples,
+        so merging is associative and commutative (any merge tree over
+        the same observations yields float-identical queries) — the
+        property the shard-parallel detection path
+        (:mod:`repro.parallel`) relies on.  ``other`` is left untouched.
+        """
+        if other is self:
+            raise ValueError("cannot merge a StreamingECDF with itself")
+        if other._n == 0:
+            return
+        self._runs.extend(other._runs)
+        self._n += other._n
+        self._cached = None
+
     def ecdf(self) -> ECDF:
         """The batch-equivalent :class:`ECDF` over everything added."""
         if self._n == 0:

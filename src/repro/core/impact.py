@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.flows.netflow import FlowTable
 from repro.packet import PacketBatch, Protocol
-from repro.telescope.capture import DarknetCapture
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,6 @@ from typing import Optional
 import numpy as np
 
 from repro.core.detection import DetectionResult
-from repro.core.events import EventTable
 from repro.packet import PacketBatch
 
 

@@ -12,7 +12,7 @@ large share of the unwanted traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -241,12 +241,17 @@ def run_study(
     *,
     mode: str = "batch",
     chunk_seconds: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> StudyReport:
     """Run a scenario and wrap it for analysis.
 
     ``mode="streaming"`` routes detection through the chunked pipeline
-    (identical results, bounded memory, telemetry on the result).
+    (identical results, bounded memory, telemetry on the result);
+    ``workers=N`` additionally shards the capture by source across N
+    worker processes (:mod:`repro.parallel`) — still identical results.
     """
     return StudyReport(
-        result=run_scenario(scenario, mode=mode, chunk_seconds=chunk_seconds)
+        result=run_scenario(
+            scenario, mode=mode, chunk_seconds=chunk_seconds, workers=workers
+        )
     )

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from repro.analysis.figures import sparkline
 from repro.analysis.tables import format_table, render_count, render_percent
 from repro.core.churn import churn_summary, staleness, survival_curve

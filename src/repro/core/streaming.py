@@ -348,6 +348,45 @@ class StreamingEventBuilder:
         self._pending_closed = 0
         return table
 
+    def merge(self, other: "StreamingEventBuilder") -> None:
+        """Fold another builder's state into this one (shard merge).
+
+        Intended for the shard-parallel path (:mod:`repro.parallel`):
+        the two builders must have been fed *disjoint* flow-key
+        populations — hash-sharding packets by source address guarantees
+        this, since a flow key starts with the source — so open flows
+        never collide.  ``other`` should be discarded afterwards.
+
+        The merged peak-open gauge is the *sum* of both peaks: shards
+        run concurrently in separate processes, so the aggregate state
+        held across the fleet at the worst moment is bounded by the sum.
+        """
+        if other is self:
+            raise ValueError("cannot merge a builder with itself")
+        if other.timeout != self.timeout:
+            raise ValueError(
+                f"cannot merge builders with different timeouts "
+                f"({self.timeout} vs {other.timeout})"
+            )
+        overlap = self._open.keys() & other._open.keys()
+        if overlap:
+            raise ValueError(
+                f"open-flow keys overlap across builders (e.g. "
+                f"{next(iter(overlap))}); shards must partition sources"
+            )
+        self._open.update(other._open)
+        self._closed_rows.extend(other._closed_rows)
+        self._closed_cols.extend(other._closed_cols)
+        self._pending_closed += other._pending_closed
+        self._n_closed += other._n_closed
+        self._peak_open += other._peak_open
+        if other._watermark is not None:
+            self._watermark = (
+                other._watermark
+                if self._watermark is None
+                else max(self._watermark, other._watermark)
+            )
+
     def finish(self) -> EventTable:
         """Close all remaining flows and return their table.
 
@@ -417,6 +456,87 @@ def tables_equivalent(a: EventTable, b: EventTable) -> bool:
 # ----------------------------------------------------------------------
 
 
+class DispersionState:
+    """Running Definition-1 state: sources with a qualifying event.
+
+    The dispersion threshold is static (a fraction of the dark space),
+    so membership can be decided per event as it finalizes; the state is
+    just the accumulated source set, and merging shard states is a set
+    union (associative and commutative).
+    """
+
+    def __init__(self, threshold: float):
+        self.threshold = float(threshold)
+        self.sources: set = set()
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def update(self, events: EventTable) -> None:
+        """Fold a batch of finalized events in."""
+        self.sources |= events.sources_of(
+            events.unique_dsts >= self.threshold
+        )
+
+    def merge(self, other: "DispersionState") -> None:
+        """Union another shard's state into this one."""
+        if other.threshold != self.threshold:
+            raise ValueError(
+                f"cannot merge dispersion states with different thresholds "
+                f"({self.threshold} vs {other.threshold})"
+            )
+        self.sources |= other.sources
+
+
+class PortDayState:
+    """Mergeable Definition-3 state: (src, day, port·proto) triple runs.
+
+    Each update appends one deduplicated-within-itself run of triples;
+    the per-(src, day) distinct-port counts are derived only at finish,
+    and :func:`~repro.core.events.port_counts_from_triples` tolerates
+    duplicates *across* runs (a flow active in several chunks — or, in
+    overlapping crafted windows, in several shards' histories — repeats
+    its triple but is counted once).  Merging is run-list concatenation:
+    associative, and commutative up to the final sorted grouping.
+    """
+
+    def __init__(self, day_seconds: float):
+        self.day_seconds = float(day_seconds)
+        self._runs: List[tuple] = []
+
+    def update(self, events: EventTable) -> None:
+        """Fold a batch of finalized events in."""
+        if len(events):
+            self._runs.append(events.daily_port_triples(self.day_seconds))
+
+    def merge(self, other: "PortDayState") -> None:
+        """Append another shard's runs to this state."""
+        if other is self:
+            raise ValueError("cannot merge a PortDayState with itself")
+        if other.day_seconds != self.day_seconds:
+            raise ValueError(
+                f"cannot merge port-day states with different day lengths "
+                f"({self.day_seconds} vs {other.day_seconds})"
+            )
+        self._runs.extend(other._runs)
+
+    def triples(self) -> tuple:
+        """The concatenated (src, day, port·proto) runs."""
+        if not self._runs:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        return tuple(
+            np.concatenate([run[i] for run in self._runs]) for i in range(3)
+        )
+
+    def counts(self) -> Dict[tuple, int]:
+        """Per-(src, day) distinct-port counts over everything added."""
+        return port_counts_from_triples(*self.triples())
+
+
 @dataclass(frozen=True)
 class ChunkReport:
     """What one :meth:`StreamingDetector.add_batch` call did."""
@@ -464,10 +584,11 @@ class StreamingDetector:
         self.config = config or DetectionConfig()
         self.day_seconds = float(day_seconds)
         self._chunks: List[EventTable] = []
-        self._volume_sample = StreamingECDF()
-        self._triple_runs: List[tuple] = []
-        self._d1_threshold = dispersion_threshold(self.dark_size, self.config)
-        self._d1_sources: set = set()
+        self._volume = StreamingECDF()
+        self._ports = PortDayState(self.day_seconds)
+        self._dispersion = DispersionState(
+            dispersion_threshold(self.dark_size, self.config)
+        )
         self._packets_seen = 0
         self._events_finalized = 0
         self._finished = False
@@ -516,11 +637,42 @@ class StreamingDetector:
             return
         self._chunks.append(events)
         self._events_finalized += len(events)
-        self._volume_sample.add(events.packets.astype(np.float64))
-        self._d1_sources |= events.sources_of(
-            events.unique_dsts >= self._d1_threshold
-        )
-        self._triple_runs.append(events.daily_port_triples(self.day_seconds))
+        self._volume.add(events.packets.astype(np.float64))
+        self._dispersion.update(events)
+        self._ports.update(events)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "StreamingDetector") -> None:
+        """Fold another (unfinished) detector's state into this one.
+
+        The shard-parallel path (:mod:`repro.parallel`) runs one
+        detector per source shard and merges them before a single
+        :meth:`finish` — which then derives thresholds over exactly the
+        same accumulated sample as a serial run, so the results are
+        identical.  Both detectors must share their configuration, and
+        their builders must hold disjoint flows (guaranteed when packets
+        were hash-partitioned by source).  ``other`` is consumed: its
+        state moves into ``self`` and it must be discarded.
+        """
+        if self._finished or other._finished:
+            raise RuntimeError("cannot merge a finished detector")
+        if other is self:
+            raise ValueError("cannot merge a detector with itself")
+        if (
+            self.dark_size != other.dark_size
+            or self.day_seconds != other.day_seconds
+            or self.config != other.config
+        ):
+            raise ValueError(
+                "cannot merge detectors with different configurations"
+            )
+        self.builder.merge(other.builder)
+        self._chunks.extend(other._chunks)
+        self._volume.merge(other._volume)
+        self._dispersion.merge(other._dispersion)
+        self._ports.merge(other._ports)
+        self._packets_seen += other._packets_seen
+        self._events_finalized += other._events_finalized
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -531,10 +683,10 @@ class StreamingDetector:
             "open_flows": self.builder.open_flows,
             "peak_open_flows": self.builder.peak_open_flows,
             "watermark": self.builder.watermark,
-            "dispersion_sources": len(self._d1_sources),
+            "dispersion_sources": len(self._dispersion),
             "volume_threshold": (
-                volume_threshold(self._volume_sample.ecdf(), self.config)
-                if len(self._volume_sample)
+                volume_threshold(self._volume.ecdf(), self.config)
+                if len(self._volume)
                 else None
             ),
         }
@@ -549,7 +701,9 @@ class StreamingDetector:
         self._chunks = [events]
 
         results: Dict[int, DetectionResult] = {
-            1: dispersion_result(events, self._d1_threshold, self.day_seconds)
+            1: dispersion_result(
+                events, self._dispersion.threshold, self.day_seconds
+            )
         }
         if len(events) == 0:
             results[2] = DetectionResult(
@@ -558,22 +712,11 @@ class StreamingDetector:
         else:
             results[2] = volume_result(
                 events,
-                volume_threshold(self._volume_sample.ecdf(), self.config),
+                volume_threshold(self._volume.ecdf(), self.config),
                 self.day_seconds,
             )
-        if self._triple_runs:
-            triples = tuple(
-                np.concatenate([run[i] for run in self._triple_runs])
-                for i in range(3)
-            )
-        else:
-            triples = (
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-            )
         results[3] = ports_result_from_counts(
-            port_counts_from_triples(*triples), self.config
+            self._ports.counts(), self.config
         )
         return events, results
 

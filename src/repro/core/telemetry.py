@@ -51,6 +51,39 @@ class StageStats:
 
 
 @dataclass
+class WorkerStats:
+    """Throughput and state gauges for one shard worker.
+
+    Recorded by the shard-parallel path (:mod:`repro.parallel`) after
+    the pool joins; the per-worker peak-open gauges sum into the run's
+    aggregate memory high-water mark because shards run concurrently.
+    """
+
+    shard: int
+    packets: int = 0
+    events: int = 0
+    peak_open_flows: int = 0
+    seconds: float = 0.0
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Packets consumed per second of worker wall time."""
+        if self.seconds <= 0.0:
+            return None
+        return self.packets / self.seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "packets": self.packets,
+            "events": self.events,
+            "peak_open_flows": self.peak_open_flows,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+        }
+
+
+@dataclass
 class PipelineTelemetry:
     """Counters and gauges for one streaming pipeline run."""
 
@@ -70,12 +103,48 @@ class PipelineTelemetry:
     #: detector's view was, at its worst, relative to the data's clock.
     max_watermark_lag: float = 0.0
     stages: Dict[str, StageStats] = field(default_factory=dict)
+    #: per-shard worker gauges; non-empty only for parallel runs.
+    worker_stats: List[WorkerStats] = field(default_factory=list)
 
     def stage(self, name: str) -> StageStats:
         """Get or create the named stage accumulator."""
         if name not in self.stages:
             self.stages[name] = StageStats(name)
         return self.stages[name]
+
+    @property
+    def workers(self) -> int:
+        """Number of shard workers (0 for serial runs)."""
+        return len(self.worker_stats)
+
+    def record_worker(
+        self,
+        shard: int,
+        packets: int,
+        events: int,
+        peak_open_flows: int,
+        seconds: float,
+    ) -> None:
+        """Fold one shard worker's report into the gauges.
+
+        The run-level ``peak_open_flows`` becomes the *sum* of the
+        worker peaks: shards run concurrently, so the fleet's aggregate
+        open-flow state is bounded by (and, at the worst moment, close
+        to) that sum.
+        """
+        self.worker_stats.append(
+            WorkerStats(
+                shard=int(shard),
+                packets=int(packets),
+                events=int(events),
+                peak_open_flows=int(peak_open_flows),
+                seconds=float(seconds),
+            )
+        )
+        self.peak_open_flows = max(
+            self.peak_open_flows,
+            sum(w.peak_open_flows for w in self.worker_stats),
+        )
 
     def record_chunk(
         self,
@@ -111,6 +180,21 @@ class PipelineTelemetry:
             ("watermark", _fmt_opt(self.watermark)),
             ("max watermark lag", f"{self.max_watermark_lag:.1f}s"),
         ]
+        if self.worker_stats:
+            rows.append(("workers", str(self.workers)))
+            for worker in self.worker_stats:
+                throughput = worker.throughput
+                rate = (
+                    f"{throughput:,.0f}/s" if throughput is not None else "n/a"
+                )
+                rows.append(
+                    (
+                        f"worker {worker.shard}",
+                        f"{worker.packets:,} pkts, {worker.events:,} events, "
+                        f"peak {worker.peak_open_flows:,} open, "
+                        f"{worker.seconds:.2f}s ({rate})",
+                    )
+                )
         for stage in self.stages.values():
             throughput = stage.throughput
             rate = (
@@ -138,6 +222,7 @@ class PipelineTelemetry:
             "watermark": self.watermark,
             "max_watermark_lag": self.max_watermark_lag,
             "stages": {k: v.as_dict() for k, v in self.stages.items()},
+            "workers": [w.as_dict() for w in self.worker_stats],
         }
 
 

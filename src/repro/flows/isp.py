@@ -14,12 +14,12 @@ analyses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.flows.netflow import FlowTable, NetflowExporter
+from repro.flows.netflow import NetflowExporter
 from repro.flows.router import RoutingPolicy
 from repro.net.asn import ASType, AutonomousSystem
 from repro.net.internet import Internet, with_systems

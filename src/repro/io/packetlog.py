@@ -78,17 +78,51 @@ def save_packets_chunked(
     return written
 
 
-def iter_packets_chunked(directory: Union[str, Path]):
-    """Yield the chunks of :func:`save_packets_chunked` in time order.
+def chunk_paths(directory: Union[str, Path]) -> list:
+    """The validated, time-ordered archive paths of a chunk directory.
 
-    Loads one archive at a time — the memory profile of the streaming
-    pipeline over an on-disk capture is one chunk plus detector state.
+    Raises immediately — with a message naming the problem — when the
+    directory is missing, holds no ``chunk-*.npz`` archives, has a
+    malformed chunk filename, or has a gap in the chunk sequence
+    (``save_packets_chunked`` numbers chunks contiguously from 0, so a
+    gap means part of the capture was lost or never copied).
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise FileNotFoundError(f"not a chunk directory: {directory}")
     paths = sorted(directory.glob("chunk-*.npz"))
     if not paths:
-        raise ValueError(f"no chunk archives in {directory}")
+        raise ValueError(
+            f"no chunk archives (chunk-*.npz) in {directory} — expected a "
+            "directory written by save_packets_chunked()"
+        )
+    indices = []
     for path in paths:
+        suffix = path.name[len("chunk-"):-len(".npz")]
+        if not suffix.isdigit():
+            raise ValueError(
+                f"malformed chunk filename {path.name!r} in {directory} — "
+                "expected chunk-<index>.npz"
+            )
+        indices.append(int(suffix))
+    expected = list(range(len(paths)))
+    if indices != expected:
+        missing = sorted(set(range(max(indices) + 1)) - set(indices))
+        raise ValueError(
+            f"chunk sequence in {directory} has gaps: missing "
+            f"{['chunk-%05d.npz' % i for i in missing]} — the capture "
+            "cannot be streamed in order"
+        )
+    return paths
+
+
+def iter_packets_chunked(directory: Union[str, Path]):
+    """Yield the chunks of :func:`save_packets_chunked` in time order.
+
+    Loads one archive at a time — the memory profile of the streaming
+    pipeline over an on-disk capture is one chunk plus detector state.
+    The directory is validated via :func:`chunk_paths` before the first
+    chunk is yielded.
+    """
+    for path in chunk_paths(directory):
         yield load_packets_npz(path)

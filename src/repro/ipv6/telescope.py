@@ -14,7 +14,7 @@ hitlist entries* — the only enumerable notion of coverage in IPv6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np

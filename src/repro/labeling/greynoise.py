@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.fingerprint import Tool
 from repro.packet import Protocol
-from repro.scanners.base import ScanMode, Scanner
+from repro.scanners.base import Scanner
 
 
 class Classification(enum.Enum):

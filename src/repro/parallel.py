@@ -1,0 +1,341 @@
+"""Shard-parallel streaming detection (``repro.parallel``).
+
+The three aggressive-hitter definitions are all keyed per *source*
+address: events group packets by (src, dport, proto), the dispersion
+and volume rules judge per-source events, and the port rule counts
+per-(src, day) distinct ports.  Detection is therefore embarrassingly
+parallel across sources — hash-partition the capture by source address
+and every flow, every event, and every per-source statistic lands
+wholly inside one shard.
+
+This module exploits that: :func:`parallel_detect` shards each capture
+chunk by source, runs one independent
+:class:`~repro.core.streaming.StreamingDetector` per shard (in worker
+processes), folds the shard states back together through the explicit
+``merge()`` methods on the detector and its per-definition structures,
+and calls :meth:`~repro.core.streaming.StreamingDetector.finish` once
+on the merged state.  Because thresholds (the volume and port ECDF
+tails) are only derived *after* the merge — over exactly the sample a
+serial run would have accumulated — the events, thresholds and AH sets
+are **identical to the serial path for any shard count**.  A hypothesis
+property test pins this invariant.
+
+Two consumption modes:
+
+* :func:`parallel_detect` — shard an in-memory chunk stream in the
+  parent and ship per-shard sub-batches to the pool.
+* :func:`parallel_detect_directory` — point the workers at a
+  ``chunk-*.npz`` directory written by
+  :func:`repro.io.packetlog.save_packets_chunked`; each worker reads
+  every archive itself and keeps only its shard's packets, so no packet
+  ever crosses a process pipe and parent memory stays at one chunk.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import DetectionConfig
+from repro.core.detection import DetectionResult
+from repro.core.events import EventTable
+from repro.core.streaming import StreamingDetector
+from repro.core.telemetry import PipelineTelemetry
+from repro.packet import PacketBatch
+
+#: Fibonacci-hash multiplier: decorrelates the shard index from address
+#: structure (plain ``src % n`` would map whole prefixes to one shard).
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def shard_of(src: np.ndarray, n_shards: int) -> np.ndarray:
+    """Shard index per source address (vectorized, deterministic).
+
+    The same source always lands in the same shard — the invariant the
+    whole parallel path rests on — and the multiplicative hash spreads
+    adjacent addresses across shards.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    hashed = src.astype(np.uint64) * _HASH_MULTIPLIER
+    return ((hashed >> np.uint64(33)) % np.uint64(n_shards)).astype(np.int64)
+
+
+def shard_batch(batch: PacketBatch, n_shards: int) -> List[PacketBatch]:
+    """Partition a packet batch into per-shard sub-batches.
+
+    Row order within each shard is preserved, so a time-ordered batch
+    yields time-ordered shards.
+    """
+    if n_shards == 1:
+        return [batch]
+    shard = shard_of(batch.src, n_shards)
+    return [batch.select(shard == i) for i in range(n_shards)]
+
+
+def merge_detectors(
+    detectors: Sequence[StreamingDetector],
+) -> StreamingDetector:
+    """Fold shard detectors into one (in shard order, for determinism).
+
+    Returns the first detector, now holding the union state; the rest
+    are consumed and must be discarded.
+    """
+    if not detectors:
+        raise ValueError("need at least one detector to merge")
+    merged = detectors[0]
+    for other in detectors[1:]:
+        merged.merge(other)
+    return merged
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """What one shard worker processed (telemetry, not results)."""
+
+    shard: int
+    packets: int
+    events_finalized: int
+    open_flows: int
+    peak_open_flows: int
+    #: wall-clock seconds spent inside the worker's detector loop.
+    seconds: float
+    watermark: Optional[float]
+
+
+@dataclass
+class ParallelResult:
+    """Output of a shard-parallel detection run."""
+
+    events: EventTable
+    detections: Dict[int, DetectionResult]
+    worker_reports: List[WorkerReport]
+
+    @property
+    def workers(self) -> int:
+        return len(self.worker_reports)
+
+
+def _run_shard(
+    shard: int,
+    batches: List[PacketBatch],
+    timeout: float,
+    dark_size: int,
+    config: Optional[DetectionConfig],
+    day_seconds: float,
+) -> Tuple[StreamingDetector, WorkerReport]:
+    """Worker body: drive one shard's detector over its sub-batches.
+
+    Top-level (not a closure) so it pickles under any multiprocessing
+    start method.  Returns the *unfinished* detector — thresholds must
+    only be derived after the merge.
+    """
+    t0 = time.perf_counter()
+    detector = StreamingDetector(timeout, dark_size, config, day_seconds)
+    for batch in batches:
+        detector.add_batch(batch)
+    report = WorkerReport(
+        shard=shard,
+        packets=detector.packets_seen,
+        events_finalized=detector.events_finalized,
+        open_flows=detector.open_flows,
+        peak_open_flows=detector.peak_open_flows,
+        seconds=time.perf_counter() - t0,
+        watermark=detector.watermark,
+    )
+    return detector, report
+
+
+def _run_shard_directory(
+    shard: int,
+    n_shards: int,
+    directory: str,
+    timeout: float,
+    dark_size: int,
+    config: Optional[DetectionConfig],
+    day_seconds: float,
+) -> Tuple[StreamingDetector, WorkerReport]:
+    """Worker body for chunk directories: read, filter to shard, fold.
+
+    Every worker streams the full archive sequence but holds only one
+    chunk at a time, and feeds its detector only the packets whose
+    source hashes to its shard.
+    """
+    from repro.io.packetlog import chunk_paths, load_packets_npz
+
+    t0 = time.perf_counter()
+    detector = StreamingDetector(timeout, dark_size, config, day_seconds)
+    for path in chunk_paths(directory):
+        batch = load_packets_npz(path)
+        if n_shards > 1:
+            batch = batch.select(shard_of(batch.src, n_shards) == shard)
+        if len(batch):
+            detector.add_batch(batch)
+    report = WorkerReport(
+        shard=shard,
+        packets=detector.packets_seen,
+        events_finalized=detector.events_finalized,
+        open_flows=detector.open_flows,
+        peak_open_flows=detector.peak_open_flows,
+        seconds=time.perf_counter() - t0,
+        watermark=detector.watermark,
+    )
+    return detector, report
+
+
+def _finish_merged(
+    shard_results: List[Tuple[StreamingDetector, WorkerReport]],
+    telemetry: Optional[PipelineTelemetry],
+) -> ParallelResult:
+    """Merge shard states (in shard order), finish once, fold telemetry."""
+    reports = [report for _, report in shard_results]
+    t0 = time.perf_counter()
+    merged = merge_detectors([detector for detector, _ in shard_results])
+    events, detections = merged.finish()
+    merge_seconds = time.perf_counter() - t0
+    if telemetry is not None:
+        for report in reports:
+            telemetry.record_worker(
+                shard=report.shard,
+                packets=report.packets,
+                events=report.events_finalized,
+                peak_open_flows=report.peak_open_flows,
+                seconds=report.seconds,
+            )
+        telemetry.stage("merge").add(
+            sum(r.events_finalized for r in reports), len(events), merge_seconds
+        )
+        telemetry.total_events = len(events)
+        telemetry.final_open_flows = merged.open_flows
+        if merged.watermark is not None:
+            telemetry.watermark = merged.watermark
+    return ParallelResult(
+        events=events, detections=detections, worker_reports=reports
+    )
+
+
+def parallel_detect(
+    chunks: Iterable,
+    timeout: float,
+    dark_size: int,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+    *,
+    workers: int,
+    use_processes: bool = True,
+    telemetry: Optional[PipelineTelemetry] = None,
+) -> ParallelResult:
+    """Shard-parallel equivalent of :func:`repro.core.streaming.stream_detect`.
+
+    Args:
+        chunks: time-ordered capture chunks — ``PacketBatch`` objects or
+            anything with a ``.packets`` batch attribute (e.g.
+            :class:`~repro.telescope.chunks.CaptureChunk`).
+        workers: number of source shards, one detector (and, with
+            ``use_processes``, one worker process) per shard.
+        use_processes: run shards in a process pool; ``False`` runs them
+            serially in-process (same shard/merge code path — useful for
+            tests and as the degenerate ``workers=1`` case).
+        telemetry: optional gauge sink; chunk-level counters are
+            recorded while sharding, worker throughput after the join.
+
+    Returns the merged :class:`ParallelResult` whose events and
+    detections are identical to the serial streaming (and batch) path.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    shards: List[List[PacketBatch]] = [[] for _ in range(workers)]
+    t_prev = time.perf_counter()
+    shard_stage = telemetry.stage("shard") if telemetry is not None else None
+    for chunk in chunks:
+        batch = getattr(chunk, "packets", chunk)
+        if len(batch) == 0:
+            continue
+        for index, sub in enumerate(shard_batch(batch, workers)):
+            if len(sub):
+                shards[index].append(sub)
+        if telemetry is not None:
+            now = time.perf_counter()
+            shard_stage.add(len(batch), len(batch), now - t_prev)
+            watermark = float(batch.ts.max())
+            telemetry.record_chunk(
+                packets=len(batch),
+                events_finalized=0,
+                open_flows=0,
+                window_end=getattr(chunk, "end", watermark),
+                watermark=watermark,
+            )
+            t_prev = time.perf_counter()
+
+    if use_processes and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard,
+                    index,
+                    shards[index],
+                    timeout,
+                    dark_size,
+                    config,
+                    day_seconds,
+                )
+                for index in range(workers)
+            ]
+            shard_results = [future.result() for future in futures]
+    else:
+        shard_results = [
+            _run_shard(
+                index, shards[index], timeout, dark_size, config, day_seconds
+            )
+            for index in range(workers)
+        ]
+    return _finish_merged(shard_results, telemetry)
+
+
+def parallel_detect_directory(
+    directory: Union[str, Path],
+    timeout: float,
+    dark_size: int,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+    *,
+    workers: int,
+    use_processes: bool = True,
+    telemetry: Optional[PipelineTelemetry] = None,
+) -> ParallelResult:
+    """Shard-parallel detection over a ``save_packets_chunked`` directory.
+
+    Each worker streams the archive sequence itself and filters to its
+    shard, so raw packets never cross a process boundary; only the
+    (much smaller) merged detector states travel back.  The directory
+    is validated up front — a missing directory, no ``chunk-*.npz``
+    archives, or a gap in the chunk sequence raise immediately with a
+    clear message rather than failing mid-run.
+    """
+    from repro.io.packetlog import chunk_paths
+
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    chunk_paths(directory)  # validate eagerly, before any process spawns
+    args = [
+        (index, workers, str(directory), timeout, dark_size, config, day_seconds)
+        for index in range(workers)
+    ]
+    if use_processes and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_shard_directory, *arg) for arg in args
+            ]
+            shard_results = [future.result() for future in futures]
+    else:
+        shard_results = [_run_shard_directory(*arg) for arg in args]
+    if telemetry is not None:
+        telemetry.total_packets = sum(
+            report.packets for _, report in shard_results
+        )
+    return _finish_merged(shard_results, telemetry)

@@ -16,7 +16,6 @@ import numpy as np
 from repro.labeling.acknowledged import AcknowledgedRegistry, default_org_specs
 from repro.net.internet import Internet
 from repro.scanners import background, masscan, mirai, omniscanner, research
-from repro.scanners.base import Scanner
 from repro.scanners.origins import (
     AGGRESSIVE_AFFINITY,
     BACKGROUND_AFFINITY,

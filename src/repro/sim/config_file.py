@@ -52,6 +52,7 @@ _TOP_LEVEL_KEYS = {
     "dispersion_fraction",
     "event_timeout",
     "chunk_seconds",
+    "workers",
     "with_isp",
     "with_campus",
     "flow_days",
@@ -110,6 +111,10 @@ def scenario_from_dict(spec: dict) -> Scenario:
             w1 * clock.seconds_per_day,
         )
 
+    workers = int(spec["workers"]) if "workers" in spec else None
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+
     with_campus = bool(spec.get("with_campus", stream_window is not None))
     with_isp = bool(
         spec.get("with_isp", bool(flow_days) or stream_window is not None)
@@ -138,6 +143,7 @@ def scenario_from_dict(spec: dict) -> Scenario:
         chunk_seconds=(
             float(spec["chunk_seconds"]) if "chunk_seconds" in spec else None
         ),
+        workers=workers,
     )
 
 

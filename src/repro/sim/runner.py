@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -20,10 +20,9 @@ from repro.core.events import EventTable, build_events
 from repro.core.streaming import StreamingDetector
 from repro.core.telemetry import PipelineTelemetry
 from repro.flows.isp import ISPNetwork, build_campus_like, build_merit_like
-from repro.flows.netflow import FlowTable, NetflowExporter
-from repro.flows.stream import StreamMonitor, StreamSeries
+from repro.flows.netflow import NetflowExporter
+from repro.flows.stream import StreamMonitor
 from repro.net.internet import Internet, build_internet
-from repro.scanners.base import Scanner
 from repro.scanners.population import ScannerPopulation, build_population
 from repro.sim.scenario import Scenario
 from repro.telescope.capture import DarknetCapture
@@ -133,6 +132,66 @@ class ScenarioResult:
         return out
 
 
+def build_world(scenario: Scenario) -> tuple:
+    """Build the simulated world and capture for a scenario.
+
+    Returns ``(internet, telescope, population, capture, merit, campus,
+    timeout)`` — the state every detection mode starts from.  Exposed
+    separately from :func:`run_scenario` so benchmarks and tools can
+    obtain a scenario's capture without running detection.
+    """
+    internet = build_internet(scenario.internet)
+    dark_prefix = internet.allocator.allocate(scenario.dark_prefix_length)
+    telescope = Telescope.from_prefix(dark_prefix)
+
+    merit = campus = None
+    if scenario.with_isp:
+        merit, internet = build_merit_like(internet, dark_prefix)
+    if scenario.with_campus:
+        campus, internet = build_campus_like(internet)
+
+    population = build_population(
+        internet, telescope.prefixes.ranges(), scenario.population
+    )
+    capture = telescope.capture(population.scanners, scenario.window())
+    timeout = (
+        scenario.event_timeout
+        if scenario.event_timeout is not None
+        else telescope.default_timeout()
+    )
+    return internet, telescope, population, capture, merit, campus, timeout
+
+
+def _parallel_events_and_detections(
+    capture: DarknetCapture,
+    timeout: float,
+    dark_size: int,
+    scenario: Scenario,
+    chunk_seconds: float,
+    workers: int,
+) -> tuple:
+    """Run the shard-parallel chunked pipeline (see :mod:`repro.parallel`).
+
+    Returns ``(events, detections, telemetry)`` — identical results to
+    the serial streaming (and batch) paths, with per-worker throughput
+    and open-flow gauges folded into the telemetry.
+    """
+    from repro.parallel import parallel_detect
+
+    source = ChunkedCaptureSource.from_capture(capture, chunk_seconds)
+    telemetry = PipelineTelemetry(chunk_seconds=chunk_seconds)
+    result = parallel_detect(
+        source,
+        timeout,
+        dark_size,
+        scenario.detection,
+        scenario.clock.seconds_per_day,
+        workers=workers,
+        telemetry=telemetry,
+    )
+    return result.events, result.detections, telemetry
+
+
 def _stream_events_and_detections(
     capture: DarknetCapture,
     timeout: float,
@@ -194,6 +253,7 @@ def run_scenario(
     *,
     mode: str = "batch",
     chunk_seconds: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ScenarioResult:
     """Execute a scenario: build the world, capture and detect.
 
@@ -211,28 +271,30 @@ def run_scenario(
         chunk_seconds: streaming window size; defaults to the
             scenario's ``chunk_seconds``, then to
             :data:`repro.config.DEFAULT_CHUNK_SECONDS`.
+        workers: with ``mode="streaming"``, shard the capture by source
+            address across this many worker processes and merge the
+            detector states (:mod:`repro.parallel`) — identical results
+            for any worker count.  Defaults to the scenario's
+            ``workers``; ``None`` or 1 runs the serial pipeline.
     """
     if mode not in ("batch", "streaming"):
         raise ValueError(f"unknown mode: {mode!r}")
-    internet = build_internet(scenario.internet)
-    dark_prefix = internet.allocator.allocate(scenario.dark_prefix_length)
-    telescope = Telescope.from_prefix(dark_prefix)
-
-    merit = campus = None
-    if scenario.with_isp:
-        merit, internet = build_merit_like(internet, dark_prefix)
-    if scenario.with_campus:
-        campus, internet = build_campus_like(internet)
-
-    population = build_population(
-        internet, telescope.prefixes.ranges(), scenario.population
-    )
-    capture = telescope.capture(population.scanners, scenario.window())
-    timeout = (
-        scenario.event_timeout
-        if scenario.event_timeout is not None
-        else telescope.default_timeout()
-    )
+    if workers is None:
+        workers = scenario.workers
+    if workers is not None:
+        if mode != "streaming":
+            raise ValueError("workers requires mode='streaming'")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+    (
+        internet,
+        telescope,
+        population,
+        capture,
+        merit,
+        campus,
+        timeout,
+    ) = build_world(scenario)
     telemetry = None
     if mode == "streaming":
         if chunk_seconds is None:
@@ -241,9 +303,15 @@ def run_scenario(
                 if scenario.chunk_seconds is not None
                 else DEFAULT_CHUNK_SECONDS
             )
-        events, detections, telemetry = _stream_events_and_detections(
-            capture, timeout, telescope.size, scenario, chunk_seconds
-        )
+        if workers is not None and workers > 1:
+            events, detections, telemetry = _parallel_events_and_detections(
+                capture, timeout, telescope.size, scenario, chunk_seconds,
+                workers,
+            )
+        else:
+            events, detections, telemetry = _stream_events_and_detections(
+                capture, timeout, telescope.size, scenario, chunk_seconds
+            )
     else:
         events = build_events(capture.packets, timeout)
         detections = detect_all(

@@ -21,7 +21,7 @@ the simulation (see DESIGN.md and EXPERIMENTS.md).
 from __future__ import annotations
 
 import datetime as _dt
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.config import DetectionConfig
@@ -60,6 +60,10 @@ class Scenario:
     #: capture window size for streaming-mode runs (None = the default
     #: from :data:`repro.config.DEFAULT_CHUNK_SECONDS`).
     chunk_seconds: Optional[float] = None
+    #: source-shard worker processes for streaming-mode runs (None or 1
+    #: = serial; see :mod:`repro.parallel` — results are identical for
+    #: any worker count).
+    workers: Optional[int] = None
 
     @property
     def duration(self) -> float:

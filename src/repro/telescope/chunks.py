@@ -92,15 +92,20 @@ class ChunkedCaptureSource:
         """Stream a chunk directory written by ``save_packets_chunked``.
 
         Loads one archive at a time; window edges are derived from each
-        chunk's own timestamps on the epoch-aligned grid.
+        chunk's own timestamps on the epoch-aligned grid.  The directory
+        is validated up front — a missing directory, an empty one, or a
+        gap in the ``chunk-*.npz`` sequence raise immediately with a
+        clear message instead of surfacing mid-stream.
         """
-        from repro.io.packetlog import iter_packets_chunked
+        from repro.io.packetlog import chunk_paths, load_packets_npz
 
         if chunk_seconds <= 0:
             raise ValueError("chunk_seconds must be positive")
+        paths = chunk_paths(directory)
 
         def generate() -> Iterator[CaptureChunk]:
-            for index, batch in enumerate(iter_packets_chunked(directory)):
+            for index, path in enumerate(paths):
+                batch = load_packets_npz(path)
                 first = float(batch.ts.min())
                 start = math.floor(first / chunk_seconds) * chunk_seconds
                 yield CaptureChunk(

@@ -1,6 +1,5 @@
 """Unit tests for the presentation helpers (tables and figures)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import downsample, series_stats, sparkline

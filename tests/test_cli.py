@@ -34,6 +34,14 @@ class TestParser:
         with pytest.raises(SystemExit, match="requires --mode streaming"):
             cli.main(["--chunk-hours", "2", "summary"])
 
+    def test_workers_requires_streaming(self):
+        with pytest.raises(SystemExit, match="requires --mode streaming"):
+            cli.main(["--workers", "2", "summary"])
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit, match=">= 1"):
+            cli.main(["--mode", "streaming", "--workers", "0", "summary"])
+
 
 class TestCommands:
     """End-to-end CLI runs over the tiny scenario (one per command)."""
@@ -63,6 +71,25 @@ class TestCommands:
         assert "max watermark lag" in out
         assert "stage detect" in out
         # Same detections as the batch table would show.
+        assert "Definition 1" in out
+
+    def test_summary_streaming_workers(self, capsys):
+        assert (
+            cli.main(
+                [
+                    "--scenario", "tiny",
+                    "--mode", "streaming",
+                    "--workers", "2",
+                    "summary",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Streaming pipeline telemetry" in out
+        assert "workers" in out
+        assert "worker 0" in out
+        assert "worker 1" in out
         assert "Definition 1" in out
 
     def test_impact(self, capsys):

@@ -1,7 +1,6 @@
 """Unit tests for the honeypot (GreyNoise-like) database."""
 
 import numpy as np
-import pytest
 
 from repro.fingerprint import Tool
 from repro.labeling.greynoise import (

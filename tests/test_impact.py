@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import impact
 from repro.flows.netflow import FlowTable
-from repro.packet import PacketBatch, Protocol
+from repro.packet import PacketBatch
 
 
 def flow_table(rows):

@@ -109,6 +109,27 @@ class TestChunkedPacketLog:
         with pytest.raises(ValueError, match="no chunk archives"):
             list(iter_packets_chunked(tmp_path / "cap"))
 
+    def test_gap_in_chunk_sequence(self, batch, tmp_path):
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        paths = sorted((tmp_path / "cap").glob("chunk-*.npz"))
+        assert len(paths) > 2
+        paths[1].unlink()
+        with pytest.raises(ValueError, match="chunk-00001.npz"):
+            list(iter_packets_chunked(tmp_path / "cap"))
+
+    def test_malformed_chunk_name(self, batch, tmp_path):
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        rogue = tmp_path / "cap" / "chunk-extra.npz"
+        rogue.write_bytes(b"")
+        with pytest.raises(ValueError, match="chunk-extra.npz"):
+            list(iter_packets_chunked(tmp_path / "cap"))
+
+    def test_file_instead_of_directory(self, tmp_path):
+        target = tmp_path / "cap"
+        target.write_bytes(b"")
+        with pytest.raises(FileNotFoundError, match="not a chunk directory"):
+            list(iter_packets_chunked(target))
+
 
 class TestFlowLog:
     def test_roundtrip(self, flows, tmp_path):

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.ipv6.addr import format_ipv6, in_prefix_v6, parse_ipv6, prefix_base_v6
-from repro.ipv6.hitlist import AddressPattern, Hitlist, HitlistConfig, build_hitlist
-from repro.ipv6.scanner import Ipv6Scanner, build_ipv6_population
+from repro.ipv6.hitlist import AddressPattern, HitlistConfig, build_hitlist
+from repro.ipv6.scanner import build_ipv6_population
 from repro.ipv6.telescope import (
     AddressInterner,
     Ipv6Telescope,

@@ -1,6 +1,5 @@
 """Unit tests for the operational blocklists."""
 
-import numpy as np
 import pytest
 
 from repro.core import lists

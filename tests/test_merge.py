@@ -1,0 +1,233 @@
+"""Merge operations in isolation: the substrate of shard-parallel runs.
+
+The parallel path (repro.parallel) is only correct if every piece of
+detector state merges exactly: the StreamingECDF sample, the running
+dispersion set, the port-day triple runs, and the event builder's open
+flows.  These tests pin associativity/commutativity where the merge
+tree shape must not matter, and the guard rails (mismatched
+configurations, overlapping shards) that keep a bad merge loud.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DetectionConfig
+from repro.core.ecdf import ECDF, StreamingECDF
+from repro.core.events import build_events
+from repro.core.streaming import (
+    DispersionState,
+    PortDayState,
+    StreamingDetector,
+    StreamingEventBuilder,
+    tables_equivalent,
+)
+from repro.packet import Protocol
+from tests.test_events import _packets
+
+TCP = Protocol.TCP_SYN.value
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _ecdf_of(values_lists):
+    out = StreamingECDF()
+    for values in values_lists:
+        out.add(np.asarray(values, dtype=np.float64))
+    return out
+
+
+class TestStreamingECDFMerge:
+    def test_merge_equals_batch(self):
+        a = _ecdf_of([[1.0, 5.0], [2.0]])
+        b = _ecdf_of([[4.0, 0.5]])
+        a.merge(b)
+        batch = ECDF(np.array([1.0, 5.0, 2.0, 4.0, 0.5]))
+        assert np.array_equal(a.ecdf().values, batch.values)
+        assert len(a) == 5
+
+    def test_merge_empty_is_identity(self):
+        a = _ecdf_of([[3.0, 1.0]])
+        a.merge(StreamingECDF())
+        assert np.array_equal(a.ecdf().values, np.array([1.0, 3.0]))
+
+    def test_merge_self_rejected(self):
+        a = _ecdf_of([[1.0]])
+        with pytest.raises(ValueError):
+            a.merge(a)
+
+    def test_merge_does_not_mutate_other(self):
+        a = _ecdf_of([[1.0]])
+        b = _ecdf_of([[2.0]])
+        a.merge(b)
+        assert np.array_equal(b.ecdf().values, np.array([2.0]))
+
+    @given(samples, samples)
+    @settings(max_examples=40)
+    def test_commutative(self, xs, ys):
+        ab = _ecdf_of([xs])
+        ab.merge(_ecdf_of([ys]))
+        ba = _ecdf_of([ys])
+        ba.merge(_ecdf_of([xs]))
+        assert len(ab) == len(ba)
+        if len(ab):
+            assert np.array_equal(ab.ecdf().values, ba.ecdf().values)
+
+    @given(samples, samples, samples)
+    @settings(max_examples=40)
+    def test_associative(self, xs, ys, zs):
+        left = _ecdf_of([xs])
+        left_inner = _ecdf_of([ys])
+        left.merge(left_inner)
+        left.merge(_ecdf_of([zs]))
+
+        right_inner = _ecdf_of([ys])
+        right_inner.merge(_ecdf_of([zs]))
+        right = _ecdf_of([xs])
+        right.merge(right_inner)
+
+        assert len(left) == len(right)
+        if len(left):
+            assert np.array_equal(left.ecdf().values, right.ecdf().values)
+            for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+                assert left.quantile(q) == right.quantile(q)
+
+
+class TestDispersionStateMerge:
+    def _events(self, rows):
+        return build_events(_packets(rows), timeout=60.0)
+
+    def test_union_of_qualifying_sources(self):
+        a = DispersionState(threshold=2)
+        a.update(self._events([(0, 1, 10, 80, TCP), (1, 1, 11, 80, TCP)]))
+        b = DispersionState(threshold=2)
+        b.update(self._events([(0, 2, 10, 80, TCP), (1, 2, 11, 80, TCP)]))
+        b.update(self._events([(0, 3, 10, 80, TCP)]))  # 1 dst: no qualify
+        a.merge(b)
+        assert a.sources == {1, 2}
+        assert len(a) == 2
+
+    def test_threshold_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DispersionState(2).merge(DispersionState(3))
+
+    def test_merge_is_idempotent_on_overlap(self):
+        a = DispersionState(threshold=1)
+        a.update(self._events([(0, 7, 10, 80, TCP)]))
+        b = DispersionState(threshold=1)
+        b.update(self._events([(0, 7, 10, 80, TCP)]))
+        a.merge(b)
+        assert a.sources == {7}
+
+
+class TestPortDayStateMerge:
+    def _events(self, rows):
+        return build_events(_packets(rows), timeout=60.0)
+
+    def test_overlapping_windows_counted_once(self):
+        # The same (src=1, day=0, port=80) triple lands in both states —
+        # e.g. a flow whose history was split across crafted overlapping
+        # chunk windows.  The merged count must still be 1 per port.
+        day = 86_400.0
+        a = PortDayState(day)
+        a.update(self._events([(0, 1, 10, 80, TCP)]))
+        b = PortDayState(day)
+        b.update(self._events([(100, 1, 11, 80, TCP), (100, 1, 11, 23, TCP)]))
+        a.merge(b)
+        assert a.counts() == {(1, 0): 2}  # ports 80 and 23, deduplicated
+
+    def test_merge_matches_single_state(self):
+        day = 86_400.0
+        rows_a = [(0, 1, 10, 80, TCP), (90_000, 1, 10, 443, TCP)]
+        rows_b = [(0, 2, 10, 22, TCP), (10, 2, 11, 23, TCP)]
+        split_a, split_b = PortDayState(day), PortDayState(day)
+        split_a.update(self._events(rows_a))
+        split_b.update(self._events(rows_b))
+        split_a.merge(split_b)
+        combined = PortDayState(day)
+        combined.update(self._events(rows_a))
+        combined.update(self._events(rows_b))
+        assert split_a.counts() == combined.counts()
+
+    def test_day_seconds_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PortDayState(86_400.0).merge(PortDayState(3_600.0))
+
+    def test_merge_self_rejected(self):
+        state = PortDayState(86_400.0)
+        with pytest.raises(ValueError):
+            state.merge(state)
+
+    def test_empty_states(self):
+        a = PortDayState(86_400.0)
+        a.merge(PortDayState(86_400.0))
+        assert a.counts() == {}
+
+
+class TestBuilderMerge:
+    def test_disjoint_sources_union(self):
+        a = StreamingEventBuilder(timeout=60.0)
+        a.add_batch(_packets([(0, 1, 10, 80, TCP), (1_000, 1, 11, 80, TCP)]))
+        b = StreamingEventBuilder(timeout=60.0)
+        b.add_batch(_packets([(500, 2, 10, 80, TCP)]))
+        a.merge(b)
+        union = a.finish()
+        reference = build_events(
+            _packets(
+                [
+                    (0, 1, 10, 80, TCP),
+                    (1_000, 1, 11, 80, TCP),
+                    (500, 2, 10, 80, TCP),
+                ]
+            ),
+            timeout=60.0,
+        )
+        assert tables_equivalent(union, reference)
+
+    def test_overlapping_open_flow_rejected(self):
+        a = StreamingEventBuilder(timeout=60.0)
+        a.add_batch(_packets([(0, 1, 10, 80, TCP)]))
+        b = StreamingEventBuilder(timeout=60.0)
+        b.add_batch(_packets([(0, 1, 11, 80, TCP)]))
+        with pytest.raises(ValueError, match="overlap"):
+            a.merge(b)
+
+    def test_timeout_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingEventBuilder(60.0).merge(StreamingEventBuilder(120.0))
+
+    def test_gauges_aggregate(self):
+        a = StreamingEventBuilder(timeout=60.0)
+        a.add_batch(_packets([(0, 1, 10, 80, TCP)]))
+        b = StreamingEventBuilder(timeout=60.0)
+        b.add_batch(_packets([(10, 2, 10, 80, TCP), (10.5, 3, 10, 23, TCP)]))
+        a.merge(b)
+        assert a.open_flows == 3
+        assert a.peak_open_flows == 3  # sum of shard peaks (1 + 2)
+        assert a.watermark == 10.5
+
+
+class TestDetectorMerge:
+    def test_config_mismatch_rejected(self):
+        a = StreamingDetector(600.0, 64, DetectionConfig(alpha=0.05))
+        b = StreamingDetector(600.0, 64, DetectionConfig(alpha=0.01))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_dark_size_mismatch_rejected(self):
+        a = StreamingDetector(600.0, 64)
+        b = StreamingDetector(600.0, 128)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_finished_detector_rejected(self):
+        a = StreamingDetector(600.0, 64)
+        b = StreamingDetector(600.0, 64)
+        b.finish()
+        with pytest.raises(RuntimeError):
+            a.merge(b)

@@ -1,6 +1,5 @@
 """Tests for the blocklist-deployment simulation."""
 
-import numpy as np
 import pytest
 
 from repro.core.lists import BlocklistEntry, DailyBlocklist

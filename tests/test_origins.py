@@ -1,7 +1,6 @@
 """Unit tests for the origin-concentration machinery (Table 5 drivers)."""
 
 import numpy as np
-import pytest
 
 from repro.net.addr import slash24
 from repro.net.internet import FLAGSHIP_CLOUD_ASN, FLAGSHIP_CLOUD_ORG

@@ -5,8 +5,6 @@ on — the same joins the benchmarks print, asserted on shape rather than
 exact numbers.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.characterize import top_fraction_share
 from repro.packet import Protocol

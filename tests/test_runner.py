@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.sim.runner import run_scenario
-from repro.sim.scenario import Scenario, darknet_year_scenario, tiny_scenario
+from repro.sim.scenario import darknet_year_scenario, tiny_scenario
 
 _EVENT_COLUMNS = (
     "src", "dport", "proto", "start", "end", "packets", "unique_dsts",

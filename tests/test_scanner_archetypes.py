@@ -1,10 +1,8 @@
 """Unit tests for the scanner archetype builders."""
 
 import numpy as np
-import pytest
 
 from repro.net.prefix import Prefix, PrefixSet
-from repro.packet import Protocol
 from repro.scanners import background, masscan, mirai, omniscanner, research
 from repro.scanners.base import ScanMode, View
 

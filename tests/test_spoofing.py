@@ -18,10 +18,9 @@ import pytest
 from repro.config import DetectionConfig
 from repro.core.detection import detect_all
 from repro.core.events import build_events
-from repro.net.prefix import Prefix, PrefixSet
+from repro.net.prefix import Prefix
 from repro.packet import PacketBatch, Protocol, SCANNING_PROTOCOLS
 from repro.scanners.background import SpoofedScan, build_backscatter_victims
-from repro.scanners.base import View
 from repro.telescope.darknet import Telescope
 
 DAY = 86_400.0

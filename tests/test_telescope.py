@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import event_timeout_seconds
-from repro.net.prefix import Prefix, PrefixSet
+from repro.net.prefix import Prefix
 from repro.scanners.base import Scanner
 from repro.telescope.capture import DarknetCapture
 from repro.telescope.darknet import Telescope
