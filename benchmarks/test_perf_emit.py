@@ -1,0 +1,261 @@
+"""Performance + memory baseline for lazy capture generation.
+
+Pins the two claims of the lazy-emission layer on the darknet-year
+scenario (a 6-day window — long enough that steady-state costs dominate
+fixed ones, short enough for the smoke pass):
+
+* **Memory** — generating the capture window by window
+  (`LazyCaptureSource`) peaks far below materializing it
+  (`Telescope.capture`), because no process ever holds more than ~one
+  chunk plus the open generation spans.
+* **Wall-clock** — with 4 workers, shard-local lazy generation + sharded
+  detection (`parallel_generate_detect`) beats the PR 2 pipeline
+  (materialize the full capture, then stream-detect serially) by >= 2x
+  end to end.
+
+Results land in ``benchmarks/results/BENCH_emit.json`` so future PRs
+have a machine-readable baseline; the CI bench-smoke artifact step
+uploads the whole results directory.  Self-timed with ``perf_counter``
+(not the ``benchmark`` fixture) so a single pass still measures and
+asserts under ``--benchmark-disable``.
+"""
+
+import json
+import os
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.analysis.tables import format_table
+from repro.core.streaming import stream_detect
+from repro.parallel import parallel_generate_detect
+from repro.sim.runner import _build_world_base
+from repro.sim.scenario import darknet_year_scenario
+from repro.telescope.chunks import LazyCaptureSource
+
+CHUNK_SECONDS = 3_600.0
+DAYS = 6
+#: window for the tracemalloc comparison — tracing slows allocation ~4x,
+#: so the memory claim is pinned on a 2-day slice of the same scenario.
+MEMORY_DAYS = 2
+
+_BENCH_JSON = RESULTS_DIR / "BENCH_emit.json"
+
+
+def _merge_bench_json(section: str, payload: dict) -> None:
+    """Fold one test's numbers into the shared BENCH_emit.json."""
+    data = {}
+    if _BENCH_JSON.exists():
+        data = json.loads(_BENCH_JSON.read_text())
+    data[section] = payload
+    _BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _batch_bytes(batch) -> int:
+    return sum(
+        getattr(batch, column).nbytes
+        for column in ("ts", "src", "dst", "dport", "proto", "ipid")
+    )
+
+
+@pytest.fixture(scope="module")
+def emit_world():
+    scenario = darknet_year_scenario(2021, days=DAYS)
+    _, telescope, population, _, _, timeout = _build_world_base(scenario)
+    return scenario, telescope, population, timeout
+
+
+def test_perf_emit_throughput_and_memory(emit_world, results_dir):
+    """Lazy generation: same packets, fraction of the peak memory."""
+    scenario, telescope, population, timeout = emit_world
+    window = scenario.window()
+    view = telescope.view()
+
+    # Throughput, untraced: materialize vs stream the same capture.
+    t0 = time.perf_counter()
+    capture = telescope.capture(population.scanners, window)
+    materialize_seconds = time.perf_counter() - t0
+    total_packets = len(capture)
+    capture_bytes = _batch_bytes(capture.packets)
+    del capture
+
+    t0 = time.perf_counter()
+    lazy_packets = 0
+    peak_chunk = 0
+    for chunk in LazyCaptureSource.from_population(
+        population.scanners, view, CHUNK_SECONDS, window=window
+    ):
+        lazy_packets += len(chunk)
+        peak_chunk = max(peak_chunk, len(chunk))
+    lazy_seconds = time.perf_counter() - t0
+    assert lazy_packets == total_packets
+
+    # Peak traced allocation, on a shorter slice of the same scenario.
+    mem_window = (0.0, MEMORY_DAYS * scenario.clock.seconds_per_day)
+    tracemalloc.start()
+    mem_capture = telescope.capture(population.scanners, mem_window)
+    materialized_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    mem_packets = len(mem_capture)
+    del mem_capture
+
+    tracemalloc.start()
+    lazy_mem_packets = 0
+    for chunk in LazyCaptureSource.from_population(
+        population.scanners, view, CHUNK_SECONDS, window=mem_window
+    ):
+        lazy_mem_packets += len(chunk)
+    lazy_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert lazy_mem_packets == mem_packets
+
+    _merge_bench_json(
+        "emit",
+        {
+            "scenario": scenario.name,
+            "days": DAYS,
+            "chunk_seconds": CHUNK_SECONDS,
+            "packets": total_packets,
+            "peak_chunk_packets": peak_chunk,
+            "capture_bytes": capture_bytes,
+            "materialize_seconds": round(materialize_seconds, 3),
+            "lazy_seconds": round(lazy_seconds, 3),
+            "lazy_pkt_per_s": round(lazy_packets / lazy_seconds),
+            "memory_days": MEMORY_DAYS,
+            "memory_packets": mem_packets,
+            "materialized_peak_bytes": materialized_peak,
+            "lazy_peak_bytes": lazy_peak,
+        },
+    )
+    emit(
+        results_dir,
+        "perf_emit",
+        format_table(
+            ["metric", "value"],
+            [
+                ("packets", f"{total_packets:,}"),
+                ("materialize", f"{materialize_seconds:.2f} s"),
+                (
+                    "lazy stream",
+                    f"{lazy_seconds:.2f} s "
+                    f"({lazy_packets / lazy_seconds:,.0f} pkt/s)",
+                ),
+                ("capture bytes", f"{capture_bytes / 1e6:,.0f} MB"),
+                (
+                    f"materialized peak ({MEMORY_DAYS}d)",
+                    f"{materialized_peak / 1e6:,.0f} MB",
+                ),
+                (f"lazy peak ({MEMORY_DAYS}d)", f"{lazy_peak / 1e6:,.0f} MB"),
+            ],
+            title=f"Lazy emission — {scenario.name} ({DAYS} days)",
+            align_right=False,
+        ),
+    )
+    # The memory claim: streaming peaks at a small fraction of what
+    # materializing the same window allocates.
+    assert lazy_peak < materialized_peak / 3
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup floor needs >= 4 cores",
+)
+def test_perf_lazy_parallel_speedup(emit_world, results_dir):
+    """4-worker shard-local generation beats the PR 2 pipeline >= 2x.
+
+    The baseline is what every run paid before lazy emission:
+    materialize the full capture serially, then stream-detect it.  The
+    contender never materializes anything — each worker generates its
+    own shard's packets while detecting — and must also produce
+    identical events.
+    """
+    scenario, telescope, population, timeout = emit_world
+    window = scenario.window()
+    view = telescope.view()
+
+    t0 = time.perf_counter()
+    capture = telescope.capture(population.scanners, window)
+    events, _ = stream_detect(
+        (c for _, _, c in capture.packets.iter_time_chunks(CHUNK_SECONDS)),
+        timeout,
+        telescope.size,
+        scenario.detection,
+        scenario.clock.seconds_per_day,
+    )
+    baseline_seconds = time.perf_counter() - t0
+    n = len(capture)
+    del capture
+
+    t0 = time.perf_counter()
+    result = parallel_generate_detect(
+        population.scanners,
+        view,
+        CHUNK_SECONDS,
+        timeout,
+        telescope.size,
+        scenario.detection,
+        scenario.clock.seconds_per_day,
+        workers=4,
+        window=window,
+    )
+    lazy_seconds = time.perf_counter() - t0
+
+    assert np.array_equal(result.events.src, events.src)
+    assert np.array_equal(result.events.start, events.start)
+    assert np.array_equal(result.events.packets, events.packets)
+
+    speedup = baseline_seconds / lazy_seconds
+    _merge_bench_json(
+        "parallel",
+        {
+            "scenario": scenario.name,
+            "days": DAYS,
+            "workers": 4,
+            "packets": n,
+            "baseline_seconds": round(baseline_seconds, 3),
+            "lazy_seconds": round(lazy_seconds, 3),
+            "speedup": round(speedup, 3),
+            "workers_detail": [
+                {
+                    "shard": r.shard,
+                    "packets": r.packets,
+                    "generate_seconds": round(r.generate_seconds, 3),
+                    "seconds": round(r.seconds, 3),
+                }
+                for r in result.worker_reports
+            ],
+        },
+    )
+    rows = [
+        ("packets", f"{n:,}"),
+        (
+            "materialize + serial detect",
+            f"{baseline_seconds:.2f} s ({n / baseline_seconds:,.0f} pkt/s)",
+        ),
+        (
+            "lazy generate+detect, 4 workers",
+            f"{lazy_seconds:.2f} s ({n / lazy_seconds:,.0f} pkt/s)",
+        ),
+        ("speedup", f"{speedup:.2f}x"),
+    ] + [
+        (
+            f"worker {r.shard}",
+            f"{r.packets:,} pkts, gen {r.generate_seconds:.2f} s, "
+            f"total {r.seconds:.2f} s",
+        )
+        for r in result.worker_reports
+    ]
+    emit(
+        results_dir,
+        "perf_emit_speedup",
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Lazy shard-local generation — {scenario.name}",
+            align_right=False,
+        ),
+    )
+    assert speedup >= 2.0

@@ -278,8 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="batch",
         help=(
             "batch: events + detection over the whole capture at once; "
-            "streaming: chunked capture -> incremental detection "
-            "(same results, bounded memory, telemetry in the summary)"
+            "streaming: lazily generated chunked capture -> incremental "
+            "detection (same results; the capture is never materialized, "
+            "so memory stays bounded; telemetry in the summary)"
         ),
     )
     parser.add_argument(
@@ -296,7 +297,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help=(
             "shard the streaming pipeline by source address across N "
-            "worker processes (requires --mode streaming; results are "
+            "worker processes; each worker generates its own shard's "
+            "packets locally, so generation and detection both "
+            "parallelize (requires --mode streaming; results are "
             "identical for any N)"
         ),
     )

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.detection import DetectionResult
 from repro.fingerprint import Tool, classify
-from repro.net.addr import slash24
+from repro.net.addr import distinct_slash24s
 from repro.net.asn import ASRegistry
 from repro.packet import Protocol
 from repro.telescope.capture import DarknetCapture
@@ -166,8 +166,8 @@ def origins(
                 asn=system.asn,
                 unique_ips=len(ips),
                 acked_ips=len(acked),
-                unique_slash24=len({slash24(ip) for ip in ips}),
-                acked_slash24=len({slash24(ip) for ip in acked}),
+                unique_slash24=distinct_slash24s(ips),
+                acked_slash24=distinct_slash24s(acked),
                 packets=entry["packets"],
             )
         )
@@ -175,7 +175,7 @@ def origins(
     top = rows[:top_n]
 
     all_ips = len(sources)
-    all_slash24 = len({slash24(int(s)) for s in sources})
+    all_slash24 = distinct_slash24s(sources)
     top_ips = sum(r.unique_ips for r in top)
     top_slash24 = sum(r.unique_slash24 for r in top)
     top_packets = sum(r.packets for r in top)

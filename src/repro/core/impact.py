@@ -175,13 +175,14 @@ def router_coverage(
         if not active:
             continue
         day_flows = flows.select(flows.day == day)
+        active_arr = np.fromiter(
+            (int(a) for a in active), dtype=np.uint32, count=len(active)
+        )
         fractions = []
         for router in range(router_count):
-            seen = set(
-                int(s)
-                for s in np.unique(day_flows.src[day_flows.router == router])
-            )
-            fractions.append(len(seen & active) / len(active))
+            router_srcs = day_flows.src[day_flows.router == router]
+            seen = int(np.isin(active_arr, router_srcs).sum())
+            fractions.append(seen / len(active))
         rows.append(
             {
                 "day": int(day),

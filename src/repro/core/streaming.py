@@ -57,11 +57,13 @@ from repro.packet import PacketBatch, SCANNING_PROTOCOLS
 # loop in ``add_batch`` touches one record per live flow per chunk and
 # attribute access is measurably slower than indexing there.  Layout:
 # [src, dport, proto, start, last, packets, dst_segments] where
-# dst_segments is a list of per-segment destination lists, each already
-# deduplicated *within* itself.  Most flows are opened and expired
-# without ever being continued, so the cross-segment union (the only
-# genuinely per-element Python work) is deferred to close time and paid
-# only by multi-segment flows.
+# dst_segments is a list of per-segment destination collections, each
+# already deduplicated *within* itself.  Most flows are opened and
+# expired without ever being continued, so the cross-segment union (the
+# only genuinely per-element Python work) is deferred to close time and
+# paid only by multi-segment flows; flows continued across many chunks
+# are compacted into a single set periodically so open-flow memory is
+# bounded by distinct destinations (<= dark size), never flow length.
 _F_START, _F_LAST, _F_PACKETS, _F_DSTS = 3, 4, 5, 6
 
 
@@ -259,7 +261,16 @@ class StreamingEventBuilder:
             if flow is not None:
                 if start_l[e0] - flow[_F_LAST] <= timeout:
                     # The key's first event continues the open flow.
-                    flow[_F_DSTS].append(ev_dst[ev_off[e0]:ev_off[e0 + 1]])
+                    segments = flow[_F_DSTS]
+                    segments.append(ev_dst[ev_off[e0]:ev_off[e0 + 1]])
+                    if len(segments) >= 8:
+                        # Compact long-lived flows: unmerged per-chunk
+                        # segments would grow O(flow packets), while the
+                        # union is bounded by the dark size.  Every 8th
+                        # continuation keeps the amortized union cost
+                        # low without ever holding more than a few
+                        # chunks' worth of duplicates.
+                        flow[_F_DSTS] = [set().union(*segments)]
                     flow[_F_PACKETS] += packets_l[e0]
                     flow[_F_LAST] = end_l[e0]
                     closed_mask[e0] = False

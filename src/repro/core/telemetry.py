@@ -64,6 +64,9 @@ class WorkerStats:
     events: int = 0
     peak_open_flows: int = 0
     seconds: float = 0.0
+    #: wall seconds the worker spent *generating* its shard's capture
+    #: (lazy shard-local generation only; 0 when packets were shipped).
+    generate_seconds: float = 0.0
 
     @property
     def throughput(self) -> Optional[float]:
@@ -72,6 +75,13 @@ class WorkerStats:
             return None
         return self.packets / self.seconds
 
+    @property
+    def generate_throughput(self) -> Optional[float]:
+        """Packets generated per second of worker generation time."""
+        if self.generate_seconds <= 0.0:
+            return None
+        return self.packets / self.generate_seconds
+
     def as_dict(self) -> dict:
         return {
             "shard": self.shard,
@@ -79,7 +89,9 @@ class WorkerStats:
             "events": self.events,
             "peak_open_flows": self.peak_open_flows,
             "seconds": self.seconds,
+            "generate_seconds": self.generate_seconds,
             "throughput": self.throughput,
+            "generate_throughput": self.generate_throughput,
         }
 
 
@@ -124,6 +136,7 @@ class PipelineTelemetry:
         events: int,
         peak_open_flows: int,
         seconds: float,
+        generate_seconds: float = 0.0,
     ) -> None:
         """Fold one shard worker's report into the gauges.
 
@@ -139,6 +152,7 @@ class PipelineTelemetry:
                 events=int(events),
                 peak_open_flows=int(peak_open_flows),
                 seconds=float(seconds),
+                generate_seconds=float(generate_seconds),
             )
         )
         self.peak_open_flows = max(
@@ -187,14 +201,18 @@ class PipelineTelemetry:
                 rate = (
                     f"{throughput:,.0f}/s" if throughput is not None else "n/a"
                 )
-                rows.append(
-                    (
-                        f"worker {worker.shard}",
-                        f"{worker.packets:,} pkts, {worker.events:,} events, "
-                        f"peak {worker.peak_open_flows:,} open, "
-                        f"{worker.seconds:.2f}s ({rate})",
-                    )
+                detail = (
+                    f"{worker.packets:,} pkts, {worker.events:,} events, "
+                    f"peak {worker.peak_open_flows:,} open, "
+                    f"{worker.seconds:.2f}s ({rate})"
                 )
+                if worker.generate_seconds > 0.0:
+                    gen = worker.generate_throughput
+                    gen_rate = f"{gen:,.0f}/s" if gen is not None else "n/a"
+                    detail += (
+                        f", gen {worker.generate_seconds:.2f}s ({gen_rate})"
+                    )
+                rows.append((f"worker {worker.shard}", detail))
         for stage in self.stages.values():
             throughput = stage.throughput
             rate = (

@@ -106,6 +106,9 @@ class WorkerReport:
     #: wall-clock seconds spent inside the worker's detector loop.
     seconds: float
     watermark: Optional[float]
+    #: wall-clock seconds spent generating this shard's capture (lazy
+    #: shard-local generation only; stays 0 when packets were shipped).
+    generate_seconds: float = 0.0
 
 
 @dataclass
@@ -188,6 +191,53 @@ def _run_shard_directory(
     return detector, report
 
 
+def _run_shard_lazy(
+    shard: int,
+    scanners: list,
+    view,
+    chunk_seconds: float,
+    window,
+    timeout: float,
+    dark_size: int,
+    config: Optional[DetectionConfig],
+    day_seconds: float,
+) -> Tuple[StreamingDetector, WorkerReport]:
+    """Worker body for lazy generation: emit own shard, then detect.
+
+    The worker receives its shard's *scanners* (a compact description of
+    behavior, kilobytes) instead of their packets (gigabytes at scale),
+    streams the shard's capture locally with a
+    :class:`~repro.telescope.chunks.LazyCaptureSource`, and folds it
+    into its detector chunk by chunk — raw packets never cross a
+    process boundary, and no process ever materializes a full capture.
+    """
+    from repro.telescope.chunks import LazyCaptureSource
+
+    t0 = time.perf_counter()
+    detector = StreamingDetector(timeout, dark_size, config, day_seconds)
+    source = LazyCaptureSource.from_population(
+        scanners, view, chunk_seconds, window=window
+    )
+    generate_seconds = 0.0
+    t_prev = time.perf_counter()
+    for chunk in source:
+        t_generated = time.perf_counter()
+        generate_seconds += t_generated - t_prev
+        detector.add_batch(chunk.packets)
+        t_prev = time.perf_counter()
+    report = WorkerReport(
+        shard=shard,
+        packets=detector.packets_seen,
+        events_finalized=detector.events_finalized,
+        open_flows=detector.open_flows,
+        peak_open_flows=detector.peak_open_flows,
+        seconds=time.perf_counter() - t0,
+        watermark=detector.watermark,
+        generate_seconds=generate_seconds,
+    )
+    return detector, report
+
+
 def _finish_merged(
     shard_results: List[Tuple[StreamingDetector, WorkerReport]],
     telemetry: Optional[PipelineTelemetry],
@@ -206,6 +256,13 @@ def _finish_merged(
                 events=report.events_finalized,
                 peak_open_flows=report.peak_open_flows,
                 seconds=report.seconds,
+                generate_seconds=report.generate_seconds,
+            )
+        generate_seconds = sum(r.generate_seconds for r in reports)
+        if generate_seconds > 0.0:
+            total_packets = sum(r.packets for r in reports)
+            telemetry.stage("generate").add(
+                total_packets, total_packets, generate_seconds
             )
         telemetry.stage("merge").add(
             sum(r.events_finalized for r in reports), len(events), merge_seconds
@@ -338,4 +395,103 @@ def parallel_detect_directory(
         telemetry.total_packets = sum(
             report.packets for _, report in shard_results
         )
+    return _finish_merged(shard_results, telemetry)
+
+
+def shard_scanners(scanners: Sequence, n_shards: int) -> List[list]:
+    """Partition a scanner population by source-address shard.
+
+    Uses the same Fibonacci hash as :func:`shard_of`, so generating a
+    shard's scanners locally produces exactly the packets that sharding
+    the materialized capture would have routed to that worker (every
+    packet carries its scanner's source).  Scanners with the spoofed
+    sentinel source 0 land in ``shard_of(0)``'s worker; their forged
+    per-packet sources would scatter under packet sharding, but
+    detection is per-source and each forged source contributes one
+    packet, so results are unaffected.  Population order is preserved
+    within each shard (part of the tie-breaking contract).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards == 1:
+        return [list(scanners)]
+    sources = np.array([int(s.src) for s in scanners], dtype=np.uint32)
+    shard = shard_of(sources, n_shards)
+    return [
+        [s for s, idx in zip(scanners, shard) if idx == i]
+        for i in range(n_shards)
+    ]
+
+
+def parallel_generate_detect(
+    scanners: Sequence,
+    view,
+    chunk_seconds: float,
+    timeout: float,
+    dark_size: int,
+    config: Optional[DetectionConfig] = None,
+    day_seconds: float = 86_400.0,
+    *,
+    workers: int,
+    window: Optional[tuple] = None,
+    use_processes: bool = True,
+    telemetry: Optional[PipelineTelemetry] = None,
+) -> ParallelResult:
+    """Shard-parallel detection with shard-local lazy generation.
+
+    The synthetic-capture twin of :func:`parallel_detect_directory`:
+    instead of sharding packets, the parent shards the *population* by
+    source address and each worker lazily generates its own shard's
+    capture (:class:`~repro.telescope.chunks.LazyCaptureSource`) while
+    detecting.  Raw packets never cross a process pipe and no process —
+    parent or worker — ever materializes a capture, so peak memory per
+    worker is one chunk plus open generation spans and open flows.
+
+    Results are identical to the serial and batch paths for any worker
+    count: sharding scanners by source is equivalent to sharding their
+    packets (every packet carries its scanner's source), and thresholds
+    are derived once, after the merge.
+
+    Args:
+        scanners: the full population, in emission order.
+        view: the monitored address region (the telescope's view).
+        chunk_seconds: generation window length (epoch-aligned).
+        timeout: event inactivity timeout.
+        dark_size: telescope aperture (threshold normalization).
+        config: detection thresholds configuration.
+        day_seconds: day length for per-day statistics.
+        workers: number of source shards / worker processes.
+        window: overall [start, end) restriction (the scenario window).
+        use_processes: ``False`` runs shards serially in-process (same
+            code path; useful for tests).
+        telemetry: optional gauge sink; per-worker generate/detect
+            throughput is recorded after the join.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    shards = shard_scanners(scanners, workers)
+    args = [
+        (
+            index, shards[index], view, chunk_seconds, window,
+            timeout, dark_size, config, day_seconds,
+        )
+        for index in range(workers)
+    ]
+    if use_processes and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_shard_lazy, *arg) for arg in args]
+            shard_results = [future.result() for future in futures]
+    else:
+        shard_results = [_run_shard_lazy(*arg) for arg in args]
+    if telemetry is not None:
+        telemetry.total_packets = sum(
+            report.packets for _, report in shard_results
+        )
+        watermarks = [
+            report.watermark
+            for _, report in shard_results
+            if report.watermark is not None
+        ]
+        if watermarks:
+            telemetry.watermark = max(watermarks)
     return _finish_merged(shard_results, telemetry)

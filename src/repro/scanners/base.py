@@ -28,6 +28,7 @@ Three session modes cover the archetypes in the wild:
 from __future__ import annotations
 
 import enum
+import math
 import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -45,10 +46,30 @@ from repro.packet import PacketBatch, Protocol
 
 IPV4_SPACE = 2**32
 
+#: Target expected in-view packets per RATE generation sub-window.  A
+#: RATE session's Poisson process is exactly decomposable across
+#: disjoint time spans, so long/high-rate sessions are generated on a
+#: deterministic per-session grid sized to roughly this many packets per
+#: span — windowed emission then never materializes more than ~one span
+#: of any session, which is what bounds lazy-generation memory.  Small
+#: is cheap: the number of extra RNG streams scales with *total* in-view
+#: packets divided by this target, which stays negligible next to the
+#: one-stream-per-session floor.
+RATE_SPAN_TARGET_PACKETS = 8_192.0
+
 
 def full_ipv4_ranges() -> np.ndarray:
     """The whole IPv4 space as a single [start, end) range."""
     return np.array([[0, IPV4_SPACE]], dtype=np.int64)
+
+
+def view_rng_key(view: "View") -> int:
+    """Stable integer identifying a view's RNG substream.
+
+    zlib.crc32, not hash(): Python string hashing is salted per process,
+    which would break cross-run reproducibility.
+    """
+    return zlib.crc32(view.name.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -192,10 +213,7 @@ class Scanner:
     seed: int = 0
 
     def _rng_for_view(self, view: View) -> np.random.Generator:
-        # zlib.crc32, not hash(): Python string hashing is salted per
-        # process, which would break cross-run reproducibility.
-        view_key = zlib.crc32(view.name.encode("utf-8"))
-        return np.random.default_rng((self.seed, view_key))
+        return np.random.default_rng((self.seed, view_rng_key(view)))
 
     def emit(
         self,
@@ -204,62 +222,173 @@ class Scanner:
     ) -> PacketBatch:
         """Generate this scanner's packets landing inside ``view``.
 
+        Emission is deterministic per (scanner, view, session,
+        generation span): every session draws from its own RNG
+        substream, so any time-slice of a session can be regenerated
+        independently of the others.  A ``window`` therefore yields
+        *exactly* the packets of the full emission whose timestamps fall
+        inside it — windowed and full emission are slices of one
+        underlying realization, which is what the lazy streaming layer
+        (:mod:`repro.scanners.lazy`) relies on.
+
         Args:
             view: the monitored address region.
-            window: optional [start, end) time clip; sessions partially
-                overlapping the window contribute proportionally.
+            window: optional [start, end) time clip.
 
         Returns:
-            An unsorted :class:`PacketBatch` (callers sort at capture).
+            An unsorted :class:`PacketBatch` in deterministic generation
+            order (callers sort at capture).
         """
-        rng = self._rng_for_view(view)
+        view_key = view_rng_key(view)
         view_ranges = view.ranges()
         batches = []
-        for session in self.sessions:
-            batch = self._emit_session(session, view_ranges, rng, window)
+        for index, session in enumerate(self.sessions):
+            if window is not None and (
+                session.start >= window[1] or session.end <= window[0]
+            ):
+                continue
+            batch = self._emit_session_windowed(
+                index, session, view_ranges, view_key, window
+            )
             if len(batch):
                 batches.append(batch)
         return PacketBatch.concat(batches)
 
-    # ------------------------------------------------------------------
-    def _emit_session(
-        self,
-        session: ScanSession,
-        view_ranges: np.ndarray,
-        rng: np.random.Generator,
-        window: Optional[tuple[float, float]],
-    ) -> PacketBatch:
-        w0, w1 = session.start, session.end
-        if window is not None:
-            w0 = max(w0, window[0])
-            w1 = min(w1, window[1])
-            if w0 >= w1:
-                return PacketBatch.empty()
-        time_fraction = (w1 - w0) / session.duration
+    def emit_window(self, view: View, t0: float, t1: float) -> PacketBatch:
+        """Packets of the full emission with ``t0 <= ts < t1``, sorted.
 
+        Concatenating ``emit_window`` over any partition of a span
+        covering every session reproduces ``emit(view).sorted_by_time()``
+        bit-identically — addresses, ports, timestamps and fingerprints
+        (pinned by a hypothesis property test).  This is the unit the
+        lazy capture source is built from.
+        """
+        return self.emit(view, window=(t0, t1)).sorted_by_time()
+
+    def session_spans(self) -> np.ndarray:
+        """Per-session [start, end) spans as an ``(n, 2)`` float array.
+
+        The population-level interval index is built from these, so a
+        windowed emission only touches scanners with overlapping
+        sessions.
+        """
+        if not self.sessions:
+            return np.empty((0, 2), dtype=np.float64)
+        return np.array(
+            [[s.start, s.end] for s in self.sessions], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    def _session_plan(
+        self, session: ScanSession, view_ranges: np.ndarray
+    ) -> tuple:
+        """Deterministic generation plan for one session into one view.
+
+        Returns ``(inter, hit_space, target_space, spans)`` where spans
+        is the list of [start, end) generation sub-windows.  Non-RATE
+        sessions are one span (COVERAGE/VERTICAL draw *distinct*
+        targets, which cannot be split without breaking the
+        enumerate-once semantics — but their in-view packet count is
+        bounded by the view size, so one span is already small).  RATE
+        sessions are a Poisson process, exactly decomposable, and are
+        split so each span expects roughly
+        :data:`RATE_SPAN_TARGET_PACKETS` packets.
+        """
         inter = intersect_ranges(session.effective_targets(), view_ranges)
         hit_space = ranges_size(inter)
         if hit_space == 0:
-            return PacketBatch.empty()
+            return inter, 0, 0, []
         target_space = session.target_space_size()
+        if session.mode is not ScanMode.RATE:
+            return inter, hit_space, target_space, [(session.start, session.end)]
+        expected = (
+            session.rate_pps * session.duration * hit_space / target_space
+        )
+        n_spans = max(1, int(math.ceil(expected / RATE_SPAN_TARGET_PACKETS)))
+        if n_spans == 1:
+            return inter, hit_space, target_space, [(session.start, session.end)]
+        sub = session.duration / n_spans
+        spans = [
+            (session.start + j * sub, session.start + (j + 1) * sub)
+            for j in range(n_spans)
+        ]
+        # Pin the last edge to the exact session end (float summation
+        # may land a hair off; slicing contracts depend on exact edges).
+        spans[-1] = (spans[-1][0], session.end)
+        return inter, hit_space, target_space, spans
 
+    def _emit_session_windowed(
+        self,
+        index: int,
+        session: ScanSession,
+        view_ranges: np.ndarray,
+        view_key: int,
+        window: Optional[tuple[float, float]],
+    ) -> PacketBatch:
+        """One session's packets clipped to ``window`` (exact slices)."""
+        inter, hit_space, target_space, spans = self._session_plan(
+            session, view_ranges
+        )
+        if hit_space == 0:
+            return PacketBatch.empty()
+        parts = []
+        for j, (s0, s1) in enumerate(spans):
+            if window is not None:
+                c0, c1 = max(s0, window[0]), min(s1, window[1])
+                if c0 >= c1:
+                    continue
+            else:
+                c0, c1 = s0, s1
+            batch = self._generate_span(
+                session, index, j, s0, s1, inter, hit_space, target_space,
+                view_key,
+            )
+            if c0 > s0 or c1 < s1:
+                # Boolean mask, not searchsorted: spans are kept in
+                # generation order (unsorted), and masking preserves
+                # that order — which is what makes a window slice equal
+                # the restriction of the full concat.
+                batch = batch.select((batch.ts >= c0) & (batch.ts < c1))
+            if len(batch):
+                parts.append(batch)
+        return PacketBatch.concat(parts)
+
+    def _generate_span(
+        self,
+        session: ScanSession,
+        index: int,
+        span_index: int,
+        s0: float,
+        s1: float,
+        inter: np.ndarray,
+        hit_space: int,
+        target_space: int,
+        view_key: int,
+    ) -> PacketBatch:
+        """Generate one full [s0, s1) span of a session, unsorted.
+
+        The RNG stream is keyed by (scanner seed, view, session, span),
+        so a span regenerates bit-identically no matter which query
+        window asked for it.  Rows stay in generation order; callers
+        sort once per capture window, never per span.
+        """
+        rng = np.random.default_rng((self.seed, view_key, index, span_index))
         if session.mode is ScanMode.COVERAGE:
             dst, dport = self._coverage_hits(
-                session, inter, hit_space, time_fraction, rng
+                session, inter, hit_space, 1.0, rng
             )
         elif session.mode is ScanMode.RATE:
             dst, dport = self._rate_hits(
-                session, inter, hit_space, target_space, w1 - w0, rng
+                session, inter, hit_space, target_space, s1 - s0, rng
             )
         else:
             dst, dport = self._vertical_hits(
-                session, inter, hit_space, target_space, time_fraction, rng
+                session, inter, hit_space, target_space, 1.0, rng
             )
-
         count = len(dst)
         if count == 0:
             return PacketBatch.empty()
-        ts = w0 + rng.random(count) * (w1 - w0)
+        ts = s0 + rng.random(count) * (s1 - s0)
         if session.proto is Protocol.ICMP_ECHO:
             dport = np.zeros(count, dtype=np.uint16)
         ipid = self._fingerprint(session.tool, dst, dport, rng)

@@ -1,0 +1,261 @@
+"""Lazy, windowed population emission.
+
+:func:`repro.scanners.base.emit_population` materializes every packet a
+population sends into a view, concatenates, and time-sorts — an
+O(total capture) memory wall at the head of every run.  This module
+replaces it for the streaming pipeline: :class:`PopulationEmitter`
+walks an epoch-aligned chunk grid and, per window, generates only the
+packets landing inside it.
+
+Three properties make this both cheap and exact:
+
+* **Interval index** — cursors are sorted by first activity and admitted
+  to the active set only while a session overlaps the current window, so
+  a window's cost scales with concurrent scanners, not population size.
+* **Span caching** — each session is generated in the deterministic
+  spans of :meth:`Scanner._session_plan`; a span is generated once when
+  the sweep first reaches it, sliced forward window by window, and freed
+  as soon as the sweep passes its end.  Peak memory is O(active spans),
+  never O(capture).
+* **Bit-identity** — span RNG streams are keyed by (scanner, view,
+  session, span), so the concatenation of all window batches equals
+  ``emit_population(scanners, view, window).sorted_by_time()`` exactly:
+  same addresses, ports, timestamps, and fingerprints.  Every sort in
+  the chain is stable — spans are stable-sorted once when generated,
+  window slices keep that order, and the per-window sort ties break in
+  cursor (= population) order — so even equal-timestamp ties break
+  exactly as the materialized path's single global stable sort would.
+
+Scanner-like objects without sessions (e.g.
+:class:`repro.scanners.background.SpoofedScan`) are handled by a
+fallback cursor that calls their ``emit`` once — with the same overall
+window the batch path would pass, because their windowed emission is a
+fresh realization rather than a slice — and serves time-slices of the
+result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import math
+
+import numpy as np
+
+from repro.packet import PacketBatch
+from repro.scanners.base import View, view_rng_key
+
+
+class _ScannerCursor:
+    """Forward-only window reader over one scanner's sessions."""
+
+    __slots__ = ("scanner", "start", "end", "_view_ranges", "_view_key", "_state")
+
+    def __init__(self, scanner, view_ranges: np.ndarray, view_key: int):
+        self.scanner = scanner
+        self.start = min(s.start for s in scanner.sessions)
+        self.end = max(s.end for s in scanner.sessions)
+        self._view_ranges = view_ranges
+        self._view_key = view_key
+        #: session index -> [plan, span_idx, cached span batch | None]
+        self._state: dict = {}
+
+    def take(self, t0: float, t1: float) -> list:
+        """Batches with ``t0 <= ts < t1``, in (session, span) order.
+
+        Must be called with non-decreasing windows; spans the sweep has
+        passed are freed and cannot be revisited.
+        """
+        parts = []
+        for index, session in enumerate(self.scanner.sessions):
+            if session.end <= t0:
+                self._state.pop(index, None)
+                continue
+            if session.start >= t1:
+                continue
+            state = self._state.get(index)
+            if state is None:
+                plan = self.scanner._session_plan(session, self._view_ranges)
+                state = [plan, 0, None]
+                self._state[index] = state
+            inter, hit_space, target_space, spans = state[0]
+            if hit_space == 0:
+                continue
+            span_idx, batch = state[1], state[2]
+            while span_idx < len(spans):
+                s0, s1 = spans[span_idx]
+                if s1 <= t0:
+                    span_idx += 1
+                    batch = None
+                    continue
+                if s0 >= t1:
+                    break
+                if batch is None:
+                    # Stable-sort each span once at generation time:
+                    # equal timestamps keep their generation order, so
+                    # cheap searchsorted slices below still reproduce
+                    # the tie order of the materialized path's global
+                    # stable sort (ties only exist *within* a span —
+                    # spans tile the session half-open, so timestamps
+                    # never collide across span boundaries).
+                    batch = self.scanner._generate_span(
+                        session, index, span_idx, s0, s1,
+                        inter, hit_space, target_space, self._view_key,
+                    ).sorted_by_time()
+                c0, c1 = max(s0, t0), min(s1, t1)
+                if c0 > s0 or c1 < s1:
+                    i0, i1 = np.searchsorted(batch.ts, [c0, c1], side="left")
+                    part = (
+                        batch.select(slice(int(i0), int(i1)))
+                        if i0 < i1
+                        else None
+                    )
+                else:
+                    part = batch
+                if part is not None and len(part):
+                    parts.append(part)
+                if s1 <= t1:
+                    span_idx += 1
+                    batch = None
+                else:
+                    break
+            state[1], state[2] = span_idx, batch
+        return parts
+
+
+class _FallbackCursor:
+    """Cursor for duck-typed scanners without :class:`ScanSession` lists.
+
+    Their ``emit`` is called exactly once, with the same overall window
+    the materializing batch path passes (their windowed emission is a
+    fresh realization, not a slice of the full one), and the sorted
+    result is sliced forward.  Memory is bounded by that one emission,
+    held only while the object is active.
+    """
+
+    __slots__ = ("scanner", "start", "end", "_view", "_window", "_batch")
+
+    def __init__(self, scanner, view: View, window: Optional[tuple]):
+        self.scanner = scanner
+        start = getattr(scanner, "start", None)
+        duration = getattr(scanner, "duration", None)
+        if start is not None and duration is not None:
+            self.start, self.end = float(start), float(start + duration)
+        elif window is not None:
+            self.start, self.end = window
+        else:
+            raise ValueError(
+                "scanner without sessions needs start/duration attributes "
+                "or an explicit overall window"
+            )
+        self._view = view
+        self._window = window
+        self._batch: Optional[PacketBatch] = None
+
+    def take(self, t0: float, t1: float) -> list:
+        if self._batch is None:
+            self._batch = self.scanner.emit(
+                self._view, self._window
+            ).sorted_by_time()
+        i0, i1 = np.searchsorted(self._batch.ts, [t0, t1], side="left")
+        part = self._batch.select(slice(int(i0), int(i1)))
+        return [part] if len(part) else []
+
+
+class PopulationEmitter:
+    """Stream a population's capture as time-sorted window batches.
+
+    Iterating yields ``(start, end, PacketBatch)`` tuples on an
+    epoch-aligned ``chunk_seconds`` grid (the same grid
+    ``PacketBatch.iter_time_chunks`` uses), including empty windows.
+    Concatenating every batch reproduces
+    ``emit_population(scanners, view, window).sorted_by_time()``
+    bit-identically.
+
+    Args:
+        scanners: population in emission order (order is part of the
+            tie-breaking contract and must match the batch path).
+        view: the monitored address region.
+        chunk_seconds: window length of the grid.
+        window: optional overall [start, end) clip — the scenario
+            window in simulation runs.
+    """
+
+    def __init__(
+        self,
+        scanners: Sequence,
+        view: View,
+        chunk_seconds: float,
+        window: Optional[tuple] = None,
+    ):
+        if chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be positive")
+        self.view = view
+        self.chunk_seconds = float(chunk_seconds)
+        self.window = window
+        view_ranges = view.ranges()
+        view_key = view_rng_key(view)
+        cursors = []
+        for position, scanner in enumerate(scanners):
+            if getattr(scanner, "sessions", None):
+                cursor = _ScannerCursor(scanner, view_ranges, view_key)
+            else:
+                cursor = _FallbackCursor(scanner, view, window)
+            if window is not None:
+                if cursor.start >= window[1] or cursor.end <= window[0]:
+                    continue
+            cursors.append((position, cursor))
+        #: cursors sorted by first activity; admitted by the sweep.
+        self._pending = sorted(
+            cursors, key=lambda item: (item[1].start, item[0])
+        )
+
+    def span(self) -> Optional[tuple]:
+        """Overall [start, end) the emitter will cover, or ``None``."""
+        if not self._pending:
+            return None
+        lo = self._pending[0][1].start
+        hi = max(cursor.end for _, cursor in self._pending)
+        if self.window is not None:
+            lo, hi = max(lo, self.window[0]), min(hi, self.window[1])
+        if lo >= hi:
+            return None
+        return lo, hi
+
+    def __iter__(self) -> Iterator[tuple]:
+        covered = self.span()
+        if covered is None:
+            return
+        lo, hi = covered
+        cs = self.chunk_seconds
+        first_edge = math.floor(lo / cs) * cs
+        pending = list(self._pending)
+        next_pending = 0
+        active: dict = {}
+        i = 0
+        while True:
+            w0 = first_edge + i * cs
+            if w0 >= hi:
+                break
+            w1 = w0 + cs
+            t0, t1 = max(w0, lo), min(w1, hi)
+            while (
+                next_pending < len(pending)
+                and pending[next_pending][1].start < t1
+            ):
+                position, cursor = pending[next_pending]
+                active[position] = cursor
+                next_pending += 1
+            parts = []
+            finished = []
+            for position in sorted(active):
+                cursor = active[position]
+                parts.extend(cursor.take(t0, t1))
+                if cursor.end <= t1:
+                    finished.append(position)
+            for position in finished:
+                del active[position]
+            yield w0, w1, PacketBatch.concat(parts).sorted_by_time()
+            if not active and next_pending >= len(pending):
+                break
+            i += 1

@@ -26,7 +26,6 @@ from repro.net.internet import Internet, build_internet
 from repro.scanners.population import ScannerPopulation, build_population
 from repro.sim.scenario import Scenario
 from repro.telescope.capture import DarknetCapture
-from repro.telescope.chunks import ChunkedCaptureSource
 from repro.telescope.darknet import Telescope
 
 
@@ -38,7 +37,6 @@ class ScenarioResult:
     internet: Internet
     telescope: Telescope
     population: ScannerPopulation
-    capture: DarknetCapture
     events: EventTable
     detections: Dict[int, DetectionResult]
     merit: Optional[ISPNetwork] = None
@@ -47,10 +45,29 @@ class ScenarioResult:
     mode: str = "batch"
     #: pipeline counters/gauges; populated only by streaming runs.
     telemetry: Optional[PipelineTelemetry] = None
+    #: materialized capture; ``None`` after lazy-generation runs until
+    #: an analysis asks for it through the ``capture`` property.
+    _capture: Optional[DarknetCapture] = field(default=None, repr=False)
     _flow_cache: Optional[tuple] = field(default=None, repr=False)
     _stream_cache: Optional[dict] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
+    @property
+    def capture(self) -> DarknetCapture:
+        """The darknet capture, materialized on first access.
+
+        Streaming and parallel runs generate the capture lazily and
+        never hold it whole; the packet-level analyses (Table 1, the
+        characterization figures...) still can ask for the full batch
+        here, which rebuilds it deterministically — bit-identical to
+        what the pipeline consumed — and caches it on the result.
+        """
+        if self._capture is None:
+            self._capture = self.telescope.capture(
+                self.population.scanners, self.scenario.window()
+            )
+        return self._capture
+
     @property
     def clock(self):
         """The scenario's calendar."""
@@ -132,13 +149,13 @@ class ScenarioResult:
         return out
 
 
-def build_world(scenario: Scenario) -> tuple:
-    """Build the simulated world and capture for a scenario.
+def _build_world_base(scenario: Scenario) -> tuple:
+    """Build the simulated world for a scenario — without the capture.
 
-    Returns ``(internet, telescope, population, capture, merit, campus,
-    timeout)`` — the state every detection mode starts from.  Exposed
-    separately from :func:`run_scenario` so benchmarks and tools can
-    obtain a scenario's capture without running detection.
+    Returns ``(internet, telescope, population, merit, campus,
+    timeout)``.  Capture materialization is a separate (batch-only)
+    step: the streaming and parallel modes generate packets lazily out
+    of this world model and never hold the capture whole.
     """
     internet = build_internet(scenario.internet)
     dark_prefix = internet.allocator.allocate(scenario.dark_prefix_length)
@@ -153,75 +170,99 @@ def build_world(scenario: Scenario) -> tuple:
     population = build_population(
         internet, telescope.prefixes.ranges(), scenario.population
     )
-    capture = telescope.capture(population.scanners, scenario.window())
     timeout = (
         scenario.event_timeout
         if scenario.event_timeout is not None
         else telescope.default_timeout()
     )
+    return internet, telescope, population, merit, campus, timeout
+
+
+def build_world(scenario: Scenario) -> tuple:
+    """Build the simulated world and materialized capture for a scenario.
+
+    Returns ``(internet, telescope, population, capture, merit, campus,
+    timeout)`` — the state the batch detection mode starts from.
+    Exposed separately from :func:`run_scenario` so benchmarks and
+    tools can obtain a scenario's capture without running detection.
+    Streaming/parallel runs use :func:`_build_world_base` plus lazy
+    generation instead and never call this.
+    """
+    internet, telescope, population, merit, campus, timeout = (
+        _build_world_base(scenario)
+    )
+    capture = telescope.capture(population.scanners, scenario.window())
     return internet, telescope, population, capture, merit, campus, timeout
 
 
 def _parallel_events_and_detections(
-    capture: DarknetCapture,
+    telescope: Telescope,
+    population: ScannerPopulation,
     timeout: float,
-    dark_size: int,
     scenario: Scenario,
     chunk_seconds: float,
     workers: int,
 ) -> tuple:
-    """Run the shard-parallel chunked pipeline (see :mod:`repro.parallel`).
+    """Run the shard-parallel pipeline with shard-local lazy generation.
 
     Returns ``(events, detections, telemetry)`` — identical results to
-    the serial streaming (and batch) paths, with per-worker throughput
-    and open-flow gauges folded into the telemetry.
+    the serial streaming (and batch) paths.  The parent ships each
+    worker its shard's *scanners*; every worker generates its own
+    shard's capture locally (:func:`repro.parallel.parallel_generate_detect`),
+    so raw packets never cross a process pipe and nothing ever holds the
+    full capture.
     """
-    from repro.parallel import parallel_detect
+    from repro.parallel import parallel_generate_detect
 
-    source = ChunkedCaptureSource.from_capture(capture, chunk_seconds)
     telemetry = PipelineTelemetry(chunk_seconds=chunk_seconds)
-    result = parallel_detect(
-        source,
+    result = parallel_generate_detect(
+        population.scanners,
+        telescope.view(),
+        chunk_seconds,
         timeout,
-        dark_size,
+        telescope.size,
         scenario.detection,
         scenario.clock.seconds_per_day,
         workers=workers,
+        window=scenario.window(),
         telemetry=telemetry,
     )
     return result.events, result.detections, telemetry
 
 
 def _stream_events_and_detections(
-    capture: DarknetCapture,
+    telescope: Telescope,
+    population: ScannerPopulation,
     timeout: float,
-    dark_size: int,
     scenario: Scenario,
     chunk_seconds: float,
 ) -> tuple:
-    """Run the chunked-capture -> incremental-detection pipeline.
+    """Run the lazy-generation -> incremental-detection pipeline.
 
     Returns ``(events, detections, telemetry)``.  The detections are
     identical to the batch path's (``detect_all`` over ``build_events``)
     — the streaming layer only changes *when* work happens, never what
-    is computed — while peak memory is bounded by one chunk plus the
-    open-flow state.
+    is computed — while peak memory is bounded by one chunk plus open
+    generation spans and the open-flow state: the capture is generated
+    window by window (:meth:`Telescope.stream`), never materialized.
     """
-    source = ChunkedCaptureSource.from_capture(capture, chunk_seconds)
+    source = telescope.stream(
+        population.scanners, chunk_seconds, window=scenario.window()
+    )
     detector = StreamingDetector(
         timeout,
-        dark_size,
+        telescope.size,
         scenario.detection,
         scenario.clock.seconds_per_day,
     )
     telemetry = PipelineTelemetry(chunk_seconds=chunk_seconds)
-    capture_stage = telemetry.stage("capture")
+    generate_stage = telemetry.stage("generate")
     detect_stage = telemetry.stage("detect")
 
     t_prev = time.perf_counter()
     for chunk in source:
         t_chunked = time.perf_counter()
-        capture_stage.add(len(chunk), len(chunk), t_chunked - t_prev)
+        generate_stage.add(len(chunk), len(chunk), t_chunked - t_prev)
         report = detector.add_batch(chunk.packets)
         t_detected = time.perf_counter()
         detect_stage.add(
@@ -290,12 +331,12 @@ def run_scenario(
         internet,
         telescope,
         population,
-        capture,
         merit,
         campus,
         timeout,
-    ) = build_world(scenario)
+    ) = _build_world_base(scenario)
     telemetry = None
+    capture = None
     if mode == "streaming":
         if chunk_seconds is None:
             chunk_seconds = (
@@ -305,14 +346,15 @@ def run_scenario(
             )
         if workers is not None and workers > 1:
             events, detections, telemetry = _parallel_events_and_detections(
-                capture, timeout, telescope.size, scenario, chunk_seconds,
+                telescope, population, timeout, scenario, chunk_seconds,
                 workers,
             )
         else:
             events, detections, telemetry = _stream_events_and_detections(
-                capture, timeout, telescope.size, scenario, chunk_seconds
+                telescope, population, timeout, scenario, chunk_seconds
             )
     else:
+        capture = telescope.capture(population.scanners, scenario.window())
         events = build_events(capture.packets, timeout)
         detections = detect_all(
             events,
@@ -332,11 +374,11 @@ def run_scenario(
         internet=internet,
         telescope=telescope,
         population=population,
-        capture=capture,
         events=events,
         detections=detections,
         merit=merit,
         campus=campus,
         mode=mode,
         telemetry=telemetry,
+        _capture=capture,
     )

@@ -53,9 +53,22 @@ class ChunkedCaptureSource:
         if chunk_seconds <= 0:
             raise ValueError("chunk_seconds must be positive")
         self._chunks = chunks
+        self._consumed = False
         self.chunk_seconds = float(chunk_seconds)
 
     def __iter__(self) -> Iterator[CaptureChunk]:
+        """Start the single pass over the chunks.
+
+        Sources are generator-backed and strictly single-pass: a second
+        iteration would silently yield nothing, so it raises instead.
+        Construct a fresh source to replay a capture.
+        """
+        if self._consumed:
+            raise RuntimeError(
+                "ChunkedCaptureSource is single-pass and has already been "
+                "iterated; construct a new source to read the capture again"
+            )
+        self._consumed = True
         return self._chunks
 
     # ------------------------------------------------------------------
@@ -114,5 +127,54 @@ class ChunkedCaptureSource:
                     end=start + chunk_seconds,
                     packets=batch,
                 )
+
+        return cls(generate(), chunk_seconds)
+
+
+class LazyCaptureSource(ChunkedCaptureSource):
+    """A chunked source that *generates* its capture window by window.
+
+    Instead of slicing a materialized capture, each chunk is emitted on
+    demand by :class:`repro.scanners.lazy.PopulationEmitter`: only the
+    scanners with sessions overlapping the window do any work, and the
+    sequence of chunks is bit-identical to
+    ``from_capture(telescope.capture(scanners, window), chunk_seconds)``
+    — same windows, same indices, same packets — without ever holding
+    more than ~one window (plus open generation spans) in memory.
+    """
+
+    @classmethod
+    def from_population(
+        cls,
+        scanners,
+        view,
+        chunk_seconds: float,
+        window=None,
+    ) -> "LazyCaptureSource":
+        """Lazily chunk the capture ``scanners`` send into ``view``.
+
+        Args:
+            scanners: population in emission order (the order is part of
+                the equal-timestamp tie-breaking contract).
+            view: monitored address region.
+            chunk_seconds: window length, epoch-aligned.
+            window: optional overall [start, end) clip (the scenario
+                window in simulation runs).
+        """
+        from repro.scanners.lazy import PopulationEmitter
+
+        emitter = PopulationEmitter(
+            scanners, view, chunk_seconds, window=window
+        )
+
+        def generate() -> Iterator[CaptureChunk]:
+            index = 0
+            for start, end, batch in emitter:
+                if len(batch) == 0:
+                    continue
+                yield CaptureChunk(
+                    index=index, start=start, end=end, packets=batch
+                )
+                index += 1
 
         return cls(generate(), chunk_seconds)

@@ -95,3 +95,21 @@ class TestRandomIps:
     def test_negative_count_rejected(self, rng):
         with pytest.raises(ValueError):
             addr.random_ips_in_prefix(rng, 0, 8, -1)
+
+
+class TestDistinctSlash24s:
+    """Vectorized /24 counting must match the set-comprehension form."""
+
+    def test_matches_set_reference_on_array(self, rng):
+        ips = rng.integers(0, 2**32, size=5_000, dtype=np.uint32)
+        expected = len({addr.slash24(int(s)) for s in ips})
+        assert addr.distinct_slash24s(ips) == expected
+
+    def test_accepts_plain_iterables(self):
+        ips = {0x01020304, 0x01020305, 0x0A0B0C0D}
+        assert addr.distinct_slash24s(ips) == 2
+        assert addr.distinct_slash24s(list(ips)) == 2
+
+    def test_empty(self):
+        assert addr.distinct_slash24s(np.empty(0, dtype=np.uint32)) == 0
+        assert addr.distinct_slash24s(set()) == 0

@@ -151,3 +151,42 @@ class TestPortConsistency:
         keys = {(r[0], r[1]) for r in rows}
         assert (9_999, 6) in keys
         assert len(rows) <= 11
+
+
+class TestRouterCoverageVectorized:
+    """The np.isin-based coverage must match the set-arithmetic form."""
+
+    def test_matches_set_reference(self):
+        rng = np.random.default_rng(13)
+        n = 2_000
+        rows = [
+            (
+                int(rng.integers(0, 4)),
+                int(rng.integers(0, 3)),
+                int(rng.integers(1, 400)),
+                80,
+                6,
+                int(rng.integers(1, 100)),
+            )
+            for _ in range(n)
+        ]
+        flows = flow_table(rows)
+        daily_active = {
+            day: {int(s) for s in rng.integers(1, 400, size=150)}
+            for day in range(3)
+        }
+        rows_out = impact.router_coverage(flows, daily_active, router_count=4)
+
+        for row in rows_out:
+            day = row["day"]
+            active = daily_active[day]
+            day_flows = flows.select(flows.day == day)
+            for router in range(4):
+                seen = {
+                    int(s)
+                    for s in np.unique(
+                        day_flows.src[day_flows.router == router]
+                    )
+                }
+                expected = len(seen & active) / len(active)
+                assert row["seen_fraction"][router] == pytest.approx(expected)

@@ -102,7 +102,7 @@ class TestStreamingMode:
         )
         # Watermark lag is bounded by one chunk window.
         assert 0 <= telemetry.max_watermark_lag <= telemetry.chunk_seconds
-        assert set(telemetry.stages) == {"capture", "detect"}
+        assert set(telemetry.stages) == {"generate", "detect"}
 
     def test_bounded_open_flow_state(self, tiny_streaming):
         telemetry = tiny_streaming.telemetry
