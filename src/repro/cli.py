@@ -296,11 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help=(
-            "shard the streaming pipeline by source address across N "
-            "worker processes; each worker generates its own shard's "
-            "packets locally, so generation and detection both "
-            "parallelize (requires --mode streaming; results are "
-            "identical for any N)"
+            "shard work across N worker processes; in streaming mode "
+            "each worker generates and detects its own source shard, "
+            "and in any mode the ISP flow synthesis behind impact/"
+            "mitigation shards its scanner population the same way "
+            "(results are identical for any N)"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -332,8 +332,6 @@ def main(argv: Optional[list] = None) -> int:
         raise SystemExit("--chunk-hours requires --mode streaming")
     if args.chunk_hours is not None and args.chunk_hours <= 0:
         raise SystemExit("--chunk-hours must be positive")
-    if args.workers is not None and args.mode != "streaming":
-        raise SystemExit("--workers requires --mode streaming")
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     report = run_study(

@@ -60,15 +60,27 @@ def daily_impact(
         List of :class:`ImpactCell`, sorted by (day, router).
     """
     ah_flows = flows.for_sources(ah_sources)
+    # One grouped pass over the AH rows instead of a masked scan per
+    # (router, day) cell.
+    ah_by_cell: Dict[tuple, int] = {}
+    if len(ah_flows):
+        key = (
+            ah_flows.router.astype(np.int64) << np.int64(32)
+        ) | ah_flows.day.astype(np.int64)
+        uniq, inverse = np.unique(key, return_inverse=True)
+        sums = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(sums, inverse, ah_flows.packets)
+        ah_by_cell = {
+            (int(k) >> 32, int(k) & 0xFFFFFFFF): int(v)
+            for k, v in zip(uniq, sums)
+        }
     cells = []
     for (router, day), total in sorted(totals.items(), key=lambda kv: (kv[0][1], kv[0][0])):
-        mask = (ah_flows.router == router) & (ah_flows.day == day)
-        ah_packets = int(ah_flows.packets[mask].sum())
         cells.append(
             ImpactCell(
                 router=int(router),
                 day=int(day),
-                ah_packets=ah_packets,
+                ah_packets=ah_by_cell.get((int(router), int(day)), 0),
                 total_packets=int(total),
             )
         )

@@ -96,6 +96,38 @@ class WorkerStats:
 
 
 @dataclass
+class FlowWorkerStats:
+    """Throughput gauges for one flow-synthesis shard worker.
+
+    Recorded by the shard-parallel columnar flow path
+    (:func:`repro.parallel.parallel_flow_columns`) after the pool
+    joins; rows are true-count flow cells, the unit the synthesis
+    stage produces.
+    """
+
+    shard: int
+    scanners: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Flow rows produced per second of worker wall time."""
+        if self.seconds <= 0.0:
+            return None
+        return self.rows / self.seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "scanners": self.scanners,
+            "rows": self.rows,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+        }
+
+
+@dataclass
 class PipelineTelemetry:
     """Counters and gauges for one streaming pipeline run."""
 
@@ -117,6 +149,9 @@ class PipelineTelemetry:
     stages: Dict[str, StageStats] = field(default_factory=dict)
     #: per-shard worker gauges; non-empty only for parallel runs.
     worker_stats: List[WorkerStats] = field(default_factory=list)
+    #: per-shard flow-synthesis gauges; non-empty only when the columnar
+    #: flow stage ran sharded.
+    flow_worker_stats: List[FlowWorkerStats] = field(default_factory=list)
 
     def stage(self, name: str) -> StageStats:
         """Get or create the named stage accumulator."""
@@ -158,6 +193,23 @@ class PipelineTelemetry:
         self.peak_open_flows = max(
             self.peak_open_flows,
             sum(w.peak_open_flows for w in self.worker_stats),
+        )
+
+    def record_flow_worker(
+        self,
+        shard: int,
+        scanners: int,
+        rows: int,
+        seconds: float,
+    ) -> None:
+        """Fold one flow-synthesis worker's report into the gauges."""
+        self.flow_worker_stats.append(
+            FlowWorkerStats(
+                shard=int(shard),
+                scanners=int(scanners),
+                rows=int(rows),
+                seconds=float(seconds),
+            )
         )
 
     def record_chunk(
@@ -213,6 +265,20 @@ class PipelineTelemetry:
                         f", gen {worker.generate_seconds:.2f}s ({gen_rate})"
                     )
                 rows.append((f"worker {worker.shard}", detail))
+        for worker in self.flow_worker_stats:
+            throughput = worker.throughput
+            rate = (
+                f"{throughput:,.0f} rows/s"
+                if throughput is not None
+                else "n/a"
+            )
+            rows.append(
+                (
+                    f"flows worker {worker.shard}",
+                    f"{worker.scanners:,} scanners, {worker.rows:,} rows, "
+                    f"{worker.seconds:.2f}s ({rate})",
+                )
+            )
         for stage in self.stages.values():
             throughput = stage.throughput
             rate = (
@@ -241,6 +307,7 @@ class PipelineTelemetry:
             "max_watermark_lag": self.max_watermark_lag,
             "stages": {k: v.as_dict() for k, v in self.stages.items()},
             "workers": [w.as_dict() for w in self.worker_stats],
+            "flow_workers": [w.as_dict() for w in self.flow_worker_stats],
         }
 
 

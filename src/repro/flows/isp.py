@@ -14,13 +14,16 @@ analyses.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.telemetry import PipelineTelemetry
 from repro.flows.netflow import NetflowExporter
 from repro.flows.router import RoutingPolicy
+from repro.flows.synthesis import flow_base_seed, synthesize_flow_columns
 from repro.net.asn import ASType, AutonomousSystem
 from repro.net.internet import Internet, with_systems
 from repro.net.prefix import Prefix, PrefixSet
@@ -93,6 +96,24 @@ class ISPNetwork:
         """Share of the source's ISP-bound traffic entering ``router``."""
         return float(self.router_mix(src)[router])
 
+    def router_mix_many(
+        self,
+        sources: np.ndarray,
+        countries: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Per-router traffic shares for many sources at once.
+
+        Row ``i`` equals ``router_mix(sources[i])``; countries are
+        looked up in bulk unless the caller already has them.
+        """
+        sources = np.asarray(sources, dtype=np.uint32)
+        if countries is None:
+            countries = self._countries_of(sources)
+        block_size = self.transit_view.size / self.dst_blocks
+        return self.policy.router_mix_matrix(
+            sources, countries, [block_size] * self.dst_blocks
+        )
+
     def _country_of(self, src: int) -> str:
         system = self.internet.registry.lookup_one(int(src))
         return system.country if system is not None else "??"
@@ -108,8 +129,20 @@ class ISPNetwork:
         clock: SimClock,
         rng: np.random.Generator,
         exporter: Optional[NetflowExporter] = None,
+        *,
+        workers: Optional[int] = None,
+        telemetry: Optional[PipelineTelemetry] = None,
     ) -> tuple:
         """Simulate the scanners' transit traffic and export NetFlow.
+
+        Columnar throughout: router mixes for the whole population come
+        from one vectorized pass, each scanner's count rows and router
+        splits are batched draws from its own derived stream
+        (:mod:`repro.flows.synthesis`), per-cell true totals are one
+        grouped aggregation, and the exporter applies a single binomial
+        over the true-count column.  ``rng`` is consumed exactly once —
+        for the flow base seed — so the result is bit-identical for any
+        worker count and for the scalar loop reference.
 
         Args:
             scanners: sources to materialize at the routers (typically
@@ -118,8 +151,13 @@ class ISPNetwork:
                 models' floor).
             window: [start, end) collection period.
             clock: day calendar.
-            rng: random stream.
+            rng: random stream (one draw: the flow base seed).
             exporter: NetFlow sampling config (default 1:1000).
+            workers: shard synthesis across this many worker processes
+                (contiguous population slices, merged in order); ``None``
+                or 1 synthesizes serially.  Results are identical.
+            telemetry: optional gauge sink; a "flows" stage plus
+                per-worker synthesis throughput is recorded.
 
         Returns:
             ``(flow_table, true_totals)`` where ``true_totals`` maps
@@ -128,34 +166,36 @@ class ISPNetwork:
             responsible for.
         """
         exporter = exporter or NetflowExporter()
-        sources = np.array([s.src for s in scanners], dtype=np.uint32)
+        t0 = time.perf_counter()
+        base = flow_base_seed(rng)
+        scanners = list(scanners)
+        sources = np.array([int(s.src) for s in scanners], dtype=np.uint32)
         countries = self._countries_of(sources)
-        block_size = self.transit_view.size / self.dst_blocks
-        block_sizes = [block_size] * self.dst_blocks
-        rows = []
-        true_totals: Dict[tuple, int] = {}
-        for scanner, country in zip(scanners, countries):
-            mix = self.policy.router_mix(int(scanner.src), country, block_sizes)
-            for day, port, proto, count in scanner.count_rows(
-                self.transit_view, window, clock.seconds_per_day, rng
-            ):
-                split = rng.multinomial(count, mix)
-                for router, router_count in enumerate(split):
-                    if router_count == 0:
-                        continue
-                    rows.append(
-                        (
-                            router,
-                            day,
-                            int(scanner.src),
-                            port,
-                            proto,
-                            int(router_count),
-                        )
-                    )
-                    key = (router, day)
-                    true_totals[key] = true_totals.get(key, 0) + int(router_count)
-        table = exporter.export(rows, rng)
+        mixes = self.router_mix_many(sources, countries)
+        day_seconds = clock.seconds_per_day
+        if workers is not None and workers > 1:
+            from repro.parallel import parallel_flow_columns
+
+            columns = parallel_flow_columns(
+                scanners,
+                mixes,
+                self.transit_view,
+                window,
+                day_seconds,
+                base,
+                workers=workers,
+                telemetry=telemetry,
+            )
+        else:
+            columns = synthesize_flow_columns(
+                scanners, mixes, self.transit_view, window, day_seconds, base
+            )
+        true_totals = columns.true_totals()
+        table = exporter.export_columns(columns, base)
+        if telemetry is not None:
+            telemetry.stage("flows").add(
+                len(scanners), len(table), time.perf_counter() - t0
+            )
         return table, true_totals
 
     def router_day_totals(

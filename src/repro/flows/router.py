@@ -71,6 +71,23 @@ class RoutingPolicy:
                 raise ValueError(f"weights for {region} must match router count")
             if abs(sum(weights) - 1.0) > 1e-9:
                 raise ValueError(f"weights for {region} must sum to 1")
+        # Row-per-region cumulative weight matrix for the vectorized
+        # assignment path.  np.cumsum over a row adds sequentially, so
+        # each row is float-for-float the ``acc += weight`` chain of the
+        # scalar ``router_of`` loop — equality edges included.
+        self._region_slot = {
+            region: i for i, region in enumerate(sorted(self.region_weights))
+        }
+        self._cum_weights = np.cumsum(
+            np.array(
+                [
+                    self.region_weights[region]
+                    for region in sorted(self.region_weights)
+                ],
+                dtype=np.float64,
+            ),
+            axis=1,
+        )
 
     @classmethod
     def default_three_router(cls) -> "RoutingPolicy":
@@ -103,6 +120,41 @@ class RoutingPolicy:
         """Deterministic per-(source, destination-block) uniform draw."""
         mixed = (int(src) * 2654435761 ^ (int(block) + 1) * 0x9E3779B9) % (2**32)
         return mixed / 2**32
+
+    @staticmethod
+    def _uniforms_of(sources: np.ndarray, block: int = 0) -> np.ndarray:
+        """Vector :meth:`_uniform_of` — exact in uint64.
+
+        ``src * 2654435761`` stays below 2**64 for 32-bit sources, so
+        the wrap-free product, the xor and the low-32-bit mask reproduce
+        the arbitrary-precision scalar arithmetic bit for bit.
+        """
+        mixed = sources.astype(np.uint64) * np.uint64(2654435761)
+        mixed = mixed ^ np.uint64(((int(block) + 1) * 0x9E3779B9) % 2**64)
+        mixed = mixed & np.uint64(0xFFFFFFFF)
+        return mixed.astype(np.float64) / 2**32
+
+    def _region_slots(self, countries: Sequence[str]) -> np.ndarray:
+        """Cumulative-weight row index per country."""
+        return np.array(
+            [self._region_slot[region_of(c)] for c in countries],
+            dtype=np.intp,
+        )
+
+    def _routers_for(
+        self, sources: np.ndarray, slots: np.ndarray, block: int = 0
+    ) -> np.ndarray:
+        """Vectorized router pick for pre-resolved region slots.
+
+        ``(cum_row <= u).sum()`` counts the weights the scalar loop
+        would have stepped past before ``u < acc`` fired — the same
+        index, with the same strict-inequality edge handling; the clip
+        covers rows whose float cumsum tops out fractionally below 1.
+        """
+        u = self._uniforms_of(sources, block)
+        cum = self._cum_weights[slots]
+        picked = (cum <= u[:, None]).sum(axis=1)
+        return np.minimum(picked, len(self.routers) - 1).astype(np.int8)
 
     def router_of(self, src: int, country: str, block: int = 0) -> int:
         """Ingress router for one source's traffic to one dst block.
@@ -141,14 +193,55 @@ class RoutingPolicy:
             mix[self.router_of(src, country, block)] += size / total
         return mix
 
-    def assign(self, sources: np.ndarray, countries: Sequence[str]) -> np.ndarray:
-        """Vector-ish router assignment for many sources (block 0)."""
+    def assign(
+        self,
+        sources: np.ndarray,
+        countries: Sequence[str],
+        block: int = 0,
+    ) -> np.ndarray:
+        """Vectorized router assignment for many sources.
+
+        One hash, one gather and one comparison over the whole batch;
+        matches :meth:`router_of` element for element (regression- and
+        property-tested), including the ``u == cum`` equality edges.
+        """
+        sources = np.asarray(sources)
         if len(sources) != len(countries):
             raise ValueError("sources and countries must align")
-        return np.array(
-            [self.router_of(int(s), c) for s, c in zip(sources, countries)],
-            dtype=np.int8,
-        )
+        if len(sources) == 0:
+            return np.empty(0, dtype=np.int8)
+        return self._routers_for(sources, self._region_slots(countries), block)
+
+    def router_mix_matrix(
+        self,
+        sources: np.ndarray,
+        countries: Sequence[str],
+        block_sizes: Sequence[float],
+    ) -> np.ndarray:
+        """Per-source router traffic shares, batched.
+
+        Row ``i`` equals ``router_mix(sources[i], countries[i],
+        block_sizes)``: for each destination block, every source's
+        deterministic ingress pick is computed vectorized and the
+        block's size share is scattered onto the picked router column.
+
+        Returns:
+            ``(len(sources), len(routers))`` float matrix, rows sum to 1.
+        """
+        sources = np.asarray(sources)
+        if len(sources) != len(countries):
+            raise ValueError("sources and countries must align")
+        n = len(sources)
+        mix = np.zeros((n, len(self.routers)), dtype=np.float64)
+        if n == 0:
+            return mix
+        total = float(sum(block_sizes))
+        slots = self._region_slots(countries)
+        row_index = np.arange(n)
+        for block, size in enumerate(block_sizes):
+            picked = self._routers_for(sources, slots, block)
+            mix[row_index, picked] += size / total
+        return mix
 
     def expected_share(self, region: str, router_index: int) -> float:
         """Ingress probability for a (region, router) pair."""

@@ -123,14 +123,23 @@ class StreamMonitor:
 
         ah_pps = np.zeros(seconds, dtype=np.int64)
         monitored = self.network.monitored_router
-        for scanner in ah_scanners:
-            share = self.network.router_share(int(scanner.src), monitored)
+        ah_scanners = list(ah_scanners)
+        if ah_scanners:
+            sources = np.array(
+                [int(s.src) for s in ah_scanners], dtype=np.uint32
+            )
+            # All router shares in one vectorized mix pass instead of a
+            # per-scanner scalar hash chain.
+            shares = self.network.router_mix_many(sources)[:, monitored]
+        else:
+            shares = np.empty(0, dtype=np.float64)
+        for scanner, share in zip(ah_scanners, shares):
             scanner.accumulate_stream(
                 ah_pps,
                 self.network.transit_view,
                 window,
                 rng,
-                rate_scale=share,
+                rate_scale=float(share),
             )
 
         legit = self.network.traffic_models[monitored].per_second_counts(

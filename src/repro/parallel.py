@@ -423,6 +423,126 @@ def shard_scanners(scanners: Sequence, n_shards: int) -> List[list]:
     ]
 
 
+@dataclass(frozen=True)
+class FlowWorkerReport:
+    """What one flow-synthesis worker produced (telemetry, not results)."""
+
+    shard: int
+    #: scanners synthesized by this worker.
+    scanners: int
+    #: flow rows (true-count cells) produced.
+    rows: int
+    #: wall-clock seconds inside the worker's synthesis loop.
+    seconds: float
+
+
+def _run_flow_shard(
+    shard: int,
+    scanners: list,
+    start_index: int,
+    mixes: np.ndarray,
+    view,
+    window,
+    day_seconds: float,
+    base: int,
+):
+    """Worker body: synthesize one contiguous population slice.
+
+    Top-level (not a closure) so it pickles under any multiprocessing
+    start method.  ``start_index`` keys the per-scanner streams, so the
+    slice's columns are exactly the serial pass's columns for those
+    scanners regardless of which worker runs it.
+    """
+    from repro.flows.synthesis import synthesize_flow_columns
+
+    t0 = time.perf_counter()
+    columns = synthesize_flow_columns(
+        scanners, mixes, view, window, day_seconds, base,
+        start_index=start_index,
+    )
+    report = FlowWorkerReport(
+        shard=shard,
+        scanners=len(scanners),
+        rows=len(columns),
+        seconds=time.perf_counter() - t0,
+    )
+    return columns, report
+
+
+def parallel_flow_columns(
+    scanners: Sequence,
+    mixes: np.ndarray,
+    view,
+    window,
+    day_seconds: float,
+    base: int,
+    *,
+    workers: int,
+    use_processes: bool = True,
+    telemetry: Optional[PipelineTelemetry] = None,
+):
+    """Shard-parallel columnar flow synthesis.
+
+    Unlike detection — where state is keyed per source and shards are
+    hash-partitioned — flow synthesis has *no* cross-scanner state:
+    scanner ``i`` draws only from its own ``(base, salt, i)`` stream.
+    The population is therefore split into **contiguous** index slices
+    (``np.array_split``), and concatenating the per-shard columns in
+    shard order reproduces the serial population order exactly — the
+    merge is a concat, and results are bit-identical to serial for any
+    worker count (hypothesis-tested 1..8).
+
+    Args:
+        scanners: full population slice to synthesize, in order.
+        mixes: per-scanner router-mix matrix, aligned with ``scanners``.
+        view: the ISP transit view.
+        window: [start, end) collection period.
+        day_seconds: day length for day indexing.
+        base: the run's flow base seed.
+        workers: number of contiguous shards / worker processes.
+        use_processes: ``False`` runs shards serially in-process (same
+            shard/merge code path; useful for tests).
+        telemetry: optional gauge sink for per-worker throughput.
+
+    Returns:
+        The merged :class:`~repro.flows.netflow.FlowColumns`.
+    """
+    from repro.flows.netflow import FlowColumns
+
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    scanners = list(scanners)
+    parts = np.array_split(np.arange(len(scanners)), workers)
+    args = [
+        (
+            shard,
+            [scanners[i] for i in part],
+            int(part[0]) if len(part) else 0,
+            mixes[part],
+            view,
+            window,
+            day_seconds,
+            base,
+        )
+        for shard, part in enumerate(parts)
+    ]
+    if use_processes and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_flow_shard, *arg) for arg in args]
+            shard_results = [future.result() for future in futures]
+    else:
+        shard_results = [_run_flow_shard(*arg) for arg in args]
+    if telemetry is not None:
+        for _, report in shard_results:
+            telemetry.record_flow_worker(
+                shard=report.shard,
+                scanners=report.scanners,
+                rows=report.rows,
+                seconds=report.seconds,
+            )
+    return FlowColumns.concat([columns for columns, _ in shard_results])
+
+
 def parallel_generate_detect(
     scanners: Sequence,
     view,

@@ -250,6 +250,15 @@ class SpoofedScan:
         """Spoofed probes never join the per-source flow accounting."""
         return []
 
+    def count_columns(self, view, window, day_seconds, rng):
+        """Columnar twin of :meth:`count_rows` — also empty."""
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint16),
+            np.empty(0, dtype=np.uint8),
+            np.empty(0, dtype=np.int64),
+        )
+
     def accumulate_stream(self, accumulator, view, window, rng, rate_scale=1.0):
         """No per-source stream attribution for forged addresses."""
         return None

@@ -45,6 +45,10 @@ class ScenarioResult:
     mode: str = "batch"
     #: pipeline counters/gauges; populated only by streaming runs.
     telemetry: Optional[PipelineTelemetry] = None
+    #: worker count the run was configured with; lazy flow collection
+    #: shards its synthesis across this many processes (results are
+    #: identical for any value).
+    workers: Optional[int] = None
     #: materialized capture; ``None`` after lazy-generation runs until
     #: an analysis asks for it through the ``capture`` property.
     _capture: Optional[DarknetCapture] = field(default=None, repr=False)
@@ -97,11 +101,14 @@ class ScenarioResult:
         self,
         exporter: Optional[NetflowExporter] = None,
         seed_offset: int = 101,
+        workers: Optional[int] = None,
     ) -> tuple:
         """NetFlow at the ISP for the scenario's flow days.
 
         Returns ``(flow_table, totals)``; cached after the first call
-        with default arguments.
+        with default arguments.  Synthesis shards across ``workers``
+        processes (defaulting to the run's worker count) — the table is
+        bit-identical for any value, so the cache is shared.
         """
         if exporter is None and self._flow_cache is not None:
             return self._flow_cache
@@ -109,6 +116,8 @@ class ScenarioResult:
             raise RuntimeError("scenario was built without an ISP model")
         if not self.scenario.flow_days:
             raise RuntimeError("scenario has no flow days configured")
+        if workers is None:
+            workers = self.workers
         rng = np.random.default_rng(self.scenario.seed + seed_offset)
         days = self.scenario.flow_days
         window = (
@@ -116,7 +125,13 @@ class ScenarioResult:
             (max(days) + 1) * self.clock.seconds_per_day,
         )
         table, true_totals = self.merit.collect_scanner_flows(
-            self.flow_scanners(), window, self.clock, rng, exporter
+            self.flow_scanners(),
+            window,
+            self.clock,
+            rng,
+            exporter,
+            workers=workers,
+            telemetry=self.telemetry,
         )
         totals = self.merit.router_day_totals(days, true_totals, self.clock, rng)
         result = (table, totals)
@@ -312,21 +327,20 @@ def run_scenario(
         chunk_seconds: streaming window size; defaults to the
             scenario's ``chunk_seconds``, then to
             :data:`repro.config.DEFAULT_CHUNK_SECONDS`.
-        workers: with ``mode="streaming"``, shard the capture by source
-            address across this many worker processes and merge the
-            detector states (:mod:`repro.parallel`) — identical results
-            for any worker count.  Defaults to the scenario's
-            ``workers``; ``None`` or 1 runs the serial pipeline.
+        workers: shard work across this many worker processes —
+            identical results for any count.  With ``mode="streaming"``
+            the capture is sharded by source address and detector states
+            merged (:mod:`repro.parallel`); in *any* mode the columnar
+            ISP flow synthesis behind ``collect_flows`` shards its
+            population across the same pool.  Defaults to the scenario's
+            ``workers``; ``None`` or 1 runs the serial pipelines.
     """
     if mode not in ("batch", "streaming"):
         raise ValueError(f"unknown mode: {mode!r}")
     if workers is None:
         workers = scenario.workers
-    if workers is not None:
-        if mode != "streaming":
-            raise ValueError("workers requires mode='streaming'")
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
     (
         internet,
         telescope,
@@ -380,5 +394,6 @@ def run_scenario(
         campus=campus,
         mode=mode,
         telemetry=telemetry,
+        workers=workers,
         _capture=capture,
     )

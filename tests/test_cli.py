@@ -34,13 +34,20 @@ class TestParser:
         with pytest.raises(SystemExit, match="requires --mode streaming"):
             cli.main(["--chunk-hours", "2", "summary"])
 
-    def test_workers_requires_streaming(self):
-        with pytest.raises(SystemExit, match="requires --mode streaming"):
-            cli.main(["--workers", "2", "summary"])
+    def test_workers_allowed_in_batch_mode(self, capsys):
+        # Batch mode accepts --workers now: the columnar flow synthesis
+        # behind impact/mitigation shards across the pool in any mode.
+        assert (
+            cli.main(["--scenario", "tiny", "--workers", "2", "impact"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Router-1" in out
 
     def test_workers_must_be_positive(self):
         with pytest.raises(SystemExit, match=">= 1"):
             cli.main(["--mode", "streaming", "--workers", "0", "summary"])
+        with pytest.raises(SystemExit, match=">= 1"):
+            cli.main(["--workers", "0", "summary"])
 
 
 class TestCommands:

@@ -191,13 +191,18 @@ class TestRunnerIntegration:
         )
         assert parallel.telemetry.workers == 2
 
-    def test_workers_require_streaming(self):
-        with pytest.raises(ValueError, match="streaming"):
-            run_scenario(tiny_scenario(), mode="batch", workers=2)
+    def test_workers_allowed_in_batch_mode(self, batch_result):
+        # Batch mode now accepts workers: detection runs serially, but
+        # the ISP flow synthesis shards across the pool on demand.
+        result = run_scenario(tiny_scenario(), mode="batch", workers=2)
+        _assert_detections_identical(result.detections, batch_result.detections)
+        assert result.workers == 2
 
     def test_workers_must_be_positive(self):
         with pytest.raises(ValueError, match=">= 1"):
             run_scenario(tiny_scenario(), mode="streaming", workers=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            run_scenario(tiny_scenario(), mode="batch", workers=0)
 
 
 # ----------------------------------------------------------------------

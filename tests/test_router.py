@@ -83,3 +83,68 @@ class TestRoutingPolicy:
     def test_expected_share(self):
         policy = RoutingPolicy.default_three_router()
         assert policy.expected_share("asia", 0) == pytest.approx(0.62)
+
+
+class TestVectorizedAssignment:
+    """The vectorized paths must match the scalar references exactly."""
+
+    COUNTRIES = ["CN", "US", "DE", "ZA", "JP", "BR", "??"]
+
+    def _random_inputs(self, n=5_000, seed=3):
+        rng = np.random.default_rng(seed)
+        srcs = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        countries = [self.COUNTRIES[i] for i in rng.integers(0, len(self.COUNTRIES), n)]
+        return srcs, countries
+
+    def test_assign_matches_router_of(self):
+        policy = RoutingPolicy.default_three_router()
+        srcs, countries = self._random_inputs()
+        for block in (0, 3, 7):
+            vec = policy.assign(srcs, countries, block=block)
+            scalar = np.array(
+                [
+                    policy.router_of(int(s), c, block=block)
+                    for s, c in zip(srcs, countries)
+                ],
+                dtype=np.int8,
+            )
+            assert np.array_equal(vec, scalar)
+
+    def test_assign_equality_edges(self):
+        # u == cumulative weight exactly: the scalar loop's strict
+        # comparison must be reproduced by the vectorized count.  The
+        # mix hash is an odd multiply xor a constant mod 2**32, so it
+        # can be inverted to construct a source that lands exactly on
+        # the 0.5 boundary.
+        policy = RoutingPolicy(
+            routers=(BorderRouter("a", 0), BorderRouter("b", 1)),
+            region_weights={r: (0.5, 0.5) for r in ("asia", "europe", "americas", "other")},
+        )
+        inverse = pow(2654435761, -1, 2**32)
+        edge_src = ((2**31 ^ 0x9E3779B9) * inverse) % 2**32
+        assert policy._uniform_of(edge_src) == 0.5
+        srcs = np.array([edge_src], dtype=np.uint32)
+        vec = policy.assign(srcs, ["US"])
+        assert vec[0] == policy.router_of(edge_src, "US")
+
+    def test_assign_empty(self):
+        policy = RoutingPolicy.default_three_router()
+        out = policy.assign(np.empty(0, dtype=np.uint32), [])
+        assert len(out) == 0
+        assert out.dtype == np.int8
+
+    def test_router_mix_matrix_matches_scalar(self):
+        policy = RoutingPolicy.default_three_router()
+        srcs, countries = self._random_inputs(n=500, seed=11)
+        block_sizes = [4096.0] * 8
+        matrix = policy.router_mix_matrix(srcs, countries, block_sizes)
+        assert matrix.shape == (500, 3)
+        for i in range(0, 500, 37):
+            expected = policy.router_mix(int(srcs[i]), countries[i], block_sizes)
+            assert np.array_equal(matrix[i], expected)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_router_mix_matrix_mismatched(self):
+        policy = RoutingPolicy.single_router()
+        with pytest.raises(ValueError):
+            policy.router_mix_matrix(np.array([1]), ["CN", "US"], [1.0])
