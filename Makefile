@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke
+.PHONY: lint test bench bench-smoke fault-matrix
 
 lint:
 	ruff check .
@@ -20,3 +20,12 @@ bench:
 # import/logic rot cheaply; artifacts still land in benchmarks/results/.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
+
+# Fault-tolerance matrix: drive retry / pool-respawn / resume /
+# quarantine against injected faults at WORKERS shards, assert results
+# stay bit-identical, and export the RunHealth telemetry JSON to
+# benchmarks/results/fault-health-$(WORKERS).json.
+WORKERS ?= 2
+fault-matrix:
+	$(PYTHON) -m pytest tests/test_faults.py -q
+	$(PYTHON) benchmarks/run_fault_matrix.py --workers $(WORKERS)

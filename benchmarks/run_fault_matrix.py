@@ -1,0 +1,200 @@
+"""CI fault matrix: drive every recovery path, prove identity, export health.
+
+Builds a random capture, saves it as a digest-manifested chunk
+directory, then runs the shard-parallel directory pipeline through the
+fault layer's scenarios at the requested worker count:
+
+1. injected shard kills absorbed by retry;
+2. a hard worker abort absorbed by pool respawn (real processes);
+3. an interrupted checkpointed run completed by ``resume_run``;
+4. a corrupted chunk archive quarantined in degraded mode.
+
+Each scenario asserts the final events/detections are bit-identical to
+the fault-free serial reference (for quarantine: the reference over the
+surviving chunks), then the accumulated ``RunHealth`` telemetry is
+written as JSON next to the bench artifacts —
+``benchmarks/results/fault-health-<workers>.json`` by default — so the
+CI job can upload it alongside the bench-smoke results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_fault_matrix.py --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import DetectionConfig
+from repro.core.detection import detect_all
+from repro.core.events import build_events
+from repro.core.faults import FaultPlan, RetryPolicy, ShardFailedError
+from repro.core.telemetry import PipelineTelemetry
+from repro.io.packetlog import (
+    load_packets_npz,
+    save_packets_chunked,
+)
+from repro.packet import PacketBatch, Protocol
+from repro.parallel import parallel_detect_directory, resume_run
+
+DARK_SIZE = 256
+CONFIG = DetectionConfig(alpha=0.05, min_packet_threshold=2, min_port_threshold=1)
+TIMEOUT = 600.0
+CHUNK_SECONDS = 40_000.0
+
+
+def build_capture(seed: int = 4242, n: int = 60_000) -> PacketBatch:
+    rng = np.random.default_rng(seed)
+    return PacketBatch(
+        ts=np.sort(rng.random(n) * 400_000.0),
+        src=rng.integers(1, 400, n).astype(np.uint32),
+        dst=rng.integers(0, DARK_SIZE, n).astype(np.uint32),
+        dport=rng.choice(np.array([22, 23, 80, 443, 5060], dtype=np.uint16), n),
+        proto=np.full(n, Protocol.TCP_SYN.value, dtype=np.uint8),
+        ipid=np.zeros(n, dtype=np.uint16),
+    )
+
+
+def assert_identical(result, ref_events, ref_detections, label: str) -> None:
+    events = result.events
+    if len(events) != len(ref_events) or not all(
+        np.array_equal(getattr(events, col), getattr(ref_events, col))
+        for col in ("src", "dport", "proto", "start", "end", "packets", "unique_dsts")
+    ):
+        raise AssertionError(f"{label}: event table diverged from reference")
+    for definition, ref in ref_detections.items():
+        got = result.detections[definition]
+        if got.sources != ref.sources or got.threshold != ref.threshold:
+            raise AssertionError(
+                f"{label}: definition-{definition} detections diverged"
+            )
+    print(f"  ok: {label} is bit-identical to the fault-free reference")
+
+
+def scenario_retry(capture_dir, workers, telemetry):
+    """Injected kills on every shard, absorbed by the retry budget."""
+    result = parallel_detect_directory(
+        capture_dir, TIMEOUT, DARK_SIZE, CONFIG,
+        workers=workers,
+        telemetry=telemetry,
+        retry=RetryPolicy(max_retries=2, backoff_seconds=0.01),
+        fault_plan=FaultPlan(kill={shard: 1 for shard in range(workers)}),
+    )
+    return result
+
+
+def scenario_respawn(capture_dir, workers, telemetry):
+    """A hard worker abort (os._exit) absorbed by pool respawn."""
+    result = parallel_detect_directory(
+        capture_dir, TIMEOUT, DARK_SIZE, CONFIG,
+        workers=workers,
+        telemetry=telemetry,
+        retry=RetryPolicy(max_retries=2, backoff_seconds=0.01),
+        fault_plan=FaultPlan(abort={0: 1}),
+    )
+    assert telemetry.health.respawns >= 1, "expected a pool respawn"
+    return result
+
+
+def scenario_resume(capture_dir, workers, telemetry, run_dir):
+    """Interrupt a checkpointed run, then complete it via resume_run."""
+    victim = workers - 1
+    try:
+        parallel_detect_directory(
+            capture_dir, TIMEOUT, DARK_SIZE, CONFIG,
+            workers=workers,
+            use_processes=False,
+            retry=RetryPolicy(max_retries=0, backoff_seconds=0.0),
+            fault_plan=FaultPlan(kill={victim: 1}),
+            checkpoint_dir=run_dir,
+        )
+    except ShardFailedError:
+        pass
+    else:
+        raise AssertionError("interrupted run should have failed")
+    result = resume_run(run_dir, telemetry=telemetry)
+    assert telemetry.health.checkpoint_hits >= 1, "expected checkpoint reuse"
+    return result
+
+
+def scenario_quarantine(capture_dir, workers, telemetry):
+    """Corrupt one chunk; degraded mode skips it and accounts the loss."""
+    paths = sorted(Path(capture_dir).glob("chunk-*.npz"))
+    victim = paths[len(paths) // 2]
+    original = victim.read_bytes()
+    victim.write_bytes(b"deliberately damaged archive")
+    try:
+        result = parallel_detect_directory(
+            capture_dir, TIMEOUT, DARK_SIZE, CONFIG,
+            workers=workers,
+            telemetry=telemetry,
+            on_corrupt="quarantine",
+        )
+        assert telemetry.health.quarantined_chunks == [str(victim)]
+        survivors = PacketBatch.concat(
+            [load_packets_npz(p) for p in paths if p != victim]
+        )
+        ref_events = build_events(survivors, TIMEOUT)
+        ref_detections = detect_all(ref_events, DARK_SIZE, CONFIG)
+        return result, ref_events, ref_detections
+    finally:
+        victim.write_bytes(original)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="health JSON path (default: benchmarks/results/fault-health-<N>.json)",
+    )
+    args = parser.parse_args()
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    out = args.out or (
+        Path(__file__).parent / "results" / f"fault-health-{args.workers}.json"
+    )
+
+    batch = build_capture()
+    ref_events = build_events(batch, TIMEOUT)
+    ref_detections = detect_all(ref_events, DARK_SIZE, CONFIG)
+
+    telemetry = PipelineTelemetry(chunk_seconds=CHUNK_SECONDS)
+    print(f"fault matrix @ {args.workers} workers")
+    with tempfile.TemporaryDirectory() as tmp:
+        capture_dir = Path(tmp) / "capture"
+        n_chunks = save_packets_chunked(batch, capture_dir, CHUNK_SECONDS)
+        print(f"  capture: {len(batch):,} packets in {n_chunks} chunks")
+
+        result = scenario_retry(capture_dir, args.workers, telemetry)
+        assert_identical(result, ref_events, ref_detections, "retry")
+
+        result = scenario_respawn(capture_dir, args.workers, telemetry)
+        assert_identical(result, ref_events, ref_detections, "respawn")
+
+        result = scenario_resume(
+            capture_dir, args.workers, telemetry, Path(tmp) / "run"
+        )
+        assert_identical(result, ref_events, ref_detections, "resume")
+
+        result, q_events, q_detections = scenario_quarantine(
+            capture_dir, args.workers, telemetry
+        )
+        assert_identical(result, q_events, q_detections, "quarantine")
+
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"workers": args.workers, "health": telemetry.health.as_dict()}
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"  health telemetry -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -303,6 +303,49 @@ def build_parser() -> argparse.ArgumentParser:
             "(results are identical for any N)"
         ),
     )
+    parser.add_argument(
+        "--capture-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "detect over a save_packets_chunked directory instead of "
+            "generating the capture (streaming mode only); every chunk "
+            "archive is digest-verified against the directory manifest"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        dest="checkpoint_dir",
+        help=(
+            "checkpoint finished shard states under DIR and resume from "
+            "them: re-running after a crash re-executes only the missing "
+            "shards (results identical to an uninterrupted run)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry a failed shard up to N times (with backoff) before "
+            "giving up; also re-runs shards lost to worker-process "
+            "crashes (default policy: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--on-corrupt",
+        choices=("raise", "quarantine"),
+        default="raise",
+        help=(
+            "what to do with a damaged chunk archive under --capture-dir: "
+            "raise (default) fails naming the file; quarantine skips it, "
+            "detects over the survivors and accounts it in the run-health "
+            "telemetry"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("summary", help="dataset + detection summary")
     sub.add_parser("impact", help="Table 2 network impact (flows scenarios)")
@@ -334,12 +377,37 @@ def main(argv: Optional[list] = None) -> int:
         raise SystemExit("--chunk-hours must be positive")
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be >= 1")
-    report = run_study(
-        _scenario(args.scenario),
-        mode=args.mode,
-        chunk_seconds=chunk_seconds,
-        workers=args.workers,
-    )
+    if args.capture_dir is not None and args.mode != "streaming":
+        raise SystemExit("--capture-dir requires --mode streaming")
+    if args.on_corrupt != "raise" and args.capture_dir is None:
+        raise SystemExit("--on-corrupt only applies with --capture-dir")
+    if args.shard_retries is not None and args.shard_retries < 0:
+        raise SystemExit("--shard-retries must be >= 0")
+    from repro.core.faults import ChunkCorruptionError, FaultError
+
+    try:
+        report = run_study(
+            _scenario(args.scenario),
+            mode=args.mode,
+            chunk_seconds=chunk_seconds,
+            workers=args.workers,
+            capture_dir=args.capture_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            shard_retries=args.shard_retries,
+            on_corrupt=args.on_corrupt,
+        )
+    except ChunkCorruptionError as exc:
+        raise SystemExit(
+            f"{exc}\n(use --on-corrupt quarantine to skip damaged chunks "
+            "and continue)"
+        )
+    except FaultError as exc:
+        hint = (
+            ""
+            if args.checkpoint_dir is not None
+            else "\n(re-run with --resume DIR to make the run resumable)"
+        )
+        raise SystemExit(f"{exc}{hint}")
     if args.command == "summary":
         _cmd_summary(report)
     elif args.command == "impact":

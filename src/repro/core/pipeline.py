@@ -242,6 +242,10 @@ def run_study(
     mode: str = "batch",
     chunk_seconds: Optional[float] = None,
     workers: Optional[int] = None,
+    capture_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    shard_retries: Optional[int] = None,
+    on_corrupt: str = "raise",
 ) -> StudyReport:
     """Run a scenario and wrap it for analysis.
 
@@ -249,9 +253,22 @@ def run_study(
     (identical results, bounded memory, telemetry on the result);
     ``workers=N`` additionally shards the capture by source across N
     worker processes (:mod:`repro.parallel`) — still identical results.
+    The remaining keywords plug the fault-tolerant execution layer in:
+    ``capture_dir`` detects over saved digest-verified chunk archives,
+    ``checkpoint_dir`` persists shard states for crash/resume,
+    ``shard_retries`` bounds per-shard retries, and ``on_corrupt``
+    selects strict vs quarantine handling of damaged archives — see
+    :func:`repro.sim.runner.run_scenario`.
     """
     return StudyReport(
         result=run_scenario(
-            scenario, mode=mode, chunk_seconds=chunk_seconds, workers=workers
+            scenario,
+            mode=mode,
+            chunk_seconds=chunk_seconds,
+            workers=workers,
+            capture_dir=capture_dir,
+            checkpoint_dir=checkpoint_dir,
+            shard_retries=shard_retries,
+            on_corrupt=on_corrupt,
         )
     )

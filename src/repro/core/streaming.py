@@ -548,6 +548,12 @@ class PortDayState:
         return port_counts_from_triples(*self.triples())
 
 
+#: Versioned header guarding detector-state checkpoints; bump when the
+#: pickled layout changes incompatibly so stale checkpoints are
+#: rejected (and their shards re-run) instead of merged.
+STATE_MAGIC = b"repro-detector-state-v1\n"
+
+
 @dataclass(frozen=True)
 class ChunkReport:
     """What one :meth:`StreamingDetector.add_batch` call did."""
@@ -684,6 +690,46 @@ class StreamingDetector:
         self._ports.merge(other._ports)
         self._packets_seen += other._packets_seen
         self._events_finalized += other._events_finalized
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the full (unfinished) detector state.
+
+        The format is a versioned header plus a pickle of the detector
+        — everything in the state (open flows, finalized columns, ECDF
+        runs, port-day runs, gauges) is plain Python/numpy data, the
+        same property that lets shard detectors cross process pipes.
+        Used by the checkpoint layer (:mod:`repro.core.faults`): a
+        round-tripped detector merges and finishes bit-identically to
+        the original, so a resumed run reproduces a fault-free run
+        exactly.
+        """
+        import pickle
+
+        return STATE_MAGIC + pickle.dumps(self, protocol=4)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StreamingDetector":
+        """Rebuild a detector serialized by :meth:`to_bytes`.
+
+        Raises ``ValueError`` on an unrecognized or incompatible
+        header — a checkpoint written by a different state version must
+        be discarded (and the shard re-run), never merged.
+        """
+        import pickle
+
+        if not data.startswith(STATE_MAGIC):
+            raise ValueError(
+                "not a serialized StreamingDetector state (missing or "
+                f"mismatched header; expected {STATE_MAGIC!r})"
+            )
+        detector = pickle.loads(data[len(STATE_MAGIC):])
+        if not isinstance(detector, cls):
+            raise ValueError(
+                f"serialized state holds {type(detector).__name__}, "
+                "not a StreamingDetector"
+            )
+        return detector
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -128,6 +128,85 @@ class FlowWorkerStats:
 
 
 @dataclass
+class RunHealth:
+    """Fault-tolerance accounting for one run.
+
+    Everything the resilient execution layer (:mod:`repro.core.faults`)
+    did to keep the run alive: shard retries, pool respawns after a
+    worker died, watchdog interventions, checkpoint traffic, and chunk
+    archives quarantined by degraded-mode readers.  All zeros on a
+    healthy run; nothing here affects results.
+    """
+
+    #: shard attempts re-run after a retryable failure.
+    retries: int = 0
+    #: process pools torn down and respawned (worker hard-death).
+    respawns: int = 0
+    #: pools presumed wedged and torn down by the watchdog.
+    watchdog_timeouts: int = 0
+    #: shard states reloaded from verified checkpoints (work skipped).
+    checkpoint_hits: int = 0
+    #: shard states persisted to the checkpoint directory.
+    checkpoint_writes: int = 0
+    #: checkpoints discarded on digest/header mismatch (shard re-run).
+    checkpoint_corrupt: int = 0
+    #: chunk archives skipped by degraded-mode readers (deduplicated).
+    quarantined_chunks: List[str] = field(default_factory=list)
+
+    def record_quarantine(self, path: str) -> None:
+        """Account one damaged chunk (idempotent per path — several
+        shard workers read the same archives)."""
+        if path not in self.quarantined_chunks:
+            self.quarantined_chunks.append(path)
+
+    @property
+    def quarantined(self) -> int:
+        return len(self.quarantined_chunks)
+
+    def any_events(self) -> bool:
+        """Whether anything fault-related happened at all."""
+        return bool(
+            self.retries
+            or self.respawns
+            or self.watchdog_timeouts
+            or self.checkpoint_hits
+            or self.checkpoint_writes
+            or self.checkpoint_corrupt
+            or self.quarantined_chunks
+        )
+
+    def summary_rows(self) -> List[tuple]:
+        """(label, value) pairs for the CLI telemetry table."""
+        rows = [
+            ("shard retries", str(self.retries)),
+            ("pool respawns", str(self.respawns)),
+            ("watchdog timeouts", str(self.watchdog_timeouts)),
+            (
+                "checkpoints",
+                f"{self.checkpoint_hits} reused, "
+                f"{self.checkpoint_writes} written, "
+                f"{self.checkpoint_corrupt} corrupt",
+            ),
+            ("quarantined chunks", str(self.quarantined)),
+        ]
+        rows += [
+            ("quarantined", path) for path in self.quarantined_chunks
+        ]
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "watchdog_timeouts": self.watchdog_timeouts,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_writes": self.checkpoint_writes,
+            "checkpoint_corrupt": self.checkpoint_corrupt,
+            "quarantined_chunks": list(self.quarantined_chunks),
+        }
+
+
+@dataclass
 class PipelineTelemetry:
     """Counters and gauges for one streaming pipeline run."""
 
@@ -152,6 +231,9 @@ class PipelineTelemetry:
     #: per-shard flow-synthesis gauges; non-empty only when the columnar
     #: flow stage ran sharded.
     flow_worker_stats: List[FlowWorkerStats] = field(default_factory=list)
+    #: fault-tolerance accounting (retries, respawns, checkpoints,
+    #: quarantined chunks); all zeros on a healthy run.
+    health: RunHealth = field(default_factory=RunHealth)
 
     def stage(self, name: str) -> StageStats:
         """Get or create the named stage accumulator."""
@@ -279,6 +361,8 @@ class PipelineTelemetry:
                     f"{worker.seconds:.2f}s ({rate})",
                 )
             )
+        if self.health.any_events():
+            rows.extend(self.health.summary_rows())
         for stage in self.stages.values():
             throughput = stage.throughput
             rate = (
@@ -308,6 +392,7 @@ class PipelineTelemetry:
             "stages": {k: v.as_dict() for k, v in self.stages.items()},
             "workers": [w.as_dict() for w in self.worker_stats],
             "flow_workers": [w.as_dict() for w in self.flow_worker_stats],
+            "health": self.health.as_dict(),
         }
 
 

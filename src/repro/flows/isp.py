@@ -132,6 +132,8 @@ class ISPNetwork:
         *,
         workers: Optional[int] = None,
         telemetry: Optional[PipelineTelemetry] = None,
+        retry=None,
+        checkpoint_dir=None,
     ) -> tuple:
         """Simulate the scanners' transit traffic and export NetFlow.
 
@@ -158,6 +160,11 @@ class ISPNetwork:
                 or 1 synthesizes serially.  Results are identical.
             telemetry: optional gauge sink; a "flows" stage plus
                 per-worker synthesis throughput is recorded.
+            retry: per-shard :class:`~repro.core.faults.RetryPolicy`
+                for the parallel path.
+            checkpoint_dir: persist finished flow-shard states here so
+                an interrupted collection resumes without re-synthesis
+                (forces the sharded code path even for 1 worker).
 
         Returns:
             ``(flow_table, true_totals)`` where ``true_totals`` maps
@@ -173,7 +180,7 @@ class ISPNetwork:
         countries = self._countries_of(sources)
         mixes = self.router_mix_many(sources, countries)
         day_seconds = clock.seconds_per_day
-        if workers is not None and workers > 1:
+        if (workers is not None and workers > 1) or checkpoint_dir is not None:
             from repro.parallel import parallel_flow_columns
 
             columns = parallel_flow_columns(
@@ -183,8 +190,10 @@ class ISPNetwork:
                 window,
                 day_seconds,
                 base,
-                workers=workers,
+                workers=workers if workers is not None else 1,
                 telemetry=telemetry,
+                retry=retry,
+                checkpoint_dir=checkpoint_dir,
             )
         else:
             columns = synthesize_flow_columns(

@@ -125,6 +125,46 @@ def synthesize_flow_columns(
 
 
 # ----------------------------------------------------------------------
+# Shard-state serialization — the checkpoint payload of the parallel
+# flow path (repro.core.faults): a shard's synthesized columns survive
+# a crash and are reloaded instead of re-synthesized on resume.
+# ----------------------------------------------------------------------
+
+#: Versioned header guarding flow-shard checkpoints; bump on
+#: incompatible column-layout changes so stale checkpoints are
+#: discarded (shard re-synthesized) rather than concatenated.
+FLOW_STATE_MAGIC = b"repro-flow-state-v1\n"
+
+
+def flow_state_to_bytes(columns: FlowColumns) -> bytes:
+    """Serialize one shard's :class:`FlowColumns` (versioned header)."""
+    import pickle
+
+    return FLOW_STATE_MAGIC + pickle.dumps(columns, protocol=4)
+
+
+def flow_state_from_bytes(data: bytes) -> FlowColumns:
+    """Rebuild columns serialized by :func:`flow_state_to_bytes`.
+
+    Raises ``ValueError`` on a missing or mismatched header.
+    """
+    import pickle
+
+    if not data.startswith(FLOW_STATE_MAGIC):
+        raise ValueError(
+            "not a serialized flow-shard state (missing or mismatched "
+            f"header; expected {FLOW_STATE_MAGIC!r})"
+        )
+    columns = pickle.loads(data[len(FLOW_STATE_MAGIC):])
+    if not isinstance(columns, FlowColumns):
+        raise ValueError(
+            f"serialized state holds {type(columns).__name__}, "
+            "not FlowColumns"
+        )
+    return columns
+
+
+# ----------------------------------------------------------------------
 # Loop reference — the pre-columnar construction, kept as the golden
 # baseline: tests assert the vectorized path is bit-identical to it, and
 # the flow benchmark measures speedup against it.

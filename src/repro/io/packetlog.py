@@ -5,26 +5,48 @@ captures persist as compressed ``.npz`` archives holding the
 :class:`~repro.packet.PacketBatch` columns verbatim.  The format is a
 stand-in for pcap in this reproduction: lossless for everything the
 analyses consume.
+
+Writes are crash-safe: every archive lands via tmp + fsync + rename
+(a crash leaves either the previous file or the complete new one,
+never a truncated hybrid), and chunked captures carry a ``MANIFEST.json``
+recording each chunk's sha256 digest *as it is written* — so a reader
+can tell exactly which chunks of an interrupted or damaged capture are
+trustworthy.  Readers verify digests and raise
+:class:`~repro.core.faults.ChunkCorruptionError` naming the offending
+file (strict mode), or skip-and-account the damage (degraded mode).
 """
 
 from __future__ import annotations
 
+import io
+import json
 from pathlib import Path
-from typing import Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.faults import (
+    ChunkCorruptionError,
+    atomic_write_bytes,
+    sha256_hex,
+)
 from repro.packet import PacketBatch
 
 #: Format marker stored inside every archive.
 _MAGIC = "repro-packetlog-v1"
 
+#: Chunk-directory manifest filename and format marker.
+MANIFEST_NAME = "MANIFEST.json"
+_MANIFEST_MAGIC = "repro-chunk-manifest-v1"
 
-def save_packets_npz(batch: PacketBatch, path: Union[str, Path]) -> None:
-    """Write a packet batch to a compressed ``.npz`` archive."""
-    path = Path(path)
+#: Values of ``on_corrupt``: fail fast, or skip-and-account.
+CORRUPT_MODES = ("raise", "quarantine")
+
+
+def _packets_npz_bytes(batch: PacketBatch) -> bytes:
+    buffer = io.BytesIO()
     np.savez_compressed(
-        path,
+        buffer,
         magic=np.array(_MAGIC),
         ts=batch.ts,
         src=batch.src,
@@ -33,22 +55,118 @@ def save_packets_npz(batch: PacketBatch, path: Union[str, Path]) -> None:
         proto=batch.proto,
         ipid=batch.ipid,
     )
+    return buffer.getvalue()
 
 
-def load_packets_npz(path: Union[str, Path]) -> PacketBatch:
-    """Read a packet batch written by :func:`save_packets_npz`."""
+def save_packets_npz(batch: PacketBatch, path: Union[str, Path]) -> str:
+    """Write a packet batch to a compressed ``.npz`` archive.
+
+    The write is atomic (tmp + fsync + rename): an interrupted writer
+    never leaves a truncated archive at ``path`` for a later
+    :func:`load_packets_npz` to trip over.  Returns the archive's
+    sha256 content digest (the value recorded in chunk manifests).
+    """
+    return atomic_write_bytes(Path(path), _packets_npz_bytes(batch))
+
+
+def _parse_packets_npz(data: bytes, path: Path) -> PacketBatch:
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            magic = str(archive["magic"])
+            if magic != _MAGIC:
+                raise ChunkCorruptionError(
+                    f"not a repro packet log: {path} (magic={magic!r})"
+                )
+            return PacketBatch(
+                ts=archive["ts"],
+                src=archive["src"],
+                dst=archive["dst"],
+                dport=archive["dport"],
+                proto=archive["proto"],
+                ipid=archive["ipid"],
+            )
+    except ChunkCorruptionError:
+        raise
+    except Exception as exc:
+        raise ChunkCorruptionError(
+            f"corrupt packet chunk {path}: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def load_packets_npz(
+    path: Union[str, Path], expected_digest: Optional[str] = None
+) -> PacketBatch:
+    """Read a packet batch written by :func:`save_packets_npz`.
+
+    A truncated, altered, or otherwise unreadable archive raises
+    :class:`~repro.core.faults.ChunkCorruptionError` with the offending
+    path in the message; a missing file still raises
+    ``FileNotFoundError``.  With ``expected_digest`` set (from a chunk
+    manifest), the file's content digest is verified before parsing.
+    """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        magic = str(archive["magic"])
-        if magic != _MAGIC:
-            raise ValueError(f"not a repro packet log: {path} (magic={magic!r})")
-        return PacketBatch(
-            ts=archive["ts"],
-            src=archive["src"],
-            dst=archive["dst"],
-            dport=archive["dport"],
-            proto=archive["proto"],
-            ipid=archive["ipid"],
+    data = path.read_bytes()
+    if expected_digest is not None and sha256_hex(data) != expected_digest:
+        raise ChunkCorruptionError(
+            f"corrupt packet chunk {path}: content digest does not match "
+            "the chunk manifest"
+        )
+    return _parse_packets_npz(data, path)
+
+
+# ----------------------------------------------------------------------
+# Chunked captures with a digest manifest
+# ----------------------------------------------------------------------
+
+
+class ChunkWriter:
+    """Incremental, crash-consistent writer of a chunk directory.
+
+    Each :meth:`write` lands one ``chunk-<index>.npz`` atomically and
+    then rewrites ``MANIFEST.json`` (also atomically) with the digests
+    of everything written *so far* — so a writer dying between chunk N
+    and N+1 leaves a directory whose manifest certifies exactly chunks
+    0..N.  :meth:`close` marks the manifest complete.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        chunk_seconds: Optional[float] = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.chunk_seconds = chunk_seconds
+        self.written = 0
+        self._digests: List[str] = []
+
+    def write(self, batch: PacketBatch) -> Path:
+        """Persist the next chunk and extend the manifest."""
+        path = self.directory / f"chunk-{self.written:05d}.npz"
+        digest = save_packets_npz(batch, path)
+        self._digests.append(digest)
+        self.written += 1
+        self._write_manifest(complete=False)
+        return path
+
+    def close(self) -> int:
+        """Finalize the manifest; returns the number of chunks written."""
+        self._write_manifest(complete=True)
+        return self.written
+
+    def _write_manifest(self, complete: bool) -> None:
+        manifest = {
+            "magic": _MANIFEST_MAGIC,
+            "chunk_seconds": self.chunk_seconds,
+            "complete": complete,
+            "chunks": {
+                f"chunk-{index:05d}.npz": digest
+                for index, digest in enumerate(self._digests)
+            },
+        }
+        atomic_write_bytes(
+            self.directory / MANIFEST_NAME,
+            json.dumps(manifest, indent=2, sort_keys=True).encode(),
         )
 
 
@@ -61,21 +179,44 @@ def save_packets_chunked(
 
     Writes ``chunk-00000.npz``, ``chunk-00001.npz``, ... into
     ``directory`` (created if missing), one per non-empty time window of
-    ``chunk_seconds``, epoch-aligned.  Filename order is time order, so
-    the directory can be streamed back with :func:`iter_packets_chunked`
+    ``chunk_seconds``, epoch-aligned, plus a ``MANIFEST.json`` of
+    per-chunk content digests (updated after every chunk — see
+    :class:`ChunkWriter`).  Filename order is time order, so the
+    directory can be streamed back with :func:`iter_packets_chunked`
     without ever materializing the whole capture.
 
     Returns the number of chunk files written.
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    written = 0
+    writer = ChunkWriter(directory, chunk_seconds)
     for _, _, chunk in batch.iter_time_chunks(chunk_seconds):
         if len(chunk) == 0:
             continue
-        save_packets_npz(chunk, directory / f"chunk-{written:05d}.npz")
-        written += 1
-    return written
+        writer.write(chunk)
+    return writer.close()
+
+
+def load_manifest(directory: Union[str, Path]) -> Optional[dict]:
+    """The chunk directory's digest manifest, or ``None`` (legacy dir).
+
+    A manifest that exists but cannot be parsed raises
+    :class:`~repro.core.faults.ChunkCorruptionError` — a damaged
+    manifest means the directory's integrity cannot be certified.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except (ValueError, OSError) as exc:
+        raise ChunkCorruptionError(
+            f"corrupt chunk manifest {path}: {exc}"
+        ) from exc
+    if manifest.get("magic") != _MANIFEST_MAGIC:
+        raise ChunkCorruptionError(
+            f"corrupt chunk manifest {path}: unrecognized format marker "
+            f"{manifest.get('magic')!r}"
+        )
+    return manifest
 
 
 def chunk_paths(directory: Union[str, Path]) -> list:
@@ -116,13 +257,74 @@ def chunk_paths(directory: Union[str, Path]) -> list:
     return paths
 
 
-def iter_packets_chunked(directory: Union[str, Path]):
+def iter_packets_verified(
+    directory: Union[str, Path],
+    on_corrupt: str = "raise",
+) -> Iterator[Tuple[Path, Optional[PacketBatch]]]:
+    """Yield ``(path, batch)`` per chunk, verifying against the manifest.
+
+    Chunks listed in ``MANIFEST.json`` are digest-checked before
+    parsing; chunks the manifest has not recorded (a writer died after
+    the rename, before the manifest update) are accepted if they parse
+    — the atomic rename guarantees a present archive is complete unless
+    externally damaged.  Directories without a manifest fall back to
+    parse-only validation.
+
+    ``on_corrupt="raise"`` (strict) propagates the first
+    :class:`~repro.core.faults.ChunkCorruptionError`;
+    ``on_corrupt="quarantine"`` (degraded) yields ``(path, None)`` for
+    each damaged chunk so callers can account the loss and continue.
+    """
+    if on_corrupt not in CORRUPT_MODES:
+        raise ValueError(
+            f"on_corrupt must be one of {CORRUPT_MODES}, got {on_corrupt!r}"
+        )
+    paths = chunk_paths(directory)
+    manifest = load_manifest(directory)
+    digests = {} if manifest is None else manifest["chunks"]
+    for path in paths:
+        try:
+            yield path, load_packets_npz(path, digests.get(path.name))
+        except ChunkCorruptionError:
+            if on_corrupt == "raise":
+                raise
+            yield path, None
+
+
+def verify_chunks(
+    directory: Union[str, Path]
+) -> Tuple[List[Path], List[Path]]:
+    """Audit a chunk directory: ``(valid_paths, corrupt_paths)``.
+
+    Every chunk is digest-checked against the manifest (or parsed, for
+    unlisted/legacy chunks); nothing is raised — this is the reporting
+    surface for "which chunks of this interrupted capture survive".
+    """
+    valid: List[Path] = []
+    corrupt: List[Path] = []
+    for path, batch in iter_packets_verified(directory, "quarantine"):
+        (corrupt if batch is None else valid).append(path)
+    return valid, corrupt
+
+
+def iter_packets_chunked(
+    directory: Union[str, Path],
+    on_corrupt: str = "raise",
+    health=None,
+):
     """Yield the chunks of :func:`save_packets_chunked` in time order.
 
     Loads one archive at a time — the memory profile of the streaming
     pipeline over an on-disk capture is one chunk plus detector state.
     The directory is validated via :func:`chunk_paths` before the first
-    chunk is yielded.
+    chunk is yielded, and every chunk is verified against the digest
+    manifest.  In degraded mode (``on_corrupt="quarantine"``) damaged
+    chunks are skipped and recorded on ``health``
+    (:class:`~repro.core.telemetry.RunHealth`) instead of raising.
     """
-    for path in chunk_paths(directory):
-        yield load_packets_npz(path)
+    for path, batch in iter_packets_verified(directory, on_corrupt):
+        if batch is None:
+            if health is not None:
+                health.record_quarantine(str(path))
+            continue
+        yield batch

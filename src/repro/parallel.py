@@ -29,12 +29,23 @@ Two consumption modes:
   :func:`repro.io.packetlog.save_packets_chunked`; each worker reads
   every archive itself and keeps only its shard's packets, so no packet
   ever crosses a process pipe and parent memory stays at one chunk.
+
+Every entry point executes through the fault-tolerant layer
+(:mod:`repro.core.faults`): failed shards are retried with backoff, a
+dead worker process respawns the pool and re-runs only the unfinished
+shards, and — with ``checkpoint_dir`` set — each finished shard's state
+is persisted atomically under a content digest so an interrupted run
+resumes by re-executing exactly the missing shards
+(:func:`resume_run`).  Because retry and resume re-run whole shards
+from their inputs and the merge is always performed in shard-index
+order, a faulted or resumed run is bit-identical to a fault-free one.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -44,8 +55,15 @@ import numpy as np
 from repro.config import DetectionConfig
 from repro.core.detection import DetectionResult
 from repro.core.events import EventTable
+from repro.core.faults import (
+    CheckpointStore,
+    FaultPlan,
+    RetryPolicy,
+    run_sharded,
+    sha256_hex,
+)
 from repro.core.streaming import StreamingDetector
-from repro.core.telemetry import PipelineTelemetry
+from repro.core.telemetry import PipelineTelemetry, RunHealth
 from repro.packet import PacketBatch
 
 #: Fibonacci-hash multiplier: decorrelates the shard index from address
@@ -109,6 +127,10 @@ class WorkerReport:
     #: wall-clock seconds spent generating this shard's capture (lazy
     #: shard-local generation only; stays 0 when packets were shipped).
     generate_seconds: float = 0.0
+    #: chunk archives this worker skipped as corrupt (degraded-mode
+    #: directory reads only; every worker sees the same archives, so
+    #: the parent deduplicates when folding into ``RunHealth``).
+    quarantined: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -162,19 +184,27 @@ def _run_shard_directory(
     dark_size: int,
     config: Optional[DetectionConfig],
     day_seconds: float,
+    on_corrupt: str = "raise",
 ) -> Tuple[StreamingDetector, WorkerReport]:
     """Worker body for chunk directories: read, filter to shard, fold.
 
     Every worker streams the full archive sequence but holds only one
     chunk at a time, and feeds its detector only the packets whose
-    source hashes to its shard.
+    source hashes to its shard.  Archives are verified against the
+    directory's digest manifest; a damaged one raises (strict) or is
+    skipped and reported back (``on_corrupt="quarantine"``) — every
+    worker skips the *same* archives, so degraded-mode results stay
+    deterministic across shard counts.
     """
-    from repro.io.packetlog import chunk_paths, load_packets_npz
+    from repro.io.packetlog import iter_packets_verified
 
     t0 = time.perf_counter()
     detector = StreamingDetector(timeout, dark_size, config, day_seconds)
-    for path in chunk_paths(directory):
-        batch = load_packets_npz(path)
+    quarantined: List[str] = []
+    for path, batch in iter_packets_verified(directory, on_corrupt):
+        if batch is None:
+            quarantined.append(str(path))
+            continue
         if n_shards > 1:
             batch = batch.select(shard_of(batch.src, n_shards) == shard)
         if len(batch):
@@ -187,6 +217,7 @@ def _run_shard_directory(
         peak_open_flows=detector.peak_open_flows,
         seconds=time.perf_counter() - t0,
         watermark=detector.watermark,
+        quarantined=tuple(quarantined),
     )
     return detector, report
 
@@ -276,6 +307,64 @@ def _finish_merged(
     )
 
 
+# ----------------------------------------------------------------------
+# Fault-tolerance plumbing shared by the entry points
+# ----------------------------------------------------------------------
+
+
+def _resolve_health(telemetry: Optional[PipelineTelemetry]) -> RunHealth:
+    """The RunHealth sink faults are accounted on (discarded if no
+    telemetry was requested)."""
+    return telemetry.health if telemetry is not None else RunHealth()
+
+
+def _config_meta(config: Optional[DetectionConfig]) -> Optional[dict]:
+    return None if config is None else dataclasses.asdict(config)
+
+
+def _window_meta(window: Optional[tuple]) -> Optional[list]:
+    # JSON round-trips tuples as lists; normalize so a resumed run's
+    # metadata compares equal to the recorded one.
+    return None if window is None else [float(edge) for edge in window]
+
+
+def _checkpoint_store(
+    checkpoint_dir, health: RunHealth, meta: dict
+) -> Optional[CheckpointStore]:
+    """Open (or adopt) a run's checkpoint directory; ``None`` disables
+    checkpointing.  Mismatched run parameters raise — see
+    :meth:`~repro.core.faults.CheckpointStore.require_meta`."""
+    if checkpoint_dir is None:
+        return None
+    store = CheckpointStore(checkpoint_dir, health)
+    store.require_meta(meta)
+    return store
+
+
+def _dump_detect_state(result: tuple) -> bytes:
+    detector, report = result
+    return pickle.dumps((detector.to_bytes(), report), protocol=4)
+
+
+def _load_detect_state(payload: bytes) -> tuple:
+    blob, report = pickle.loads(payload)
+    return StreamingDetector.from_bytes(blob), report
+
+
+def _dump_flow_state(result: tuple) -> bytes:
+    from repro.flows.synthesis import flow_state_to_bytes
+
+    columns, report = result
+    return pickle.dumps((flow_state_to_bytes(columns), report), protocol=4)
+
+
+def _load_flow_state(payload: bytes) -> tuple:
+    from repro.flows.synthesis import flow_state_from_bytes
+
+    blob, report = pickle.loads(payload)
+    return flow_state_from_bytes(blob), report
+
+
 def parallel_detect(
     chunks: Iterable,
     timeout: float,
@@ -286,6 +375,9 @@ def parallel_detect(
     workers: int,
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
 ) -> ParallelResult:
     """Shard-parallel equivalent of :func:`repro.core.streaming.stream_detect`.
 
@@ -299,13 +391,37 @@ def parallel_detect(
             serially in-process (same shard/merge code path — useful for
             tests and as the degenerate ``workers=1`` case).
         telemetry: optional gauge sink; chunk-level counters are
-            recorded while sharding, worker throughput after the join.
+            recorded while sharding, worker throughput after the join,
+            and fault accounting on ``telemetry.health``.
+        retry: per-shard retry/backoff/watchdog policy (defaults to
+            :class:`~repro.core.faults.RetryPolicy`).
+        fault_plan: deterministic fault injection (tests/CI only).
+        checkpoint_dir: persist each finished shard's detector state
+            here (atomic, digest-verified); re-running with the same
+            directory and parameters resumes, re-executing only the
+            missing shards.  The caller owns input identity for this
+            in-memory entry point — feed the same chunk stream when
+            resuming.
 
     Returns the merged :class:`ParallelResult` whose events and
-    detections are identical to the serial streaming (and batch) path.
+    detections are identical to the serial streaming (and batch) path —
+    also under any injected faults, retries, or resume.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    health = _resolve_health(telemetry)
+    store = _checkpoint_store(
+        checkpoint_dir,
+        health,
+        {
+            "kind": "detect",
+            "workers": workers,
+            "timeout": float(timeout),
+            "dark_size": int(dark_size),
+            "day_seconds": float(day_seconds),
+            "config": _config_meta(config),
+        },
+    )
     shards: List[List[PacketBatch]] = [[] for _ in range(workers)]
     t_prev = time.perf_counter()
     shard_stage = telemetry.stage("shard") if telemetry is not None else None
@@ -329,28 +445,22 @@ def parallel_detect(
             )
             t_prev = time.perf_counter()
 
-    if use_processes and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _run_shard,
-                    index,
-                    shards[index],
-                    timeout,
-                    dark_size,
-                    config,
-                    day_seconds,
-                )
-                for index in range(workers)
-            ]
-            shard_results = [future.result() for future in futures]
-    else:
-        shard_results = [
-            _run_shard(
-                index, shards[index], timeout, dark_size, config, day_seconds
-            )
+    shard_results = run_sharded(
+        _run_shard,
+        [
+            (index, shards[index], timeout, dark_size, config, day_seconds)
             for index in range(workers)
-        ]
+        ],
+        policy=retry,
+        plan=fault_plan,
+        use_processes=use_processes and workers > 1,
+        max_workers=workers,
+        health=health,
+        store=store,
+        kind="detect",
+        dumps=_dump_detect_state,
+        loads=_load_detect_state,
+    )
     return _finish_merged(shard_results, telemetry)
 
 
@@ -364,6 +474,10 @@ def parallel_detect_directory(
     workers: int,
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
+    on_corrupt: str = "raise",
 ) -> ParallelResult:
     """Shard-parallel detection over a ``save_packets_chunked`` directory.
 
@@ -373,29 +487,125 @@ def parallel_detect_directory(
     is validated up front — a missing directory, no ``chunk-*.npz``
     archives, or a gap in the chunk sequence raise immediately with a
     clear message rather than failing mid-run.
+
+    Chunk archives are digest-verified against the directory manifest.
+    ``on_corrupt="raise"`` (default) surfaces the first damaged archive
+    as a :class:`~repro.core.faults.ChunkCorruptionError` naming its
+    path; ``"quarantine"`` skips damaged archives, accounts them on
+    ``telemetry.health``, and detects over the survivors.
+
+    With ``checkpoint_dir`` set, finished shard states persist there and
+    a rerun — or :func:`resume_run` on the directory — re-executes only
+    the missing shards; the run's parameters are recorded in
+    ``run.json`` and a mismatched resume raises instead of merging
+    incompatible states.
     """
-    from repro.io.packetlog import chunk_paths
+    from repro.io.packetlog import CORRUPT_MODES, chunk_paths
 
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if on_corrupt not in CORRUPT_MODES:
+        raise ValueError(
+            f"on_corrupt must be one of {CORRUPT_MODES}, got {on_corrupt!r}"
+        )
     chunk_paths(directory)  # validate eagerly, before any process spawns
-    args = [
-        (index, workers, str(directory), timeout, dark_size, config, day_seconds)
-        for index in range(workers)
-    ]
-    if use_processes and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_shard_directory, *arg) for arg in args
-            ]
-            shard_results = [future.result() for future in futures]
-    else:
-        shard_results = [_run_shard_directory(*arg) for arg in args]
+    health = _resolve_health(telemetry)
+    store = _checkpoint_store(
+        checkpoint_dir,
+        health,
+        {
+            "kind": "directory",
+            "directory": str(directory),
+            "workers": workers,
+            "timeout": float(timeout),
+            "dark_size": int(dark_size),
+            "day_seconds": float(day_seconds),
+            "config": _config_meta(config),
+        },
+    )
+    shard_results = run_sharded(
+        _run_shard_directory,
+        [
+            (
+                index,
+                workers,
+                str(directory),
+                timeout,
+                dark_size,
+                config,
+                day_seconds,
+                on_corrupt,
+            )
+            for index in range(workers)
+        ],
+        policy=retry,
+        plan=fault_plan,
+        use_processes=use_processes and workers > 1,
+        max_workers=workers,
+        health=health,
+        store=store,
+        kind="detect",
+        dumps=_dump_detect_state,
+        loads=_load_detect_state,
+    )
+    for _, report in shard_results:
+        for path in report.quarantined:
+            health.record_quarantine(path)
     if telemetry is not None:
         telemetry.total_packets = sum(
             report.packets for _, report in shard_results
         )
     return _finish_merged(shard_results, telemetry)
+
+
+def resume_run(
+    run_dir: Union[str, Path],
+    *,
+    use_processes: bool = True,
+    telemetry: Optional[PipelineTelemetry] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_corrupt: str = "raise",
+) -> ParallelResult:
+    """Resume a checkpointed :func:`parallel_detect_directory` run.
+
+    Reads the run parameters recorded in ``<run_dir>/run.json``,
+    reloads every shard state whose checkpoint verifies, and re-executes
+    only the shards that are missing or damaged — the merged result is
+    bit-identical to a fault-free run.  Runs whose inputs are not
+    file-addressable (in-memory chunks, lazy generation, flow slices)
+    resume by re-invoking their entry point with the same
+    ``checkpoint_dir`` instead.
+    """
+    store = CheckpointStore(run_dir)
+    meta = store.load_meta()
+    if meta is None:
+        raise FileNotFoundError(
+            f"no run.json under {run_dir} — not a checkpointed run "
+            "directory"
+        )
+    if meta.get("kind") != "directory":
+        raise ValueError(
+            f"run {run_dir} was checkpointed by a "
+            f"{meta.get('kind')!r} entry point, which does not record "
+            "its inputs on disk; resume it by re-invoking that entry "
+            "point with the same checkpoint_dir"
+        )
+    config = (
+        None if meta["config"] is None else DetectionConfig(**meta["config"])
+    )
+    return parallel_detect_directory(
+        meta["directory"],
+        meta["timeout"],
+        meta["dark_size"],
+        config,
+        meta["day_seconds"],
+        workers=meta["workers"],
+        use_processes=use_processes,
+        telemetry=telemetry,
+        retry=retry,
+        checkpoint_dir=run_dir,
+        on_corrupt=on_corrupt,
+    )
 
 
 def shard_scanners(scanners: Sequence, n_shards: int) -> List[list]:
@@ -480,6 +690,9 @@ def parallel_flow_columns(
     workers: int,
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
 ):
     """Shard-parallel columnar flow synthesis.
 
@@ -512,6 +725,24 @@ def parallel_flow_columns(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     scanners = list(scanners)
+    health = _resolve_health(telemetry)
+    store = _checkpoint_store(
+        checkpoint_dir,
+        health,
+        {
+            "kind": "flows",
+            "workers": workers,
+            "day_seconds": float(day_seconds),
+            "base": int(base),
+            "window": _window_meta(window),
+            "n_scanners": len(scanners),
+            "population": sha256_hex(
+                np.array(
+                    [int(s.src) for s in scanners], dtype=np.uint64
+                ).tobytes()
+            ),
+        },
+    )
     parts = np.array_split(np.arange(len(scanners)), workers)
     args = [
         (
@@ -526,12 +757,19 @@ def parallel_flow_columns(
         )
         for shard, part in enumerate(parts)
     ]
-    if use_processes and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_flow_shard, *arg) for arg in args]
-            shard_results = [future.result() for future in futures]
-    else:
-        shard_results = [_run_flow_shard(*arg) for arg in args]
+    shard_results = run_sharded(
+        _run_flow_shard,
+        args,
+        policy=retry,
+        plan=fault_plan,
+        use_processes=use_processes and workers > 1,
+        max_workers=workers,
+        health=health,
+        store=store,
+        kind="flows",
+        dumps=_dump_flow_state,
+        loads=_load_flow_state,
+    )
     if telemetry is not None:
         for _, report in shard_results:
             telemetry.record_flow_worker(
@@ -556,6 +794,9 @@ def parallel_generate_detect(
     window: Optional[tuple] = None,
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
 ) -> ParallelResult:
     """Shard-parallel detection with shard-local lazy generation.
 
@@ -589,6 +830,28 @@ def parallel_generate_detect(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    scanners = list(scanners)
+    health = _resolve_health(telemetry)
+    store = _checkpoint_store(
+        checkpoint_dir,
+        health,
+        {
+            "kind": "generate",
+            "workers": workers,
+            "chunk_seconds": float(chunk_seconds),
+            "timeout": float(timeout),
+            "dark_size": int(dark_size),
+            "day_seconds": float(day_seconds),
+            "window": _window_meta(window),
+            "config": _config_meta(config),
+            "n_scanners": len(scanners),
+            "population": sha256_hex(
+                np.array(
+                    [int(s.src) for s in scanners], dtype=np.uint64
+                ).tobytes()
+            ),
+        },
+    )
     shards = shard_scanners(scanners, workers)
     args = [
         (
@@ -597,12 +860,19 @@ def parallel_generate_detect(
         )
         for index in range(workers)
     ]
-    if use_processes and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_shard_lazy, *arg) for arg in args]
-            shard_results = [future.result() for future in futures]
-    else:
-        shard_results = [_run_shard_lazy(*arg) for arg in args]
+    shard_results = run_sharded(
+        _run_shard_lazy,
+        args,
+        policy=retry,
+        plan=fault_plan,
+        use_processes=use_processes and workers > 1,
+        max_workers=workers,
+        health=health,
+        store=store,
+        kind="detect",
+        dumps=_dump_detect_state,
+        loads=_load_detect_state,
+    )
     if telemetry is not None:
         telemetry.total_packets = sum(
             report.packets for _, report in shard_results

@@ -49,6 +49,11 @@ class ScenarioResult:
     #: shards its synthesis across this many processes (results are
     #: identical for any value).
     workers: Optional[int] = None
+    #: checkpoint/run directory the run was configured with; lazy flow
+    #: collection checkpoints its shards under ``<dir>/flows``.
+    checkpoint_dir: Optional[str] = None
+    #: per-shard retry budget the run was configured with.
+    shard_retries: Optional[int] = None
     #: materialized capture; ``None`` after lazy-generation runs until
     #: an analysis asks for it through the ``capture`` property.
     _capture: Optional[DarknetCapture] = field(default=None, repr=False)
@@ -124,6 +129,16 @@ class ScenarioResult:
             min(days) * self.clock.seconds_per_day,
             (max(days) + 1) * self.clock.seconds_per_day,
         )
+        retry = None
+        if self.shard_retries is not None:
+            from repro.core.faults import RetryPolicy
+
+            retry = RetryPolicy(max_retries=self.shard_retries)
+        flow_checkpoint = None
+        if self.checkpoint_dir is not None:
+            from pathlib import Path
+
+            flow_checkpoint = Path(self.checkpoint_dir) / "flows"
         table, true_totals = self.merit.collect_scanner_flows(
             self.flow_scanners(),
             window,
@@ -132,6 +147,8 @@ class ScenarioResult:
             exporter,
             workers=workers,
             telemetry=self.telemetry,
+            retry=retry,
+            checkpoint_dir=flow_checkpoint,
         )
         totals = self.merit.router_day_totals(days, true_totals, self.clock, rng)
         result = (table, totals)
@@ -217,6 +234,8 @@ def _parallel_events_and_detections(
     scenario: Scenario,
     chunk_seconds: float,
     workers: int,
+    retry=None,
+    checkpoint_dir=None,
 ) -> tuple:
     """Run the shard-parallel pipeline with shard-local lazy generation.
 
@@ -225,7 +244,8 @@ def _parallel_events_and_detections(
     worker its shard's *scanners*; every worker generates its own
     shard's capture locally (:func:`repro.parallel.parallel_generate_detect`),
     so raw packets never cross a process pipe and nothing ever holds the
-    full capture.
+    full capture.  ``retry``/``checkpoint_dir`` plug the fault-tolerant
+    execution layer (:mod:`repro.core.faults`) into the run.
     """
     from repro.parallel import parallel_generate_detect
 
@@ -241,6 +261,45 @@ def _parallel_events_and_detections(
         workers=workers,
         window=scenario.window(),
         telemetry=telemetry,
+        retry=retry,
+        checkpoint_dir=checkpoint_dir,
+    )
+    return result.events, result.detections, telemetry
+
+
+def _directory_events_and_detections(
+    capture_dir,
+    telescope: Telescope,
+    timeout: float,
+    scenario: Scenario,
+    chunk_seconds: float,
+    workers: int,
+    retry=None,
+    checkpoint_dir=None,
+    on_corrupt: str = "raise",
+) -> tuple:
+    """Run shard-parallel detection over a saved chunk directory.
+
+    The replay twin of :func:`_parallel_events_and_detections`: packets
+    come from ``save_packets_chunked`` archives under ``capture_dir``
+    instead of being generated, with each archive digest-verified
+    against the directory manifest (``on_corrupt`` selects strict or
+    quarantine handling of damaged chunks).
+    """
+    from repro.parallel import parallel_detect_directory
+
+    telemetry = PipelineTelemetry(chunk_seconds=chunk_seconds)
+    result = parallel_detect_directory(
+        capture_dir,
+        timeout,
+        telescope.size,
+        scenario.detection,
+        scenario.clock.seconds_per_day,
+        workers=workers,
+        telemetry=telemetry,
+        retry=retry,
+        checkpoint_dir=checkpoint_dir,
+        on_corrupt=on_corrupt,
     )
     return result.events, result.detections, telemetry
 
@@ -310,6 +369,10 @@ def run_scenario(
     mode: str = "batch",
     chunk_seconds: Optional[float] = None,
     workers: Optional[int] = None,
+    capture_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    shard_retries: Optional[int] = None,
+    on_corrupt: str = "raise",
 ) -> ScenarioResult:
     """Execute a scenario: build the world, capture and detect.
 
@@ -334,6 +397,19 @@ def run_scenario(
             ISP flow synthesis behind ``collect_flows`` shards its
             population across the same pool.  Defaults to the scenario's
             ``workers``; ``None`` or 1 runs the serial pipelines.
+        capture_dir: detect over a ``save_packets_chunked`` directory
+            instead of generating the capture (streaming mode only);
+            archives are digest-verified against the chunk manifest.
+        checkpoint_dir: persist finished shard states here; re-running
+            (or :func:`repro.parallel.resume_run`) re-executes only the
+            missing shards.  Forces the sharded detection path even with
+            one worker, and routes flow collection's checkpoints to
+            ``<dir>/flows``.
+        shard_retries: per-shard retry budget for transient worker
+            failures (default policy when ``None``).
+        on_corrupt: ``"raise"`` (default) fails on the first damaged
+            chunk archive, naming it; ``"quarantine"`` skips damaged
+            archives and accounts them in ``telemetry.health``.
     """
     if mode not in ("batch", "streaming"):
         raise ValueError(f"unknown mode: {mode!r}")
@@ -341,6 +417,15 @@ def run_scenario(
         workers = scenario.workers
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
+    if capture_dir is not None and mode != "streaming":
+        raise ValueError("capture_dir requires mode='streaming'")
+    retry = None
+    if shard_retries is not None:
+        if shard_retries < 0:
+            raise ValueError("shard_retries must be >= 0")
+        from repro.core.faults import RetryPolicy
+
+        retry = RetryPolicy(max_retries=shard_retries)
     (
         internet,
         telescope,
@@ -358,10 +443,20 @@ def run_scenario(
                 if scenario.chunk_seconds is not None
                 else DEFAULT_CHUNK_SECONDS
             )
-        if workers is not None and workers > 1:
+        if capture_dir is not None:
+            events, detections, telemetry = _directory_events_and_detections(
+                capture_dir, telescope, timeout, scenario, chunk_seconds,
+                workers if workers is not None else 1,
+                retry=retry,
+                checkpoint_dir=checkpoint_dir,
+                on_corrupt=on_corrupt,
+            )
+        elif (workers is not None and workers > 1) or checkpoint_dir is not None:
             events, detections, telemetry = _parallel_events_and_detections(
                 telescope, population, timeout, scenario, chunk_seconds,
-                workers,
+                workers if workers is not None else 1,
+                retry=retry,
+                checkpoint_dir=checkpoint_dir,
             )
         else:
             events, detections, telemetry = _stream_events_and_detections(
@@ -395,5 +490,7 @@ def run_scenario(
         mode=mode,
         telemetry=telemetry,
         workers=workers,
+        checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+        shard_retries=shard_retries,
         _capture=capture,
     )

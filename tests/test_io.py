@@ -7,9 +7,17 @@ from repro.core.events import EventTable
 from repro.flows.netflow import FlowTable
 from repro.io.eventlog import load_events_csv, save_events_csv
 from repro.io.flowlog import load_flows_csv, save_flows_csv
+from repro.core.faults import ChunkCorruptionError
+from repro.core.telemetry import RunHealth
 from repro.io.packetlog import (
+    MANIFEST_NAME,
+    ChunkWriter,
     iter_packets_chunked,
+    load_manifest,
+    load_packets_npz,
     save_packets_chunked,
+    save_packets_npz,
+    verify_chunks,
 )
 from repro.packet import PacketBatch, Protocol
 
@@ -129,6 +137,119 @@ class TestChunkedPacketLog:
         target.write_bytes(b"")
         with pytest.raises(FileNotFoundError, match="not a chunk directory"):
             list(iter_packets_chunked(target))
+
+
+class TestCrashSafeChunkIO:
+    """Atomic writes, digest manifests, and corruption handling."""
+
+    @pytest.fixture()
+    def batch(self):
+        rng = np.random.default_rng(9)
+        n = 3_000
+        return PacketBatch(
+            ts=np.sort(rng.random(n) * 18_000.0),
+            src=rng.integers(1, 40, n).astype(np.uint32),
+            dst=rng.integers(0, 256, n).astype(np.uint32),
+            dport=np.full(n, 23, dtype=np.uint16),
+            proto=np.full(n, Protocol.TCP_SYN.value, dtype=np.uint8),
+            ipid=np.zeros(n, dtype=np.uint16),
+        )
+
+    def test_atomic_save_leaves_no_tmp(self, batch, tmp_path):
+        digest = save_packets_npz(batch, tmp_path / "one.npz")
+        assert isinstance(digest, str) and len(digest) == 64
+        assert [p.name for p in tmp_path.iterdir()] == ["one.npz"]
+
+    def test_truncated_archive_names_file(self, batch, tmp_path):
+        path = tmp_path / "one.npz"
+        save_packets_npz(batch, path)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(ChunkCorruptionError, match="one.npz"):
+            load_packets_npz(path)
+
+    def test_digest_mismatch_detected(self, batch, tmp_path):
+        # A *valid* archive holding the wrong content: only the manifest
+        # digest can catch the swap.
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        paths = sorted((tmp_path / "cap").glob("chunk-*.npz"))
+        paths[0].write_bytes(paths[1].read_bytes())
+        with pytest.raises(ChunkCorruptionError, match="manifest"):
+            list(iter_packets_chunked(tmp_path / "cap"))
+
+    def test_manifest_written_and_complete(self, batch, tmp_path):
+        n = save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        manifest = load_manifest(tmp_path / "cap")
+        assert manifest["complete"] is True
+        assert len(manifest["chunks"]) == n
+
+    def test_writer_dying_between_chunks_reports_valid_set(
+        self, batch, tmp_path
+    ):
+        """Crash-consistency: a writer dying between chunk N and N+1
+        leaves a manifest certifying exactly chunks 0..N."""
+        writer = ChunkWriter(tmp_path / "cap", 3_600.0)
+        written = []
+        for _, _, chunk in batch.iter_time_chunks(3_600.0):
+            if len(chunk) == 0:
+                continue
+            written.append(writer.write(chunk))
+            if len(written) == 3:
+                break  # simulated death: no close(), no further chunks
+        manifest = load_manifest(tmp_path / "cap")
+        assert manifest["complete"] is False
+        assert sorted(manifest["chunks"]) == [p.name for p in written]
+        valid, corrupt = verify_chunks(tmp_path / "cap")
+        assert valid == written
+        assert corrupt == []
+
+    def test_chunk_present_but_unlisted_is_accepted(self, batch, tmp_path):
+        # Writer died after the chunk rename, before the manifest
+        # rewrite: the archive is complete (atomic rename), so readers
+        # accept it on a successful parse.
+        writer = ChunkWriter(tmp_path / "cap", 3_600.0)
+        chunks = [
+            c for _, _, c in batch.iter_time_chunks(3_600.0) if len(c)
+        ]
+        writer.write(chunks[0])
+        save_packets_npz(chunks[1], tmp_path / "cap" / "chunk-00001.npz")
+        loaded = list(iter_packets_chunked(tmp_path / "cap"))
+        assert len(loaded) == 2
+        assert np.array_equal(loaded[1].ts, chunks[1].ts)
+
+    def test_quarantine_skips_and_accounts(self, batch, tmp_path):
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        paths = sorted((tmp_path / "cap").glob("chunk-*.npz"))
+        paths[2].write_bytes(b"damaged beyond repair")
+        health = RunHealth()
+        loaded = list(
+            iter_packets_chunked(
+                tmp_path / "cap", on_corrupt="quarantine", health=health
+            )
+        )
+        assert len(loaded) == len(paths) - 1
+        assert health.quarantined_chunks == [str(paths[2])]
+        valid, corrupt = verify_chunks(tmp_path / "cap")
+        assert corrupt == [paths[2]]
+        assert len(valid) == len(paths) - 1
+
+    def test_invalid_on_corrupt_mode(self, batch, tmp_path):
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        with pytest.raises(ValueError, match="on_corrupt"):
+            list(iter_packets_chunked(tmp_path / "cap", on_corrupt="ignore"))
+
+    def test_damaged_manifest_raises(self, batch, tmp_path):
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        (tmp_path / "cap" / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ChunkCorruptionError, match=MANIFEST_NAME):
+            list(iter_packets_chunked(tmp_path / "cap"))
+
+    def test_directory_without_manifest_still_reads(self, batch, tmp_path):
+        save_packets_chunked(batch, tmp_path / "cap", 3_600.0)
+        (tmp_path / "cap" / MANIFEST_NAME).unlink()
+        restored = PacketBatch.concat(
+            list(iter_packets_chunked(tmp_path / "cap"))
+        )
+        assert len(restored) == len(batch)
 
 
 class TestFlowLog:
