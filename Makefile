@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke fault-matrix
+.PHONY: lint test bench bench-smoke fault-matrix serve-smoke
 
 lint:
 	ruff check .
@@ -24,8 +24,16 @@ bench-smoke:
 # Fault-tolerance matrix: drive retry / pool-respawn / resume /
 # quarantine against injected faults at WORKERS shards, assert results
 # stay bit-identical, and export the RunHealth telemetry JSON to
-# benchmarks/results/fault-health-$(WORKERS).json.
+# benchmarks/results/BENCH_fault_health_$(WORKERS).json.
 WORKERS ?= 2
 fault-matrix:
 	$(PYTHON) -m pytest tests/test_faults.py -q
 	$(PYTHON) benchmarks/run_fault_matrix.py --workers $(WORKERS)
+
+# Ingestion-service smoke: boot `repro.cli serve` as a subprocess,
+# drive a two-tenant scenario through the load generator, assert AH
+# parity with offline run_scenario, then SIGKILL and restore from the
+# snapshot directory (benchmarks/run_serve_smoke.py).
+serve-smoke:
+	$(PYTHON) -m pytest tests/test_serve.py tests/test_tenants.py tests/test_engine.py -q
+	$(PYTHON) benchmarks/run_serve_smoke.py

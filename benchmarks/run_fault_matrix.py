@@ -13,7 +13,7 @@ Each scenario asserts the final events/detections are bit-identical to
 the fault-free serial reference (for quarantine: the reference over the
 surviving chunks), then the accumulated ``RunHealth`` telemetry is
 written as JSON next to the bench artifacts —
-``benchmarks/results/fault-health-<workers>.json`` by default — so the
+``benchmarks/results/BENCH_fault_health_<workers>.json`` by default — so the
 CI job can upload it alongside the bench-smoke results.
 
 Usage::
@@ -153,13 +153,13 @@ def main() -> int:
         "--out",
         type=Path,
         default=None,
-        help="health JSON path (default: benchmarks/results/fault-health-<N>.json)",
+        help="health JSON path (default: benchmarks/results/BENCH_fault_health_<N>.json)",
     )
     args = parser.parse_args()
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     out = args.out or (
-        Path(__file__).parent / "results" / f"fault-health-{args.workers}.json"
+        Path(__file__).parent / "results" / f"BENCH_fault_health_{args.workers}.json"
     )
 
     batch = build_capture()

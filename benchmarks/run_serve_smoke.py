@@ -1,0 +1,207 @@
+"""End-to-end smoke test of the ingestion service (``repro.serve``).
+
+Boots the real server as a subprocess (``python -m repro.cli serve``),
+drives two tenants' captures through the load-generator client, and
+asserts the served aggressive-hitter sets are identical to offline
+:func:`repro.sim.runner.run_scenario` over the same captures — then
+SIGKILLs the server mid-life and proves a restart from the snapshot
+directory carries both tenants forward to the same answer.
+
+What this pins down, in order:
+
+1. the ``serve`` CLI subcommand boots and announces its bound port;
+2. npz chunk ingest over HTTP reproduces the offline pipeline
+   bit-for-bit (definitions 1, 2 and 3) for concurrent tenants with
+   different worker counts;
+3. kill-and-restore: after an abrupt ``SIGKILL`` (no graceful drain),
+   a new server over the same ``--snapshot-dir`` restores tenant
+   state and continued ingest still converges on the offline answer.
+
+Run from the repo root (CI runs it as ``make serve-smoke``)::
+
+    PYTHONPATH=src python benchmarks/run_serve_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.loadgen import chunk_payloads, drive  # noqa: E402
+from repro.serve.tenants import TenantConfig  # noqa: E402
+from repro.sim.runner import build_world, run_scenario  # noqa: E402
+from repro.sim.scenario import tiny_scenario  # noqa: E402
+
+CHUNK_SECONDS = 3_600.0
+READY_PREFIX = "repro-serve listening on "
+BOOT_TIMEOUT = 60.0
+
+
+def _start_server(snapshot_dir: Path):
+    """Boot ``repro.cli serve`` on an ephemeral port; return (proc, client)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--snapshot-dir",
+            str(snapshot_dir),
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+    address = []
+    ready = threading.Event()
+
+    def _watch_stdout():
+        for line in proc.stdout:
+            line = line.strip()
+            if line.startswith(READY_PREFIX) and not ready.is_set():
+                host, _, port = line[len(READY_PREFIX):].rpartition(":")
+                address.append((host, int(port)))
+                ready.set()
+        ready.set()  # EOF: unblock the waiter even on boot failure
+
+    threading.Thread(target=_watch_stdout, daemon=True).start()
+    if not ready.wait(BOOT_TIMEOUT) or not address:
+        proc.kill()
+        raise SystemExit("serve subprocess never announced a port")
+    host, port = address[0]
+    return proc, ServeClient(host, port)
+
+
+def _tenant_config(scenario, timeout, dark_size, workers):
+    return TenantConfig(
+        timeout=timeout,
+        dark_size=dark_size,
+        detection=scenario.detection,
+        day_seconds=scenario.clock.seconds_per_day,
+        workers=workers,
+        snapshot_every_chunks=32,
+    )
+
+
+def _assert_ah_parity(client, tenant_id, offline_detections):
+    for definition in (1, 2, 3):
+        served = client.ah_sources(tenant_id, definition)
+        expected = {int(s) for s in offline_detections[definition].sources}
+        assert served == expected, (
+            f"tenant {tenant_id!r} definition {definition}: served "
+            f"{len(served)} sources, offline {len(expected)}"
+        )
+
+
+def main() -> int:
+    # Two telescopes with different traffic: the tiny scenario at two
+    # seeds.  Offline run_scenario over each capture is the ground
+    # truth the served answers must match exactly.
+    scenarios = {
+        "merit": tiny_scenario(),
+        "campus": tiny_scenario(seed=777),
+    }
+    captures, configs, offline = {}, {}, {}
+    for name, sc in scenarios.items():
+        _, telescope, _, capture, _, _, timeout = build_world(sc)
+        captures[name] = capture.packets
+        workers = 2 if name == "campus" else 1
+        configs[name] = _tenant_config(sc, timeout, telescope.size, workers)
+        offline[name] = run_scenario(sc).detections
+        print(
+            f"[offline] {name}: {len(capture):,} packets, "
+            f"AH1={len(offline[name][1].sources)} "
+            f"AH2={len(offline[name][2].sources)} "
+            f"AH3={len(offline[name][3].sources)}"
+        )
+
+    payloads = {
+        name: list(chunk_payloads(capture, CHUNK_SECONDS))
+        for name, capture in captures.items()
+    }
+    half = len(payloads["merit"]) // 2
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        snapshot_dir = Path(tmp) / "snapshots"
+
+        # ---- Phase 1: boot, ingest, assert parity. ------------------
+        started = time.monotonic()
+        proc, client = _start_server(snapshot_dir)
+        print(f"[phase 1] server up on port {client.port}")
+        try:
+            for name in scenarios:
+                client.create_tenant(name, configs[name])
+            # campus gets its whole capture; merit only the first half
+            # (the rest rides through the restarted server).
+            stats = drive(client, "campus", payloads["campus"])
+            print(
+                f"[phase 1] campus: {stats.chunks} chunks, "
+                f"{stats.packets:,} packets, {stats.retries} retries, "
+                f"{stats.throughput:,.0f} pkt/s over HTTP"
+            )
+            drive(client, "merit", payloads["merit"][:half])
+            _assert_ah_parity(client, "campus", offline["campus"])
+            health = client.health()
+            assert health["ok"] and health["tenants"]["campus"]["errors"] == 0
+
+            # Persist both tenants, then kill without ceremony.
+            for name in scenarios:
+                client.snapshot(name)
+            client.close()
+        except BaseException:
+            proc.kill()
+            raise
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        print("[phase 1] server killed (SIGKILL, no graceful drain)")
+
+        # ---- Phase 2: restore from snapshots, finish merit. ---------
+        proc, client = _start_server(snapshot_dir)
+        try:
+            restored = client.health()["tenants"]
+            assert set(restored) == set(scenarios), restored
+            assert restored["campus"]["packets"] == len(captures["campus"])
+            print(
+                f"[phase 2] restored tenants: "
+                f"merit={restored['merit']['packets']:,} pkts, "
+                f"campus={restored['campus']['packets']:,} pkts"
+            )
+            drive(client, "merit", payloads["merit"][half:])
+            for name in scenarios:
+                _assert_ah_parity(client, name, offline[name])
+            status = client.status("merit")
+            assert status["packets"] == len(captures["merit"])
+            client.close()
+        except BaseException:
+            proc.kill()
+            raise
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    elapsed = time.monotonic() - started
+    print(
+        f"[ok] serve smoke passed in {elapsed:.1f}s: two tenants, "
+        "AH parity with offline run_scenario, kill-and-restore verified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

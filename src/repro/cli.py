@@ -9,8 +9,13 @@ Subcommands:
   deliverable).
 * ``trends`` — the Figure 3 daily time series.
 * ``ports`` — the Figure 4 top-ports ranking.
+* ``churn`` / ``report`` / ``mitigation`` — churn statistics, the full
+  study report, and the border-blocking simulation.
+* ``serve`` — the always-on multi-tenant ingestion service
+  (:mod:`repro.serve`); unlike the study subcommands it runs no
+  scenario, it listens for npz chunks and answers AH queries live.
 
-Every subcommand accepts ``--scenario`` with one of: ``tiny``,
+Every study subcommand accepts ``--scenario`` with one of: ``tiny``,
 ``darknet-2021``, ``darknet-2022``, ``flows-week``, ``flows-day``,
 ``stream-72h``.
 """
@@ -297,9 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help=(
             "shard work across N worker processes; in streaming mode "
-            "each worker generates and detects its own source shard, "
-            "and in any mode the ISP flow synthesis behind impact/"
-            "mitigation shards its scanner population the same way "
+            "each worker generates (or, with --capture-dir, replays) "
+            "and detects its own source shard, and in any mode — batch "
+            "included — the ISP flow synthesis behind impact/mitigation "
+            "shards its scanner population across the same pool "
             "(results are identical for any N)"
         ),
     )
@@ -310,7 +316,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "detect over a save_packets_chunked directory instead of "
             "generating the capture (streaming mode only); every chunk "
-            "archive is digest-verified against the directory manifest"
+            "archive is digest-verified against the directory manifest "
+            "before use (see --on-corrupt for handling damaged chunks)"
         ),
     )
     parser.add_argument(
@@ -321,7 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "checkpoint finished shard states under DIR and resume from "
             "them: re-running after a crash re-executes only the missing "
-            "shards (results identical to an uninterrupted run)"
+            "shards (results identical to an uninterrupted run); forces "
+            "the sharded detection path even with one worker, and in "
+            "any mode — batch included — the flow synthesis checkpoints "
+            "its shards under DIR/flows"
         ),
     )
     parser.add_argument(
@@ -362,12 +372,74 @@ def build_parser() -> argparse.ArgumentParser:
     mitigation.add_argument(
         "--max-entries", type=int, default=None, help="filter size cap"
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on multi-tenant ingestion service",
+        description=(
+            "Listen for npz packet chunks (repro.serve wire format) for "
+            "any number of tenants and answer live AH queries; the "
+            "study-wide flags above do not apply to this subcommand."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8377,
+        help="TCP port; 0 picks a free one (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="listen on a local socket at PATH instead of TCP",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist tenant registrations and periodic engine snapshots "
+            "under DIR; a restarted server restores every tenant from "
+            "its last verified snapshot (no DIR: everything is lost on "
+            "exit)"
+        ),
+    )
+    serve.add_argument(
+        "--ingest-threads",
+        type=int,
+        default=2,
+        metavar="N",
+        help="thread-pool size for CPU-bound chunk folding (default: 2)",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        # The service runs no study: dispatch before the study-flag
+        # validation and the run_study call.
+        if args.ingest_threads < 1:
+            raise SystemExit("--ingest-threads must be >= 1")
+        from repro.serve.server import run_server
+
+        def _announce(address):
+            host, port = address
+            print(f"repro-serve listening on {host}:{port}", flush=True)
+
+        run_server(
+            snapshot_dir=args.snapshot_dir,
+            host=args.host,
+            port=args.port,
+            unix_socket=args.unix_socket,
+            ingest_threads=args.ingest_threads,
+            ready=None if args.unix_socket else _announce,
+        )
+        return 0
     chunk_seconds = (
         args.chunk_hours * 3_600.0 if args.chunk_hours is not None else None
     )

@@ -1,0 +1,490 @@
+"""The long-lived detection engine behind every run path.
+
+``DetectionEngine`` owns what used to live inline in
+:func:`repro.sim.runner.run_scenario`'s streaming loop and
+:func:`repro.parallel._finish_merged`: a pool of source-sharded
+:class:`~repro.core.streaming.StreamingDetector`\\ s, chunk routing into
+that pool, checkpoint/snapshot scheduling, and the telemetry/RunHealth
+accounting around them.  The batch drivers construct one, feed it, and
+finish it — and the always-on service layer (:mod:`repro.serve`) keeps
+one alive per tenant indefinitely, querying and snapshotting it while
+chunks keep arriving.
+
+The engine never changes *what* is computed: for any worker count and
+any chunking, ``finish()`` emits the same event table and AH sets as
+``detect_all(build_events(capture))`` over the concatenated capture
+(pinned by golden and property tests).  Its additions are lifecycle
+ones:
+
+* ``ingest(chunk)`` — shard a chunk by source address and fold it in.
+* ``query()`` — detections *now*, from a copy of the merged shard
+  state; the live state keeps accepting chunks afterwards.
+* ``snapshot()`` / ``restore()`` — a versioned, digest-friendly byte
+  serialization of the whole engine, scheduled periodically through a
+  :class:`~repro.core.faults.CheckpointStore` so a killed process can
+  resume from the last snapshot.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DetectionConfig
+from repro.core.detection import DetectionResult
+from repro.core.events import EventTable
+from repro.core.faults import CheckpointStore
+from repro.core.streaming import ChunkReport, StreamingDetector
+from repro.core.telemetry import PipelineTelemetry
+
+#: Versioned header for engine snapshots.  Bump on any change to the
+#: payload layout; ``restore`` refuses a mismatched header so a stale
+#: snapshot is discarded (and the tenant re-fed), never half-loaded.
+ENGINE_STATE_MAGIC = b"repro-engine-state-v1\n"
+
+#: Checkpoint kind under which engine snapshots are stored.
+ENGINE_CKPT_KIND = "engine"
+
+
+@dataclass(frozen=True)
+class EngineQuery:
+    """One consistent answer from the merged shard state."""
+
+    #: per-definition detections over everything ingested so far.
+    detections: Dict[int, DetectionResult]
+    #: events in the (hypothetical) final table if the stream ended now.
+    events: int
+    #: packets folded in so far.
+    packets: int
+    #: events finalized by the live builders (flows already timed out).
+    events_finalized: int
+    #: flows still open across all shards.
+    open_flows: int
+    #: newest packet timestamp folded in, across shards.
+    watermark: Optional[float]
+    #: chunks ingested so far.
+    chunks: int
+    #: True once any volume ECDF was compacted past its sample budget
+    #: (Definition 2 thresholds are approximate from then on).
+    degraded: bool
+
+    def ah_sources(self, definition: int = 1) -> set:
+        """The current AH set for one definition."""
+        return self.detections[definition].sources
+
+
+class DetectionEngine:
+    """A sharded detector pool with a service-shaped lifecycle.
+
+    Args:
+        timeout: flow idle timeout (seconds) for event building.
+        dark_size: number of dark addresses the telescope observes.
+        config: detection thresholds; defaults to the paper's.
+        day_seconds: scenario calendar day length.
+        workers: detector shards to route sources across.  Results are
+            identical for any value; >1 only changes memory layout and
+            (in the offline pool path) parallelism.
+        telemetry: optional :class:`PipelineTelemetry` to account into;
+            the engine records the detect stage, per-chunk gauges, and
+            the finish-time flush/merge exactly as the pre-engine run
+            paths did.
+        store: optional :class:`CheckpointStore` for snapshots.
+        snapshot_every_chunks: write a snapshot to ``store`` every N
+            ingested chunks (``None`` disables scheduling; explicit
+            :meth:`save_snapshot` calls still work).
+        max_ecdf_samples: per-engine memory budget for the Definition-2
+            volume ECDF.  Past it, each shard's sample degrades to that
+            many evenly spaced order statistics
+            (:func:`repro.core.sketch.compact_ecdf_sample`) — bounded
+            memory, approximate tail thresholds, flagged via
+            ``degraded``.  ``None`` keeps the exact unbounded sample.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        dark_size: int,
+        config: Optional[DetectionConfig] = None,
+        day_seconds: float = 86_400.0,
+        *,
+        workers: int = 1,
+        telemetry: Optional[PipelineTelemetry] = None,
+        store: Optional[CheckpointStore] = None,
+        snapshot_every_chunks: Optional[int] = None,
+        max_ecdf_samples: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if snapshot_every_chunks is not None and snapshot_every_chunks < 1:
+            raise ValueError("snapshot_every_chunks must be >= 1")
+        if max_ecdf_samples is not None and max_ecdf_samples < 2:
+            raise ValueError("max_ecdf_samples must be >= 2")
+        self.timeout = float(timeout)
+        self.dark_size = int(dark_size)
+        self.config = config or DetectionConfig()
+        self.day_seconds = float(day_seconds)
+        self.workers = int(workers)
+        self.telemetry = telemetry
+        self.store = store
+        self.snapshot_every_chunks = snapshot_every_chunks
+        self.max_ecdf_samples = max_ecdf_samples
+        self._detectors: List[StreamingDetector] = [
+            self._new_detector() for _ in range(self.workers)
+        ]
+        #: set only by :meth:`from_shards` — switches :meth:`finish`
+        #: into the pool path's telemetry accounting.
+        self._worker_reports: Optional[list] = None
+        self._chunks_ingested = 0
+        self._chunks_since_snapshot = 0
+        self._degraded = False
+        self._finished = False
+
+    def _new_detector(self) -> StreamingDetector:
+        return StreamingDetector(
+            self.timeout, self.dark_size, self.config, self.day_seconds
+        )
+
+    # ------------------------------------------------------------------
+    # Construction from already-run shard states (the offline pool path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_shards(
+        cls,
+        shard_results: Sequence[tuple],
+        telemetry: Optional[PipelineTelemetry] = None,
+    ) -> "DetectionEngine":
+        """Adopt ``(detector, report)`` pairs produced by a worker pool.
+
+        The pairs must be in shard-index order (``run_sharded``
+        guarantees it); :meth:`finish` then merges and accounts exactly
+        as the pre-engine ``_finish_merged`` did, keeping pool runs
+        bit-identical to serial ones.
+        """
+        if not shard_results:
+            raise ValueError("need at least one shard result to adopt")
+        detectors = [detector for detector, _ in shard_results]
+        first = detectors[0]
+        engine = cls(
+            first.builder.timeout,
+            first.dark_size,
+            first.config,
+            first.day_seconds,
+            workers=len(detectors),
+            telemetry=telemetry,
+        )
+        engine._detectors = detectors
+        engine._worker_reports = [report for _, report in shard_results]
+        return engine
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    @property
+    def packets_seen(self) -> int:
+        return sum(d.packets_seen for d in self._detectors)
+
+    @property
+    def events_finalized(self) -> int:
+        return sum(d.events_finalized for d in self._detectors)
+
+    @property
+    def open_flows(self) -> int:
+        return sum(d.open_flows for d in self._detectors)
+
+    @property
+    def peak_open_flows(self) -> int:
+        return sum(d.peak_open_flows for d in self._detectors)
+
+    @property
+    def watermark(self) -> Optional[float]:
+        marks = [
+            d.watermark for d in self._detectors if d.watermark is not None
+        ]
+        return max(marks) if marks else None
+
+    @property
+    def chunks_ingested(self) -> int:
+        return self._chunks_ingested
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, chunk) -> ChunkReport:
+        """Fold one time-ordered capture chunk into the shard pool.
+
+        ``chunk`` is a :class:`~repro.packet.PacketBatch` or anything
+        with ``.packets`` (and optionally ``.end``, the chunk's window
+        edge — used for watermark-lag accounting), e.g. the
+        :class:`~repro.telescope.capture.CaptureChunk` objects that
+        :meth:`Telescope.stream` yields.
+        """
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        batch = getattr(chunk, "packets", chunk)
+        t0 = time.perf_counter()
+        if self.workers == 1:
+            report = self._detectors[0].add_batch(batch)
+            packets = report.packets
+            finalized = report.events_finalized
+            open_flows = report.open_flows
+            watermark = report.watermark
+        else:
+            from repro.parallel import shard_batch
+
+            finalized = 0
+            for detector, sub in zip(
+                self._detectors, shard_batch(batch, self.workers)
+            ):
+                if len(sub):
+                    finalized += detector.add_batch(sub).events_finalized
+            packets = len(batch)
+            open_flows = self.open_flows
+            watermark = self.watermark
+        if self.max_ecdf_samples is not None:
+            for detector in self._detectors:
+                if detector.bound_volume_samples(self.max_ecdf_samples):
+                    self._degraded = True
+        seconds = time.perf_counter() - t0
+        if self.telemetry is not None:
+            self.telemetry.stage("detect").add(packets, finalized, seconds)
+            window_end = getattr(chunk, "end", None)
+            self.telemetry.record_chunk(
+                packets=packets,
+                events_finalized=finalized,
+                open_flows=open_flows,
+                window_end=(
+                    window_end
+                    if window_end is not None
+                    else (watermark if watermark is not None else 0.0)
+                ),
+                watermark=watermark,
+            )
+        self._chunks_ingested += 1
+        self._chunks_since_snapshot += 1
+        if (
+            self.store is not None
+            and self.snapshot_every_chunks is not None
+            and self._chunks_since_snapshot >= self.snapshot_every_chunks
+        ):
+            self.save_snapshot()
+        return ChunkReport(
+            packets=packets,
+            events_finalized=finalized,
+            open_flows=open_flows,
+            watermark=watermark,
+        )
+
+    # ------------------------------------------------------------------
+    # Query (live) and finish (terminal)
+    # ------------------------------------------------------------------
+    def _merged_copy(self) -> StreamingDetector:
+        """A merged deep copy of the shard states (live state untouched).
+
+        The copy goes through ``to_bytes``/``from_bytes`` — the exact
+        serialization snapshots and checkpoints use, so a query answers
+        from the same bytes a restore would.
+        """
+        copies = [
+            StreamingDetector.from_bytes(d.to_bytes())
+            for d in self._detectors
+        ]
+        merged = copies[0]
+        for other in copies[1:]:
+            merged.merge(other)
+        return merged
+
+    def query(self) -> EngineQuery:
+        """Detections over everything ingested so far, without ending
+        the stream: open flows are flushed and thresholds derived on a
+        *copy* of the merged shard state, exactly as :meth:`finish`
+        would — the answer equals an offline run over the traffic seen
+        so far — and the live state keeps accepting chunks."""
+        packets = self.packets_seen
+        finalized = self.events_finalized
+        open_flows = self.open_flows
+        watermark = self.watermark
+        events, detections = self._merged_copy().finish()
+        return EngineQuery(
+            detections=detections,
+            events=len(events),
+            packets=packets,
+            events_finalized=finalized,
+            open_flows=open_flows,
+            watermark=watermark,
+            chunks=self._chunks_ingested,
+            degraded=self._degraded,
+        )
+
+    def status(self) -> dict:
+        """Cheap counters for health endpoints (no merge, no flush)."""
+        return {
+            "packets": self.packets_seen,
+            "events_finalized": self.events_finalized,
+            "open_flows": self.open_flows,
+            "peak_open_flows": self.peak_open_flows,
+            "watermark": self.watermark,
+            "chunks": self._chunks_ingested,
+            "workers": self.workers,
+            "degraded": self._degraded,
+            "finished": self._finished,
+        }
+
+    def finish(self) -> Tuple[EventTable, Dict[int, DetectionResult]]:
+        """Flush all shards, merge in shard order, detect once.
+
+        Terminal: the engine accepts no further chunks.  Telemetry
+        accounting reproduces the pre-engine run paths exactly — the
+        pool path (``from_shards``) records worker stats and a merge
+        stage; the local path records the flush into the detect stage.
+        """
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        t0 = time.perf_counter()
+        merged = self._detectors[0]
+        for other in self._detectors[1:]:
+            merged.merge(other)
+        events, detections = merged.finish()
+        merge_seconds = time.perf_counter() - t0
+        self._detectors = [merged]
+        self._finished = True
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if self._worker_reports is not None:
+                reports = self._worker_reports
+                for report in reports:
+                    telemetry.record_worker(
+                        shard=report.shard,
+                        packets=report.packets,
+                        events=report.events_finalized,
+                        peak_open_flows=report.peak_open_flows,
+                        seconds=report.seconds,
+                        generate_seconds=report.generate_seconds,
+                    )
+                generate_seconds = sum(r.generate_seconds for r in reports)
+                if generate_seconds > 0.0:
+                    total_packets = sum(r.packets for r in reports)
+                    telemetry.stage("generate").add(
+                        total_packets, total_packets, generate_seconds
+                    )
+                telemetry.stage("merge").add(
+                    sum(r.events_finalized for r in reports),
+                    len(events),
+                    merge_seconds,
+                )
+                telemetry.total_events = len(events)
+                telemetry.final_open_flows = merged.open_flows
+                if merged.watermark is not None:
+                    telemetry.watermark = merged.watermark
+            else:
+                flush_events = len(events) - telemetry.total_events
+                telemetry.stage("detect").add(0, flush_events, merge_seconds)
+                telemetry.total_events = len(events)
+                telemetry.peak_open_flows = max(
+                    telemetry.peak_open_flows, merged.peak_open_flows
+                )
+                telemetry.final_open_flows = merged.open_flows
+        return events, detections
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the whole live engine (config + all shard states).
+
+        The payload is a versioned header plus a pickle whose detector
+        states are themselves ``StreamingDetector.to_bytes`` blobs —
+        restoring re-validates each shard's own version header too.
+        """
+        if self._finished:
+            raise RuntimeError("cannot snapshot a finished engine")
+        payload = {
+            "timeout": self.timeout,
+            "dark_size": self.dark_size,
+            "config": self.config,
+            "day_seconds": self.day_seconds,
+            "workers": self.workers,
+            "chunks": self._chunks_ingested,
+            "degraded": self._degraded,
+            "max_ecdf_samples": self.max_ecdf_samples,
+            "detectors": [d.to_bytes() for d in self._detectors],
+        }
+        return ENGINE_STATE_MAGIC + pickle.dumps(payload, protocol=4)
+
+    @classmethod
+    def restore(
+        cls,
+        data: bytes,
+        *,
+        telemetry: Optional[PipelineTelemetry] = None,
+        store: Optional[CheckpointStore] = None,
+        snapshot_every_chunks: Optional[int] = None,
+    ) -> "DetectionEngine":
+        """Rebuild an engine serialized by :meth:`snapshot`.
+
+        Raises ``ValueError`` on a missing or mismatched version header
+        — a snapshot from a different state version must be discarded,
+        never half-loaded.
+        """
+        if not data.startswith(ENGINE_STATE_MAGIC):
+            raise ValueError(
+                "not a serialized DetectionEngine snapshot (missing or "
+                f"mismatched header; expected {ENGINE_STATE_MAGIC!r})"
+            )
+        payload = pickle.loads(data[len(ENGINE_STATE_MAGIC):])
+        engine = cls(
+            payload["timeout"],
+            payload["dark_size"],
+            payload["config"],
+            payload["day_seconds"],
+            workers=payload["workers"],
+            telemetry=telemetry,
+            store=store,
+            snapshot_every_chunks=snapshot_every_chunks,
+            max_ecdf_samples=payload["max_ecdf_samples"],
+        )
+        engine._detectors = [
+            StreamingDetector.from_bytes(blob)
+            for blob in payload["detectors"]
+        ]
+        engine._chunks_ingested = int(payload["chunks"])
+        engine._degraded = bool(payload["degraded"])
+        return engine
+
+    def save_snapshot(self) -> Path:
+        """Write a snapshot through the attached checkpoint store."""
+        if self.store is None:
+            raise RuntimeError("engine has no checkpoint store attached")
+        path = self.store.save(ENGINE_CKPT_KIND, 0, self.snapshot())
+        self._chunks_since_snapshot = 0
+        return path
+
+    @classmethod
+    def from_store(
+        cls,
+        store: CheckpointStore,
+        *,
+        telemetry: Optional[PipelineTelemetry] = None,
+        snapshot_every_chunks: Optional[int] = None,
+    ) -> Optional["DetectionEngine"]:
+        """Restore the last snapshot in ``store``, or ``None`` if there
+        is none (or it is damaged — accounted on the store's health)."""
+        payload = store.load(ENGINE_CKPT_KIND, 0)
+        if payload is None:
+            return None
+        return cls.restore(
+            payload,
+            telemetry=telemetry,
+            store=store,
+            snapshot_every_chunks=snapshot_every_chunks,
+        )

@@ -131,6 +131,17 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> str:
     return sha256_hex(data)
 
 
+def atomic_write_json(path: Union[str, Path], obj) -> str:
+    """Crash-safe JSON write (sorted keys, indented); returns digest.
+
+    Used for small registry files that must never be observed
+    half-written — e.g. the tenant registry the :mod:`repro.serve`
+    service re-reads on boot to restore its tenants.
+    """
+    data = json.dumps(obj, indent=2, sort_keys=True).encode()
+    return atomic_write_bytes(path, data)
+
+
 # ----------------------------------------------------------------------
 # Retry policy
 # ----------------------------------------------------------------------

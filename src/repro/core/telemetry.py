@@ -195,6 +195,10 @@ class RunHealth:
         return rows
 
     def as_dict(self) -> dict:
+        """The full health block, with every key present even when all
+        counters are zero — JSON consumers (the bench matrix files, the
+        service's ``/health`` endpoint) must never key-error on a clean
+        run."""
         return {
             "retries": self.retries,
             "respawns": self.respawns,
@@ -202,7 +206,9 @@ class RunHealth:
             "checkpoint_hits": self.checkpoint_hits,
             "checkpoint_writes": self.checkpoint_writes,
             "checkpoint_corrupt": self.checkpoint_corrupt,
+            "quarantined": self.quarantined,
             "quarantined_chunks": list(self.quarantined_chunks),
+            "any_events": self.any_events(),
         }
 
 

@@ -58,6 +58,31 @@ def _packets_npz_bytes(batch: PacketBatch) -> bytes:
     return buffer.getvalue()
 
 
+def packets_to_npz_bytes(batch: PacketBatch) -> bytes:
+    """Serialize a packet batch to npz archive bytes.
+
+    The byte-level twin of :func:`save_packets_npz` — the same
+    magic-tagged archive, returned instead of written.  This is the
+    chunk-ingest wire format of the :mod:`repro.serve` service: clients
+    POST exactly these bytes, so a chunk file written by
+    ``save_packets_chunked`` can be replayed to a server verbatim.
+    """
+    return _packets_npz_bytes(batch)
+
+
+def packets_from_npz_bytes(
+    data: bytes, label: str = "<bytes>"
+) -> PacketBatch:
+    """Parse npz archive bytes back into a packet batch.
+
+    Raises :class:`~repro.core.faults.ChunkCorruptionError` (with
+    ``label`` in the message) on a truncated, altered, or mis-tagged
+    payload — the server rejects such chunks without touching detector
+    state.
+    """
+    return _parse_packets_npz(data, Path(label))
+
+
 def save_packets_npz(batch: PacketBatch, path: Union[str, Path]) -> str:
     """Write a packet batch to a compressed ``.npz`` archive.
 

@@ -62,6 +62,7 @@ from repro.core.faults import (
     run_sharded,
     sha256_hex,
 )
+from repro.core.engine import DetectionEngine
 from repro.core.streaming import StreamingDetector
 from repro.core.telemetry import PipelineTelemetry, RunHealth
 from repro.packet import PacketBatch
@@ -273,37 +274,18 @@ def _finish_merged(
     shard_results: List[Tuple[StreamingDetector, WorkerReport]],
     telemetry: Optional[PipelineTelemetry],
 ) -> ParallelResult:
-    """Merge shard states (in shard order), finish once, fold telemetry."""
-    reports = [report for _, report in shard_results]
-    t0 = time.perf_counter()
-    merged = merge_detectors([detector for detector, _ in shard_results])
-    events, detections = merged.finish()
-    merge_seconds = time.perf_counter() - t0
-    if telemetry is not None:
-        for report in reports:
-            telemetry.record_worker(
-                shard=report.shard,
-                packets=report.packets,
-                events=report.events_finalized,
-                peak_open_flows=report.peak_open_flows,
-                seconds=report.seconds,
-                generate_seconds=report.generate_seconds,
-            )
-        generate_seconds = sum(r.generate_seconds for r in reports)
-        if generate_seconds > 0.0:
-            total_packets = sum(r.packets for r in reports)
-            telemetry.stage("generate").add(
-                total_packets, total_packets, generate_seconds
-            )
-        telemetry.stage("merge").add(
-            sum(r.events_finalized for r in reports), len(events), merge_seconds
-        )
-        telemetry.total_events = len(events)
-        telemetry.final_open_flows = merged.open_flows
-        if merged.watermark is not None:
-            telemetry.watermark = merged.watermark
+    """Merge shard states (in shard order), finish once, fold telemetry.
+
+    A thin wrapper over :meth:`DetectionEngine.from_shards` — the merge
+    order, single finish, and worker/merge-stage telemetry accounting
+    all live in the engine now, shared with every other run path.
+    """
+    engine = DetectionEngine.from_shards(shard_results, telemetry=telemetry)
+    events, detections = engine.finish()
     return ParallelResult(
-        events=events, detections=detections, worker_reports=reports
+        events=events,
+        detections=detections,
+        worker_reports=[report for _, report in shard_results],
     )
 
 

@@ -1,0 +1,17 @@
+"""The always-on detection service.
+
+Three pieces, layered over :class:`repro.core.engine.DetectionEngine`:
+
+* :mod:`repro.serve.tenants` — one isolated engine per telescope
+  ("tenant"), with per-tenant memory budgets and snapshot stores.
+* :mod:`repro.serve.server` — an asyncio HTTP server ingesting npz
+  packet chunks for many tenants concurrently, with bounded queues
+  (back-pressure via 429), periodic snapshots, and live AH queries.
+* :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` — a stdlib
+  client and a load generator used by benchmarks and the serve-smoke
+  CI job.
+"""
+
+from repro.serve.tenants import Tenant, TenantConfig, TenantRegistry
+
+__all__ = ["Tenant", "TenantConfig", "TenantRegistry"]

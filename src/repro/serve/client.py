@@ -1,0 +1,166 @@
+"""A stdlib HTTP client for the ingestion service.
+
+Small and dependency-free (``http.client``) so benchmarks, tests and
+the serve-smoke CI job can drive a server without anything the repo
+does not already ship.  One :class:`ServeClient` holds one keep-alive
+connection; responses come back as ``(status, payload)`` with the JSON
+already decoded.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Optional, Tuple
+
+from repro.io.packetlog import packets_to_npz_bytes
+from repro.serve.tenants import TenantConfig
+
+
+class ServeError(RuntimeError):
+    """A non-retryable error response from the server."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """One connection to one server."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8377, timeout: float = 60.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, dict]:
+        """One round-trip; reconnects once on a dropped connection."""
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body or None)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                ConnectionError,
+                http.client.HTTPException,
+                OSError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            payload = json.loads(data) if data else {}
+        except ValueError:
+            payload = {"raw": data.decode("latin-1", errors="replace")}
+        return response.status, payload
+
+    def _checked(self, method: str, path: str, body: bytes = b"") -> dict:
+        status, payload = self.request(method, path, body)
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._checked("GET", "/health")
+
+    def create_tenant(self, tenant_id: str, config: TenantConfig) -> dict:
+        return self._checked(
+            "PUT",
+            f"/tenants/{tenant_id}",
+            json.dumps(config.as_dict()).encode(),
+        )
+
+    def delete_tenant(self, tenant_id: str) -> dict:
+        return self._checked("DELETE", f"/tenants/{tenant_id}")
+
+    def ingest(self, tenant_id: str, batch) -> Tuple[int, dict]:
+        """POST one chunk; returns the raw ``(status, payload)``.
+
+        ``batch`` is a :class:`~repro.packet.PacketBatch` (serialized
+        here) or ready-made npz bytes.  A 429 comes back to the caller
+        — retry/slow-down policy belongs to the driver (see
+        :func:`repro.serve.loadgen.drive`).
+        """
+        body = (
+            batch if isinstance(batch, bytes) else packets_to_npz_bytes(batch)
+        )
+        return self.request("POST", f"/tenants/{tenant_id}/chunks", body)
+
+    def ingest_blocking(
+        self,
+        tenant_id: str,
+        batch,
+        max_retries: int = 200,
+        backoff: float = 0.05,
+    ) -> int:
+        """Ingest with 429 slow-down; returns the number of retries."""
+        body = (
+            batch if isinstance(batch, bytes) else packets_to_npz_bytes(batch)
+        )
+        retries = 0
+        while True:
+            status, payload = self.ingest(tenant_id, body)
+            if status == 202:
+                return retries
+            if status != 429:
+                raise ServeError(status, payload)
+            if retries >= max_retries:
+                raise ServeError(status, payload)
+            retries += 1
+            time.sleep(float(payload.get("retry_after", backoff)))
+
+    def query_ah(
+        self, tenant_id: str, definition: Optional[int] = None
+    ) -> dict:
+        suffix = f"?definition={definition}" if definition is not None else ""
+        return self._checked("GET", f"/tenants/{tenant_id}/ah{suffix}")
+
+    def ah_sources(self, tenant_id: str, definition: int = 1) -> set:
+        """The current AH set, as a set of ints."""
+        payload = self.query_ah(tenant_id, definition)
+        return set(payload["detections"][str(definition)]["sources"])
+
+    def status(self, tenant_id: str) -> dict:
+        return self._checked("GET", f"/tenants/{tenant_id}/status")
+
+    def snapshot(self, tenant_id: str) -> dict:
+        return self._checked("POST", f"/tenants/{tenant_id}/snapshot")
+
+    def sync(self, tenant_id: str) -> dict:
+        """Barrier: returns once every previously accepted chunk for
+        the tenant has been folded into its engine."""
+        return self._checked("POST", f"/tenants/{tenant_id}/sync")
+
+    def recycle(self, tenant_id: str) -> dict:
+        return self._checked("POST", f"/tenants/{tenant_id}/recycle")

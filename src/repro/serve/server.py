@@ -1,0 +1,553 @@
+"""The always-on ingestion server.
+
+A small asyncio HTTP/1.1 server (stdlib only — ``asyncio.start_server``
+plus a hand-rolled request loop, no web framework) that keeps one
+:class:`~repro.serve.tenants.Tenant` per telescope alive and answers
+AH queries from live detector state.
+
+Concurrency model — one bounded queue and one worker task per tenant:
+
+* The HTTP handlers never touch detector state.  ``POST .../chunks``
+  only enqueues the raw npz bytes; when the tenant's queue is full the
+  server answers **429** with a ``Retry-After`` hint instead of
+  buffering unboundedly — back-pressure reaches the client, memory
+  stays bounded.
+* The tenant worker drains its queue in order, running the CPU-bound
+  parse+ingest on a thread pool.  Queries, snapshots, recycles, and
+  sync barriers travel *through the same queue*, so they observe
+  exactly the chunks accepted before them and never race an ingest on
+  the same engine.  Tenants only share the thread pool — one tenant's
+  backlog never blocks another's queries.
+* Periodic snapshots ride on the engine's own chunk-count scheduling
+  (:class:`~repro.core.faults.CheckpointStore` underneath); a killed
+  server restarts from the last verified snapshot via
+  :meth:`TenantRegistry.restore_all`.
+
+Endpoints (all JSON except the chunk body, which is the npz wire
+format of :func:`repro.io.packetlog.packets_to_npz_bytes`):
+
+==========================================  =================================
+``GET  /health``                            service + per-tenant health
+``PUT  /tenants/<id>``                      create tenant (TenantConfig JSON)
+``DELETE /tenants/<id>``                    forget tenant
+``POST /tenants/<id>/chunks``               ingest one npz chunk (202/429)
+``GET  /tenants/<id>/ah[?definition=N]``    AH sets from merged shard state
+``GET  /tenants/<id>/status``               cheap counters (no merge)
+``POST /tenants/<id>/snapshot``             force a snapshot, return path
+``POST /tenants/<id>/sync``                 barrier: drain queued chunks
+``POST /tenants/<id>/recycle``              rebuild engine from snapshot
+==========================================  =================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.io.packetlog import packets_from_npz_bytes
+from repro.serve.tenants import Tenant, TenantConfig, TenantRegistry
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Retry-After hint (seconds) sent with 429 responses.
+RETRY_AFTER_SECONDS = 0.05
+
+#: Hard cap on a single request body (64 MiB) — a malformed
+#: Content-Length must not make the server allocate unboundedly.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _detections_payload(query, definition: Optional[int]) -> dict:
+    """JSON-shape an EngineQuery (sources as sorted ints)."""
+    wanted = (
+        [definition] if definition is not None else sorted(query.detections)
+    )
+    detections = {}
+    for d in wanted:
+        result = query.detections[d]
+        detections[str(d)] = {
+            "definition": d,
+            "count": len(result.sources),
+            "threshold": result.threshold,
+            "sources": sorted(int(s) for s in result.sources),
+        }
+    return {
+        "detections": detections,
+        "events": query.events,
+        "packets": query.packets,
+        "open_flows": query.open_flows,
+        "watermark": query.watermark,
+        "chunks": query.chunks,
+        "degraded": query.degraded,
+    }
+
+
+class ScannerServer:
+    """One server instance bound to a registry.
+
+    Use :meth:`start`/:meth:`stop` from an asyncio context, or the
+    :class:`ServerThread` wrapper (tests) / :func:`run_server` (CLI).
+    """
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        unix_socket: Optional[str] = None,
+        ingest_threads: int = 2,
+        restore: bool = True,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self.restore = restore
+        self._executor = ThreadPoolExecutor(
+            max_workers=ingest_threads, thread_name_prefix="repro-ingest"
+        )
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._workers: Dict[str, asyncio.Task] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self.restore:
+            loop = asyncio.get_running_loop()
+            # Snapshot loading is blocking I/O + unpickling; keep it
+            # off the event loop.
+            await loop.run_in_executor(
+                self._executor, self.registry.restore_all
+            )
+        for tenant_id in self.registry.ids():
+            self._ensure_worker(tenant_id)
+        if self.unix_socket is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.unix_socket
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, snapshot: bool = True) -> None:
+        """Graceful shutdown: drain queues, snapshot, close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for queue in self._queues.values():
+            await queue.join()
+        for task in self._workers.values():
+            task.cancel()
+        for task in self._workers.values():
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers.clear()
+        if snapshot:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._executor, self.registry.snapshot_all
+            )
+        self._executor.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Per-tenant queue + worker
+    # ------------------------------------------------------------------
+    def _ensure_worker(self, tenant_id: str) -> asyncio.Queue:
+        if tenant_id not in self._queues:
+            tenant = self.registry.get(tenant_id)
+            depth = tenant.config.queue_depth if tenant else 8
+            self._queues[tenant_id] = asyncio.Queue(maxsize=depth)
+            self._workers[tenant_id] = asyncio.get_running_loop().create_task(
+                self._tenant_worker(tenant_id)
+            )
+        return self._queues[tenant_id]
+
+    def _drop_worker(self, tenant_id: str) -> None:
+        self._queues.pop(tenant_id, None)
+        task = self._workers.pop(tenant_id, None)
+        if task is not None:
+            task.cancel()
+
+    async def _tenant_worker(self, tenant_id: str) -> None:
+        """Drain one tenant's queue in order, forever."""
+        queue = self._queues[tenant_id]
+        loop = asyncio.get_running_loop()
+        while True:
+            kind, payload, future = await queue.get()
+            tenant = self.registry.get(tenant_id)
+            try:
+                if tenant is None:
+                    raise RuntimeError(f"tenant {tenant_id!r} was removed")
+                result = None
+                if kind == "chunk":
+                    await loop.run_in_executor(
+                        self._executor, self._ingest_bytes, tenant, payload
+                    )
+                elif kind == "query":
+                    result = await loop.run_in_executor(
+                        self._executor, tenant.query
+                    )
+                elif kind == "snapshot":
+                    result = await loop.run_in_executor(
+                        self._executor, tenant.save_snapshot
+                    )
+                elif kind == "recycle":
+                    await loop.run_in_executor(
+                        self._executor, tenant.recycle
+                    )
+                # "sync" needs no work: reaching it proves every prior
+                # item in the queue was processed.
+                if future is not None and not future.cancelled():
+                    future.set_result(result)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — fault isolation
+                if tenant is not None:
+                    tenant.record_error(f"{kind}: {exc}")
+                if future is not None and not future.cancelled():
+                    future.set_exception(exc)
+            finally:
+                queue.task_done()
+
+    @staticmethod
+    def _ingest_bytes(tenant: Tenant, payload: bytes) -> None:
+        batch = packets_from_npz_bytes(
+            payload, label=f"tenant:{tenant.tenant_id}"
+        )
+        tenant.ingest(batch)
+
+    async def _submit(self, tenant_id: str, kind: str):
+        """Queue a command and wait for the worker to reach it."""
+        queue = self._ensure_worker(tenant_id)
+        future = asyncio.get_running_loop().create_future()
+        await queue.put((kind, None, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _ = (
+                        request_line.decode("latin-1").split(None, 2)
+                    )
+                except ValueError:
+                    break
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if not 0 <= length <= MAX_BODY_BYTES:
+                    self._write_response(
+                        writer, 400, {"error": "bad content-length"}
+                    )
+                    await writer.drain()
+                    break
+                body = await reader.readexactly(length) if length else b""
+                try:
+                    status, payload, extra = await self._route(
+                        method.upper(), target, body
+                    )
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    status, payload, extra = (
+                        500,
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                        {},
+                    )
+                self._write_response(writer, status, payload, extra)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _write_response(
+        writer, status: int, payload: dict, extra: Optional[dict] = None
+    ) -> None:
+        data = json.dumps(payload).encode()
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(data)),
+        }
+        if extra:
+            headers.update(extra)
+        head = f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        writer.write(head.encode("latin-1") + b"\r\n" + data)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict, dict]:
+        parts = urlsplit(target)
+        path = [p for p in parts.path.split("/") if p]
+        params = parse_qs(parts.query)
+
+        if path == ["health"]:
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}
+            return 200, self._health_payload(), {}
+
+        if not path or path[0] != "tenants":
+            return 404, {"error": f"no such route: {parts.path}"}, {}
+        if len(path) < 2:
+            if method == "GET":
+                return 200, {"tenants": self.registry.ids()}, {}
+            return 405, {"error": "GET only"}, {}
+
+        tenant_id = path[1]
+        action = path[2] if len(path) > 2 else None
+
+        if action is None:
+            return await self._route_tenant(method, tenant_id, body)
+
+        tenant = self.registry.get(tenant_id)
+        if tenant is None:
+            return 404, {"error": f"unknown tenant: {tenant_id}"}, {}
+
+        if action == "chunks" and method == "POST":
+            return self._enqueue_chunk(tenant, body)
+        if action == "ah" and method == "GET":
+            definition = None
+            if "definition" in params:
+                try:
+                    definition = int(params["definition"][0])
+                except ValueError:
+                    return 400, {"error": "definition must be an int"}, {}
+                if definition not in (1, 2, 3):
+                    return 400, {"error": "definition must be 1, 2 or 3"}, {}
+            query = await self._submit(tenant.tenant_id, "query")
+            return 200, _detections_payload(query, definition), {}
+        if action == "status" and method == "GET":
+            status = tenant.status()
+            queue = self._queues.get(tenant_id)
+            status["queued"] = queue.qsize() if queue is not None else 0
+            return 200, status, {}
+        if action == "snapshot" and method == "POST":
+            path_str = await self._submit(tenant.tenant_id, "snapshot")
+            if path_str is None:
+                return 409, {"error": "tenant has no snapshot store"}, {}
+            return 200, {"snapshot": path_str}, {}
+        if action == "sync" and method == "POST":
+            await self._submit(tenant.tenant_id, "sync")
+            return 200, {"synced": True}, {}
+        if action == "recycle" and method == "POST":
+            await self._submit(tenant.tenant_id, "recycle")
+            return 200, {"recycles": tenant.recycles}, {}
+        return 404, {"error": f"no such action: {action}"}, {}
+
+    async def _route_tenant(
+        self, method: str, tenant_id: str, body: bytes
+    ) -> Tuple[int, dict, dict]:
+        if method == "PUT":
+            try:
+                config = TenantConfig.from_dict(
+                    json.loads(body.decode() or "{}")
+                )
+            except (ValueError, TypeError) as exc:
+                return 400, {"error": f"bad tenant config: {exc}"}, {}
+            created = tenant_id not in self.registry
+            try:
+                tenant = self.registry.create(tenant_id, config)
+            except ValueError as exc:
+                return 409, {"error": str(exc)}, {}
+            self._ensure_worker(tenant_id)
+            return (
+                201 if created else 200,
+                {"tenant": tenant_id, "config": tenant.config.as_dict()},
+                {},
+            )
+        if method == "GET":
+            tenant = self.registry.get(tenant_id)
+            if tenant is None:
+                return 404, {"error": f"unknown tenant: {tenant_id}"}, {}
+            return (
+                200,
+                {"tenant": tenant_id, "config": tenant.config.as_dict()},
+                {},
+            )
+        if method == "DELETE":
+            if not self.registry.remove(tenant_id):
+                return 404, {"error": f"unknown tenant: {tenant_id}"}, {}
+            self._drop_worker(tenant_id)
+            return 200, {"removed": tenant_id}, {}
+        return 405, {"error": "PUT, GET or DELETE"}, {}
+
+    def _enqueue_chunk(
+        self, tenant: Tenant, body: bytes
+    ) -> Tuple[int, dict, dict]:
+        if not body:
+            return 400, {"error": "empty chunk body"}, {}
+        queue = self._ensure_worker(tenant.tenant_id)
+        try:
+            queue.put_nowait(("chunk", body, None))
+        except asyncio.QueueFull:
+            return (
+                429,
+                {
+                    "error": "ingest queue full",
+                    "retry_after": RETRY_AFTER_SECONDS,
+                },
+                {"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        return 202, {"queued": queue.qsize()}, {}
+
+    def _health_payload(self) -> dict:
+        tenants = {}
+        for tenant_id in self.registry.ids():
+            tenant = self.registry.get(tenant_id)
+            queue = self._queues.get(tenant_id)
+            tenants[tenant_id] = {
+                "chunks": tenant.engine.chunks_ingested,
+                "packets": tenant.engine.packets_seen,
+                "queued": queue.qsize() if queue is not None else 0,
+                "errors": len(tenant.errors),
+                "degraded": tenant.engine.degraded,
+                "recycles": tenant.recycles,
+                "health": tenant.telemetry.health.as_dict(),
+            }
+        return {"ok": True, "tenants": tenants}
+
+
+# ----------------------------------------------------------------------
+# Blocking entry points
+# ----------------------------------------------------------------------
+
+
+def run_server(
+    snapshot_dir: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 8377,
+    *,
+    unix_socket: Optional[str] = None,
+    ingest_threads: int = 2,
+    ready: Optional[callable] = None,
+) -> None:
+    """Run a server until interrupted (the ``repro serve`` CLI path).
+
+    ``ready`` (if given) is called with the bound ``(host, port)`` once
+    the socket is listening — the serve-smoke driver uses it to print a
+    parseable readiness line.
+    """
+
+    async def _main():
+        registry = TenantRegistry(snapshot_dir)
+        server = ScannerServer(
+            registry,
+            host,
+            port,
+            unix_socket=unix_socket,
+            ingest_threads=ingest_threads,
+        )
+        await server.start()
+        if ready is not None:
+            ready((server.host, server.port))
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """A server on a background thread (tests and in-process drivers).
+
+    ``start`` returns the bound ``(host, port)``; ``stop`` shuts the
+    server down gracefully (drain + snapshot) and joins the thread.
+    """
+
+    def __init__(self, registry: TenantRegistry, **kwargs):
+        self.registry = registry
+        self.kwargs = kwargs
+        self.server: Optional[ScannerServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    def start(self) -> Tuple[str, int]:
+        self._loop = asyncio.new_event_loop()
+
+        def _run():
+            asyncio.set_event_loop(self._loop)
+            self.server = ScannerServer(self.registry, **self.kwargs)
+            self._loop.run_until_complete(self.server.start())
+            self._started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        return self.server.host, self.server.port
+
+    def stop(self, snapshot: bool = True) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(snapshot=snapshot), self._loop
+        )
+        future.result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None

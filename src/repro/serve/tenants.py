@@ -1,0 +1,293 @@
+"""Tenant isolation: one detection engine per telescope.
+
+A *tenant* is one telescope feeding the service — its own detector
+state, its own telemetry/health, its own snapshot directory, its own
+memory budget.  Nothing is shared between tenants except the process:
+a tenant whose ECDF sample is degraded, whose chunks are corrupt, or
+whose engine is recycled never perturbs another tenant's results.
+
+The registry persists tenant configurations to ``tenants.json``
+(written atomically) next to the per-tenant snapshot directories, so a
+restarted server rebuilds every tenant — engine state included, from
+each tenant's last engine snapshot — before accepting traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.config import DetectionConfig
+from repro.core.engine import DetectionEngine, EngineQuery
+from repro.core.faults import CheckpointStore, atomic_write_json
+from repro.core.telemetry import PipelineTelemetry
+
+#: Registry filename under the snapshot root.
+REGISTRY_NAME = "tenants.json"
+_REGISTRY_MAGIC = "repro-tenant-registry-v1"
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Everything needed to (re)build one tenant's engine.
+
+    Mirrors the :class:`DetectionEngine` constructor; the service keeps
+    it JSON-serializable so a restarted server can rebuild tenants from
+    the registry file alone.
+    """
+
+    #: flow idle timeout (seconds) for event building.
+    timeout: float
+    #: dark addresses the tenant's telescope observes.
+    dark_size: int
+    #: scenario/calendar day length (thresholds are per-day).
+    day_seconds: float = 86_400.0
+    #: detector shards inside the tenant's engine.
+    workers: int = 1
+    #: detection thresholds; ``None`` uses the paper's defaults.
+    detection: Optional[DetectionConfig] = None
+    #: per-tenant volume-ECDF sample budget (``None`` = exact/unbounded).
+    max_ecdf_samples: Optional[int] = None
+    #: snapshot cadence, in ingested chunks (``None`` = only explicit).
+    snapshot_every_chunks: Optional[int] = 16
+    #: bounded ingest-queue depth before the server answers 429.
+    queue_depth: int = 8
+
+    def as_dict(self) -> dict:
+        d = asdict(self)
+        if self.detection is not None:
+            d["detection"] = asdict(self.detection)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TenantConfig":
+        d = dict(d)
+        if d.get("detection") is not None:
+            d["detection"] = DetectionConfig(**d["detection"])
+        return cls(**d)
+
+
+@dataclass
+class Tenant:
+    """One tenant: an engine plus its telemetry and snapshot store."""
+
+    tenant_id: str
+    config: TenantConfig
+    engine: DetectionEngine
+    telemetry: PipelineTelemetry
+    store: Optional[CheckpointStore] = None
+    #: ingest failures (message strings), newest last; capped.
+    errors: List[str] = field(default_factory=list)
+    #: engines rebuilt from snapshot (graceful recycling).
+    recycles: int = 0
+
+    _MAX_ERRORS = 32
+
+    def ingest(self, batch) -> None:
+        """Fold one chunk into the tenant's engine (synchronous)."""
+        self.engine.ingest(batch)
+
+    def query(self) -> EngineQuery:
+        return self.engine.query()
+
+    def status(self) -> dict:
+        status = self.engine.status()
+        status.update(
+            tenant=self.tenant_id,
+            recycles=self.recycles,
+            errors=list(self.errors),
+            health=self.telemetry.health.as_dict(),
+        )
+        return status
+
+    def record_error(self, message: str) -> None:
+        self.errors.append(message)
+        del self.errors[: -self._MAX_ERRORS]
+
+    def save_snapshot(self) -> Optional[str]:
+        """Persist the engine now; returns the checkpoint path."""
+        if self.store is None:
+            return None
+        return str(self.engine.save_snapshot())
+
+    def recycle(self) -> None:
+        """Rebuild the engine from its own snapshot bytes.
+
+        The graceful worker-recycling hook: the engine state is pushed
+        through the exact snapshot/restore path a crash would take
+        (so recycling doubles as a continuous restore test), and any
+        accumulated Python-level garbage on the old engine is dropped.
+        State, results, and telemetry accounting are unaffected —
+        pinned by tests.
+        """
+        self.engine = DetectionEngine.restore(
+            self.engine.snapshot(),
+            telemetry=self.telemetry,
+            store=self.store,
+            snapshot_every_chunks=self.config.snapshot_every_chunks,
+        )
+        self.recycles += 1
+
+
+class TenantRegistry:
+    """Creates, restores, and looks up tenants.
+
+    With ``snapshot_dir`` set, the registry is durable: tenant configs
+    live in ``<snapshot_dir>/tenants.json`` and each tenant's engine
+    snapshots under ``<snapshot_dir>/<tenant_id>/``; :meth:`restore_all`
+    rebuilds the whole fleet after a restart, resuming every engine
+    from its last verified snapshot (a missing or corrupt snapshot
+    restarts that tenant empty — and counts on its health).
+    """
+
+    def __init__(self, snapshot_dir: Optional[str] = None):
+        self.snapshot_dir = (
+            Path(snapshot_dir) if snapshot_dir is not None else None
+        )
+        self._tenants: Dict[str, Tenant] = {}
+        if self.snapshot_dir is not None:
+            self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def ids(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def get(self, tenant_id: str) -> Optional[Tenant]:
+        return self._tenants.get(tenant_id)
+
+    # ------------------------------------------------------------------
+    def create(self, tenant_id: str, config: TenantConfig) -> Tenant:
+        """Create (or idempotently re-create) a tenant.
+
+        Re-creating an existing tenant with the *same* config returns
+        it unchanged — the natural retry after a dropped connection;
+        with a different config it raises, because detector state under
+        one configuration cannot continue under another.
+        """
+        if not tenant_id or "/" in tenant_id or tenant_id.startswith("."):
+            raise ValueError(f"invalid tenant id: {tenant_id!r}")
+        existing = self._tenants.get(tenant_id)
+        if existing is not None:
+            if existing.config != config:
+                raise ValueError(
+                    f"tenant {tenant_id!r} already exists with a "
+                    "different configuration"
+                )
+            return existing
+        tenant = self._build(tenant_id, config, restore=False)
+        self._tenants[tenant_id] = tenant
+        self._persist()
+        return tenant
+
+    def remove(self, tenant_id: str) -> bool:
+        """Forget a tenant (its snapshot files are left on disk)."""
+        existed = self._tenants.pop(tenant_id, None) is not None
+        if existed:
+            self._persist()
+        return existed
+
+    # ------------------------------------------------------------------
+    def _store_for(
+        self, tenant_id: str, telemetry: PipelineTelemetry
+    ) -> Optional[CheckpointStore]:
+        if self.snapshot_dir is None:
+            return None
+        return CheckpointStore(
+            self.snapshot_dir / tenant_id, health=telemetry.health
+        )
+
+    def _build(
+        self, tenant_id: str, config: TenantConfig, restore: bool
+    ) -> Tenant:
+        telemetry = PipelineTelemetry()
+        store = self._store_for(tenant_id, telemetry)
+        engine = None
+        if restore and store is not None:
+            engine = DetectionEngine.from_store(
+                store,
+                telemetry=telemetry,
+                snapshot_every_chunks=config.snapshot_every_chunks,
+            )
+        if engine is None:
+            engine = DetectionEngine(
+                config.timeout,
+                config.dark_size,
+                config.detection,
+                config.day_seconds,
+                workers=config.workers,
+                telemetry=telemetry,
+                store=store,
+                snapshot_every_chunks=config.snapshot_every_chunks,
+                max_ecdf_samples=config.max_ecdf_samples,
+            )
+        return Tenant(
+            tenant_id=tenant_id,
+            config=config,
+            engine=engine,
+            telemetry=telemetry,
+            store=store,
+        )
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def registry_path(self) -> Optional[Path]:
+        if self.snapshot_dir is None:
+            return None
+        return self.snapshot_dir / REGISTRY_NAME
+
+    def _persist(self) -> None:
+        path = self.registry_path()
+        if path is None:
+            return
+        atomic_write_json(
+            path,
+            {
+                "magic": _REGISTRY_MAGIC,
+                "tenants": {
+                    tenant_id: tenant.config.as_dict()
+                    for tenant_id, tenant in sorted(self._tenants.items())
+                },
+            },
+        )
+
+    def restore_all(self) -> List[str]:
+        """Rebuild every registered tenant from disk (boot path).
+
+        Returns the restored tenant ids.  Unknown or mis-tagged
+        registry files are ignored (empty fleet) rather than guessed
+        at; individual tenants whose snapshot is missing or corrupt
+        come back empty, with the corruption accounted on their health.
+        """
+        path = self.registry_path()
+        if path is None or not path.exists():
+            return []
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            return []
+        if payload.get("magic") != _REGISTRY_MAGIC:
+            return []
+        restored = []
+        for tenant_id, config_dict in payload.get("tenants", {}).items():
+            config = TenantConfig.from_dict(config_dict)
+            self._tenants[tenant_id] = self._build(
+                tenant_id, config, restore=True
+            )
+            restored.append(tenant_id)
+        return restored
+
+    def snapshot_all(self) -> Dict[str, Optional[str]]:
+        """Force a snapshot of every tenant; returns id -> path."""
+        return {
+            tenant_id: tenant.save_snapshot()
+            for tenant_id, tenant in sorted(self._tenants.items())
+        }

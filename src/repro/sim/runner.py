@@ -17,7 +17,7 @@ import numpy as np
 from repro.config import DEFAULT_CHUNK_SECONDS
 from repro.core.detection import DetectionResult, detect_all
 from repro.core.events import EventTable, build_events
-from repro.core.streaming import StreamingDetector
+from repro.core.engine import DetectionEngine
 from repro.core.telemetry import PipelineTelemetry
 from repro.flows.isp import ISPNetwork, build_campus_like, build_merit_like
 from repro.flows.netflow import NetflowExporter
@@ -319,47 +319,34 @@ def _stream_events_and_detections(
     is computed — while peak memory is bounded by one chunk plus open
     generation spans and the open-flow state: the capture is generated
     window by window (:meth:`Telescope.stream`), never materialized.
+
+    A thin driver over :class:`~repro.core.engine.DetectionEngine`: the
+    runner only times the generation side of the loop; chunk routing,
+    detect-stage accounting and the finish-time flush live in the
+    engine (shared with the pool paths and the :mod:`repro.serve`
+    service).
     """
     source = telescope.stream(
         population.scanners, chunk_seconds, window=scenario.window()
     )
-    detector = StreamingDetector(
+    telemetry = PipelineTelemetry(chunk_seconds=chunk_seconds)
+    engine = DetectionEngine(
         timeout,
         telescope.size,
         scenario.detection,
         scenario.clock.seconds_per_day,
+        telemetry=telemetry,
     )
-    telemetry = PipelineTelemetry(chunk_seconds=chunk_seconds)
     generate_stage = telemetry.stage("generate")
-    detect_stage = telemetry.stage("detect")
 
     t_prev = time.perf_counter()
     for chunk in source:
         t_chunked = time.perf_counter()
         generate_stage.add(len(chunk), len(chunk), t_chunked - t_prev)
-        report = detector.add_batch(chunk.packets)
-        t_detected = time.perf_counter()
-        detect_stage.add(
-            report.packets, report.events_finalized, t_detected - t_chunked
-        )
-        telemetry.record_chunk(
-            packets=report.packets,
-            events_finalized=report.events_finalized,
-            open_flows=report.open_flows,
-            window_end=chunk.end,
-            watermark=report.watermark,
-        )
+        engine.ingest(chunk)
         t_prev = time.perf_counter()
 
-    t0 = time.perf_counter()
-    events, detections = detector.finish()
-    flush_events = len(events) - telemetry.total_events
-    detect_stage.add(0, flush_events, time.perf_counter() - t0)
-    telemetry.total_events = len(events)
-    telemetry.peak_open_flows = max(
-        telemetry.peak_open_flows, detector.peak_open_flows
-    )
-    telemetry.final_open_flows = detector.open_flows
+    events, detections = engine.finish()
     return events, detections, telemetry
 
 

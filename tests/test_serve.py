@@ -1,0 +1,228 @@
+"""Tests for the ingestion service (repro.serve.server/client/loadgen).
+
+Runs the real asyncio server on a background thread bound to an
+ephemeral port and drives it with the real stdlib client — the same
+code path the serve-smoke CI job exercises, minus the subprocess.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.core.detection import detect_all
+from repro.core.events import build_events
+from repro.packet import PacketBatch, Protocol
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.loadgen import DriveStats, chunk_payloads, drive
+from repro.serve.server import ServerThread
+from repro.serve.tenants import TenantConfig, TenantRegistry
+
+TCP = Protocol.TCP_SYN.value
+
+_DARK_SIZE = 64
+_CONFIG = DetectionConfig(
+    alpha=0.05, min_packet_threshold=2, min_port_threshold=1
+)
+_TIMEOUT = 600.0
+
+
+def _capture(seed, n=6_000, duration=150_000.0):
+    rng = np.random.default_rng(seed)
+    return PacketBatch(
+        ts=np.sort(rng.random(n) * duration),
+        src=rng.integers(1, 120, n).astype(np.uint32),
+        dst=rng.integers(0, _DARK_SIZE, n).astype(np.uint32),
+        dport=rng.choice(np.array([22, 23, 80, 443], dtype=np.uint16), n),
+        proto=np.full(n, TCP, dtype=np.uint8),
+        ipid=np.zeros(n, dtype=np.uint16),
+    )
+
+
+def _offline_ah(batch, definition):
+    events = build_events(batch, _TIMEOUT)
+    return detect_all(events, _DARK_SIZE, _CONFIG)[definition].sources
+
+
+def _tenant_config(**overrides) -> TenantConfig:
+    base = dict(
+        timeout=_TIMEOUT,
+        dark_size=_DARK_SIZE,
+        detection=_CONFIG,
+        snapshot_every_chunks=None,
+        queue_depth=4,
+    )
+    base.update(overrides)
+    return TenantConfig(**base)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    registry = TenantRegistry(tmp_path / "snap")
+    thread = ServerThread(registry)
+    host, port = thread.start()
+    client = ServeClient(host, port)
+    try:
+        yield client, thread, tmp_path / "snap"
+    finally:
+        client.close()
+        thread.stop()
+
+
+class TestEndpoints:
+    def test_health_on_empty_server(self, server):
+        client, _, _ = server
+        payload = client.health()
+        assert payload == {"ok": True, "tenants": {}}
+
+    def test_unknown_routes(self, server):
+        client, _, _ = server
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("GET", "/tenants/ghost/ah")[0] == 404
+        assert client.request("POST", "/tenants/ghost/chunks", b"x")[0] == 404
+        assert client.request("PATCH", "/tenants/ghost")[0] == 405
+
+    def test_tenant_crud(self, server):
+        client, _, _ = server
+        created = client.create_tenant("t0", _tenant_config())
+        assert created["tenant"] == "t0"
+        # Idempotent re-PUT with the same config; conflict otherwise.
+        client.create_tenant("t0", _tenant_config())
+        with pytest.raises(ServeError) as err:
+            client.create_tenant("t0", _tenant_config(workers=2))
+        assert err.value.status == 409
+        assert client.request("GET", "/tenants")[1]["tenants"] == ["t0"]
+        client.delete_tenant("t0")
+        with pytest.raises(ServeError):
+            client.status("t0")
+
+    def test_bad_chunk_rejected_and_accounted(self, server):
+        client, _, _ = server
+        client.create_tenant("t0", _tenant_config())
+        status, _ = client.ingest("t0", b"this is not an npz archive")
+        assert status == 202  # queued; corruption surfaces at fold time
+        client.sync("t0")
+        tenant_status = client.status("t0")
+        assert tenant_status["packets"] == 0
+        assert len(tenant_status["errors"]) == 1
+        assert "chunk" in tenant_status["errors"][0]
+
+    def test_empty_chunk_rejected_upfront(self, server):
+        client, _, _ = server
+        client.create_tenant("t0", _tenant_config())
+        assert client.ingest("t0", b"")[0] == 400
+
+    def test_bad_definition_rejected(self, server):
+        client, _, _ = server
+        client.create_tenant("t0", _tenant_config())
+        assert client.request("GET", "/tenants/t0/ah?definition=9")[0] == 400
+        assert client.request("GET", "/tenants/t0/ah?definition=x")[0] == 400
+
+
+class TestIngestParity:
+    def test_two_tenants_match_offline_and_stay_isolated(self, server):
+        client, _, _ = server
+        batch_a, batch_b = _capture(11), _capture(22)
+        client.create_tenant("a", _tenant_config())
+        client.create_tenant("b", _tenant_config(workers=2))
+        stats_a = drive(client, "a", chunk_payloads(batch_a, 3_600.0))
+        stats_b = drive(client, "b", chunk_payloads(batch_b, 3_600.0))
+        assert isinstance(stats_a, DriveStats)
+        assert stats_a.packets == len(batch_a)
+        for definition in (1, 2, 3):
+            assert client.ah_sources("a", definition) == _offline_ah(
+                batch_a, definition
+            )
+            assert client.ah_sources("b", definition) == _offline_ah(
+                batch_b, definition
+            )
+        health = client.health()["tenants"]
+        assert health["a"]["packets"] == len(batch_a)
+        assert health["b"]["packets"] == len(batch_b)
+        assert health["a"]["errors"] == 0
+
+    def test_query_between_chunks_is_prefix_consistent(self, server):
+        client, _, _ = server
+        batch = _capture(33)
+        client.create_tenant("t", _tenant_config())
+        payloads = list(chunk_payloads(batch, 3_600.0))
+        half = len(payloads) // 2
+        drive(client, "t", payloads[:half])
+        seen = int(client.status("t")["packets"])
+        prefix = batch.select(slice(0, seen))
+        assert client.ah_sources("t", 1) == _offline_ah(prefix, 1)
+        drive(client, "t", payloads[half:])
+        assert client.ah_sources("t", 1) == _offline_ah(batch, 1)
+
+
+class TestBackPressure:
+    def test_overflow_answers_429_with_retry_hint(self, server):
+        client, _, _ = server
+        # depth 1 and a single slow ingest thread: the queue fills as
+        # soon as two chunks are in flight.
+        client.create_tenant("slow", _tenant_config(queue_depth=1))
+        payloads = [p for _, p in chunk_payloads(_capture(44), 600.0)]
+        saw_429 = False
+        accepted = 0
+        for payload in payloads:
+            while True:
+                status, body = client.ingest("slow", payload)
+                if status == 202:
+                    accepted += 1
+                    break
+                assert status == 429
+                assert body["retry_after"] > 0
+                saw_429 = True
+        client.sync("slow")
+        assert accepted == len(payloads)
+        # Every chunk eventually landed despite the shedding.
+        assert client.status("slow")["packets"] == len(_capture(44))
+        assert saw_429, "queue depth 1 never shed load"
+
+    def test_ingest_blocking_retries_through(self, server):
+        client, _, _ = server
+        client.create_tenant("t", _tenant_config(queue_depth=1))
+        stats = drive(
+            client, "t", chunk_payloads(_capture(55), 600.0), backoff=0.01
+        )
+        assert client.status("t")["packets"] == stats.packets
+
+
+class TestKillAndRestore:
+    def test_snapshot_restart_continue(self, server, tmp_path):
+        client, thread, snap_dir = server
+        batch = _capture(66)
+        client.create_tenant("t", _tenant_config(workers=2))
+        payloads = list(chunk_payloads(batch, 3_600.0))
+        half = len(payloads) // 2
+        drive(client, "t", payloads[:half])
+        client.snapshot("t")
+        client.close()
+        # Abrupt stop: no graceful drain-and-snapshot.
+        thread.stop(snapshot=False)
+
+        registry = TenantRegistry(snap_dir)
+        revived = ServerThread(registry)
+        host, port = revived.start()
+        try:
+            with ServeClient(host, port) as client2:
+                assert client2.status("t")["packets"] > 0
+                drive(client2, "t", payloads[half:])
+                for definition in (1, 2, 3):
+                    assert client2.ah_sources(
+                        "t", definition
+                    ) == _offline_ah(batch, definition)
+        finally:
+            revived.stop()
+
+    def test_recycle_endpoint_preserves_results(self, server):
+        client, _, _ = server
+        batch = _capture(77)
+        client.create_tenant("t", _tenant_config())
+        payloads = list(chunk_payloads(batch, 3_600.0))
+        for i, (_, payload) in enumerate(payloads):
+            client.ingest_blocking("t", payload)
+            if i == len(payloads) // 2:
+                assert client.recycle("t")["recycles"] >= 0
+        client.sync("t")
+        assert client.status("t")["recycles"] == 1
+        assert client.ah_sources("t", 1) == _offline_ah(batch, 1)

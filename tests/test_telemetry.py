@@ -1,6 +1,8 @@
 """Unit tests for the pipeline telemetry layer."""
 
-from repro.core.telemetry import PipelineTelemetry, StageStats
+import json
+
+from repro.core.telemetry import PipelineTelemetry, RunHealth, StageStats
 
 
 class TestStageStats:
@@ -80,3 +82,45 @@ class TestPipelineTelemetry:
         rows = dict(PipelineTelemetry().summary_rows())
         assert rows["watermark"] == "n/a"
         assert rows["chunk seconds"] == "n/a"
+
+
+class TestRunHealthDict:
+    """The health block's keys are a stable contract: JSON consumers
+    (bench matrix files, the serve /health endpoint) index into it
+    without guards, so every key must exist even on a clean run."""
+
+    STABLE_KEYS = {
+        "retries",
+        "respawns",
+        "watchdog_timeouts",
+        "checkpoint_hits",
+        "checkpoint_writes",
+        "checkpoint_corrupt",
+        "quarantined",
+        "quarantined_chunks",
+        "any_events",
+    }
+
+    def test_clean_run_emits_every_key(self):
+        d = RunHealth().as_dict()
+        assert set(d) == self.STABLE_KEYS
+        assert d["retries"] == 0
+        assert d["quarantined"] == 0
+        assert d["quarantined_chunks"] == []
+        assert d["any_events"] is False
+
+    def test_derived_keys_track_counters(self):
+        health = RunHealth()
+        health.record_quarantine("chunk-00001.npz")
+        health.record_quarantine("chunk-00001.npz")  # idempotent
+        health.retries = 3
+        d = health.as_dict()
+        assert d["quarantined"] == 1
+        assert d["quarantined_chunks"] == ["chunk-00001.npz"]
+        assert d["any_events"] is True
+
+    def test_pipeline_as_dict_always_includes_health(self):
+        d = PipelineTelemetry().as_dict()
+        assert set(d["health"]) == self.STABLE_KEYS
+        # The whole block must be JSON-serializable as-is.
+        assert json.loads(json.dumps(d["health"]))["any_events"] is False

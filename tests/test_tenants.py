@@ -1,0 +1,172 @@
+"""Tests for the tenant layer (repro.serve.tenants)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.packet import PacketBatch, Protocol
+from repro.serve.tenants import TenantConfig, TenantRegistry
+from tests.test_streaming import _assert_detections_identical
+
+TCP = Protocol.TCP_SYN.value
+
+_DARK_SIZE = 64
+_CONFIG = DetectionConfig(
+    alpha=0.05, min_packet_threshold=2, min_port_threshold=1
+)
+
+
+def _config(**overrides) -> TenantConfig:
+    base = dict(
+        timeout=600.0,
+        dark_size=_DARK_SIZE,
+        detection=_CONFIG,
+        snapshot_every_chunks=None,
+    )
+    base.update(overrides)
+    return TenantConfig(**base)
+
+
+def _capture(seed, n=8_000, duration=200_000.0):
+    rng = np.random.default_rng(seed)
+    return PacketBatch(
+        ts=np.sort(rng.random(n) * duration),
+        src=rng.integers(1, 150, n).astype(np.uint32),
+        dst=rng.integers(0, _DARK_SIZE, n).astype(np.uint32),
+        dport=rng.choice(np.array([22, 23, 80, 443], dtype=np.uint16), n),
+        proto=np.full(n, TCP, dtype=np.uint8),
+        ipid=np.zeros(n, dtype=np.uint16),
+    )
+
+
+def _feed(tenant, batch, chunk_seconds=3_600.0):
+    for _, _, chunk in batch.iter_time_chunks(chunk_seconds):
+        tenant.ingest(chunk)
+
+
+class TestConfigRoundTrip:
+    def test_as_dict_from_dict(self):
+        config = _config(workers=3, max_ecdf_samples=128, queue_depth=4)
+        assert TenantConfig.from_dict(config.as_dict()) == config
+
+    def test_detection_none_round_trips(self):
+        config = _config(detection=None)
+        restored = TenantConfig.from_dict(config.as_dict())
+        assert restored.detection is None
+
+
+class TestRegistry:
+    def test_create_get_remove(self):
+        registry = TenantRegistry()
+        tenant = registry.create("merit", _config())
+        assert registry.get("merit") is tenant
+        assert "merit" in registry
+        assert registry.ids() == ["merit"]
+        assert registry.remove("merit")
+        assert registry.get("merit") is None
+        assert not registry.remove("merit")
+
+    def test_recreate_same_config_is_idempotent(self):
+        registry = TenantRegistry()
+        a = registry.create("t", _config())
+        b = registry.create("t", _config())
+        assert a is b
+
+    def test_recreate_different_config_raises(self):
+        registry = TenantRegistry()
+        registry.create("t", _config())
+        with pytest.raises(ValueError, match="different configuration"):
+            registry.create("t", _config(workers=2))
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".hidden"])
+    def test_invalid_ids_rejected(self, bad):
+        with pytest.raises(ValueError, match="invalid tenant id"):
+            TenantRegistry().create(bad, _config())
+
+    def test_isolation(self):
+        # Two tenants fed different traffic never see each other's
+        # sources — and their AH sets equal single-tenant runs.
+        registry = TenantRegistry()
+        a = registry.create("a", _config())
+        b = registry.create("b", _config(max_ecdf_samples=16))
+        batch_a, batch_b = _capture(1), _capture(2)
+        _feed(a, batch_a)
+        _feed(b, batch_b)
+        solo = TenantRegistry().create("solo", _config())
+        _feed(solo, batch_a)
+        _assert_detections_identical(
+            a.query().detections, solo.query().detections
+        )
+        assert b.engine.degraded and not a.engine.degraded
+
+
+class TestDurability:
+    def test_restore_all_rebuilds_fleet_with_state(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        tenant = registry.create("merit", _config(workers=2))
+        _feed(tenant, _capture(3))
+        before = tenant.query()
+        registry.snapshot_all()
+
+        revived = TenantRegistry(tmp_path / "snap")
+        assert revived.restore_all() == ["merit"]
+        after = revived.get("merit")
+        assert after.config == tenant.config
+        assert after.engine.packets_seen == tenant.engine.packets_seen
+        _assert_detections_identical(
+            after.query().detections, before.detections
+        )
+
+    def test_restore_without_snapshot_starts_empty(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        registry.create("fresh", _config())
+        # No snapshot_all: only the registry file exists.
+        revived = TenantRegistry(tmp_path / "snap")
+        assert revived.restore_all() == ["fresh"]
+        assert revived.get("fresh").engine.packets_seen == 0
+
+    def test_corrupt_registry_ignored(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        registry.create("t", _config())
+        registry.registry_path().write_text("{not json")
+        assert TenantRegistry(tmp_path / "snap").restore_all() == []
+
+    def test_corrupt_snapshot_restarts_tenant_empty(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        tenant = registry.create("t", _config())
+        _feed(tenant, _capture(4, n=2_000))
+        registry.snapshot_all()
+        ckpt = next((tmp_path / "snap" / "t").glob("engine-*.ckpt"))
+        raw = bytearray(ckpt.read_bytes())
+        raw[-1] ^= 0xFF
+        ckpt.write_bytes(bytes(raw))
+        revived = TenantRegistry(tmp_path / "snap")
+        revived.restore_all()
+        after = revived.get("t")
+        assert after.engine.packets_seen == 0
+        assert after.telemetry.health.checkpoint_corrupt == 1
+
+
+class TestRecycle:
+    def test_recycle_preserves_results(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        steady = registry.create("steady", _config(workers=2))
+        churned = registry.create("churned", _config(workers=2))
+        chunks = list(_capture(5).iter_time_chunks(3_600.0))
+        for i, (_, _, chunk) in enumerate(chunks):
+            steady.ingest(chunk)
+            churned.ingest(chunk)
+            if i % 10 == 0:
+                churned.recycle()
+        assert churned.recycles > 0
+        _assert_detections_identical(
+            churned.query().detections, steady.query().detections
+        )
+
+    def test_recycle_counts_errors_independently(self):
+        registry = TenantRegistry()
+        tenant = registry.create("t", _config())
+        for i in range(40):
+            tenant.record_error(f"e{i}")
+        assert len(tenant.errors) == 32
+        assert tenant.errors[-1] == "e39"
