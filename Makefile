@@ -1,16 +1,20 @@
 # Single source of truth for the commands CI runs — `make lint` locally
-# is exactly the lint job, `make bench-smoke` exactly the bench job.
+# is exactly the lint job, `make bench-smoke` exactly the bench job,
+# and `make ci-local` walks the whole job sequence in one go.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke fault-matrix serve-smoke
+.PHONY: lint test bench bench-smoke fault-matrix serve-smoke perf-gate ci-local
 
 lint:
 	ruff check .
 
+# Extra pytest flags ride through PYTEST_ARGS — CI passes
+# --junitxml/--durations here so local runs stay terse by default.
+PYTEST_ARGS ?=
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
 
 # Full benchmark harness: timing rounds + regenerated tables/figures.
 bench:
@@ -37,3 +41,29 @@ fault-matrix:
 serve-smoke:
 	$(PYTHON) -m pytest tests/test_serve.py tests/test_tenants.py tests/test_engine.py -q
 	$(PYTHON) benchmarks/run_serve_smoke.py
+
+# Perf-regression gate: compare regenerated BENCH_*.json against the
+# committed baselines.  In CI, FRESH_RESULTS points at the downloaded
+# bench-smoke artifact and the baseline is the checkout; locally (after
+# bench-smoke overwrote benchmarks/results in place) set
+# BASELINE_GIT=HEAD to diff against the committed versions.
+FRESH_RESULTS ?= benchmarks/results
+BASELINE_GIT ?=
+perf-gate:
+	$(PYTHON) benchmarks/perf_gate.py --fresh-dir $(FRESH_RESULTS) \
+		$(if $(BASELINE_GIT),--baseline-git $(BASELINE_GIT),)
+
+# The whole CI job sequence, in order, on the local machine: lint,
+# byte-compile, tier-1 tests (with the same JUnit/durations artifacts),
+# benchmark smoke, ingestion-service smoke, both fault matrices, then
+# the perf gate against the committed (HEAD) baselines.
+ci-local:
+	$(MAKE) lint
+	$(PYTHON) -m compileall -q src
+	mkdir -p test-results
+	$(MAKE) test PYTEST_ARGS="--junitxml=test-results/junit.xml --durations=20"
+	$(MAKE) bench-smoke
+	$(MAKE) serve-smoke
+	$(MAKE) fault-matrix WORKERS=2
+	$(MAKE) fault-matrix WORKERS=4
+	$(MAKE) perf-gate BASELINE_GIT=HEAD

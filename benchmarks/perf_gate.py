@@ -1,0 +1,284 @@
+"""CI perf-regression gate over the committed benchmark baselines.
+
+Compares freshly regenerated ``BENCH_flows.json`` / ``BENCH_emit.json``
+(the bench-smoke job's ``benchmark-results`` artifact) against the
+baselines committed under ``benchmarks/results/`` and fails the build
+when a gated metric regresses:
+
+* the 4-worker flow-synthesis speedup may not drop more than
+  ``--tolerance`` below the committed baseline (and never below the
+  ``--speedup-floor`` acceptance threshold);
+* the flow worker-time spread (max/min shard seconds) must stay under
+  ``--spread-max``;
+* the single-process columnar speedup and the emit-path parallel
+  speedup get the same baseline-relative band when both sides report
+  them.
+
+Only *ratio* metrics are gated — speedups and spreads compare two
+timings from the same machine, so they transfer between the baseline
+host and whatever runner CI lands on.  Absolute numbers (seconds,
+rows/s) are shown in the report but never enforced.
+
+A before/after markdown table is printed to stdout and appended to
+``$GITHUB_STEP_SUMMARY`` when that variable is set (the job-summary
+panel in the Actions UI).
+
+Usage::
+
+    python benchmarks/perf_gate.py --fresh-dir fresh-results
+    python benchmarks/perf_gate.py --fresh-dir benchmarks/results \
+        --baseline-git HEAD        # after `make bench-smoke` locally
+
+Stdlib only: the gate job does not need numpy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+BENCH_FILES = ("BENCH_flows.json", "BENCH_emit.json")
+
+#: benchmarks/results relative to the repository root — where the
+#: committed baselines live and what ``--baseline-git`` reads from.
+RESULTS_SUBDIR = "benchmarks/results"
+
+
+@dataclass
+class GateRow:
+    """One metric's before/after comparison."""
+
+    metric: str
+    baseline: Optional[float]
+    fresh: Optional[float]
+    threshold: str
+    passed: bool
+    gated: bool
+
+    def markdown(self) -> str:
+        def fmt(value):
+            return "—" if value is None else f"{value:.3f}"
+
+        status = (
+            ("✅ pass" if self.passed else "❌ FAIL")
+            if self.gated
+            else "ℹ️ info"
+        )
+        return (
+            f"| {self.metric} | {fmt(self.baseline)} | {fmt(self.fresh)} "
+            f"| {self.threshold} | {status} |"
+        )
+
+
+def _load_dir(directory: Path) -> dict:
+    data = {}
+    for name in BENCH_FILES:
+        path = directory / name
+        if path.exists():
+            data[name] = json.loads(path.read_text())
+    return data
+
+
+def _load_git(ref: str) -> dict:
+    data = {}
+    for name in BENCH_FILES:
+        spec = f"{ref}:{RESULTS_SUBDIR}/{name}"
+        try:
+            blob = subprocess.run(
+                ["git", "show", spec],
+                capture_output=True,
+                check=True,
+            ).stdout
+        except subprocess.CalledProcessError:
+            continue
+        data[name] = json.loads(blob)
+    return data
+
+
+def _get(data: dict, file: str, *keys) -> Optional[float]:
+    node = data.get(file)
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def build_rows(
+    baseline: dict,
+    fresh: dict,
+    *,
+    tolerance: float,
+    spread_max: float,
+    speedup_floor: float,
+) -> list:
+    """All comparison rows; gated ones carry pass/fail state."""
+
+    rows = []
+
+    def relative(metric, file, *keys, floor=None):
+        base = _get(baseline, file, *keys)
+        new = _get(fresh, file, *keys)
+        limits = []
+        if base is not None:
+            limits.append(base * (1.0 - tolerance))
+        if floor is not None:
+            limits.append(floor)
+        if new is None or not limits:
+            # Metric absent on one side: nothing to enforce (a skipped
+            # bench on a small runner must not fail the gate), but the
+            # gap stays visible in the report.
+            rows.append(
+                GateRow(metric, base, new, "n/a", passed=True, gated=False)
+            )
+            return
+        threshold = max(limits)
+        rows.append(
+            GateRow(
+                metric,
+                base,
+                new,
+                f">= {threshold:.3f}",
+                passed=new >= threshold,
+                gated=True,
+            )
+        )
+
+    def absolute_max(metric, file, *keys, limit):
+        base = _get(baseline, file, *keys)
+        new = _get(fresh, file, *keys)
+        if new is None:
+            rows.append(
+                GateRow(metric, base, new, "n/a", passed=True, gated=False)
+            )
+            return
+        rows.append(
+            GateRow(
+                metric,
+                base,
+                new,
+                f"< {limit:.1f}",
+                passed=new < limit,
+                gated=True,
+            )
+        )
+
+    relative(
+        "flows: columnar speedup vs loop",
+        "BENCH_flows.json", "flows", "speedup",
+    )
+    relative(
+        "flows: 4-worker speedup vs loop",
+        "BENCH_flows.json", "parallel", "speedup",
+        floor=speedup_floor,
+    )
+    absolute_max(
+        "flows: worker-time spread (max/min)",
+        "BENCH_flows.json", "parallel", "spread",
+        limit=spread_max,
+    )
+    relative(
+        "emit: 4-worker lazy speedup",
+        "BENCH_emit.json", "parallel", "speedup",
+    )
+    return rows
+
+
+def render(rows: list, tolerance: float) -> str:
+    lines = [
+        "## Perf gate",
+        "",
+        f"Tolerance band: -{tolerance:.0%} vs committed baseline.",
+        "",
+        "| metric | baseline | fresh | threshold | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    lines.extend(row.markdown() for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir",
+        required=True,
+        type=Path,
+        help="directory holding the regenerated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        help=f"directory with committed baselines (default {RESULTS_SUBDIR})",
+    )
+    parser.add_argument(
+        "--baseline-git",
+        metavar="REF",
+        default=None,
+        help="read baselines from this git ref instead of a directory "
+        "(use after bench-smoke overwrote benchmarks/results in place)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative drop vs baseline (default 0.15)",
+    )
+    parser.add_argument(
+        "--spread-max",
+        type=float,
+        default=2.0,
+        help="max allowed worker-time spread (default 2.0)",
+    )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=3.8,
+        help="absolute floor on the 4-worker flows speedup (default 3.8)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.baseline_git is not None:
+        baseline = _load_git(args.baseline_git)
+    else:
+        baseline_dir = args.baseline_dir or Path(RESULTS_SUBDIR)
+        baseline = _load_dir(baseline_dir)
+    fresh = _load_dir(args.fresh_dir)
+    if not fresh:
+        print(f"no BENCH_*.json found under {args.fresh_dir}", file=sys.stderr)
+        return 2
+
+    rows = build_rows(
+        baseline,
+        fresh,
+        tolerance=args.tolerance,
+        spread_max=args.spread_max,
+        speedup_floor=args.speedup_floor,
+    )
+    report = render(rows, args.tolerance)
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(report)
+
+    failed = [row for row in rows if row.gated and not row.passed]
+    if failed:
+        for row in failed:
+            print(
+                f"perf-gate FAIL: {row.metric} = {row.fresh} "
+                f"(wanted {row.threshold})",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,14 +10,24 @@ many-port, long-duration sources):
   draws, one multinomial over all count rows, one binomial over the
   true-count column) beats the scalar loop reference by >= 5x while
   producing a bit-identical ``FlowTable``.
-* **Shard-parallel** — 4 workers beat the loop baseline >= 2x end to
-  end (process pool + pickling included), again bit-identical.
+* **Shard-parallel** — 4 workers under the size-aware ``stealing``
+  schedule beat the loop baseline >= 3.8x end to end (process pool +
+  pickling included) with worker-time spread (max/min shard seconds)
+  < 2x, again bit-identical.
 
 Results land in ``benchmarks/results/BENCH_flows.json`` so future PRs
 have a machine-readable baseline; the CI bench-smoke artifact step
-uploads the whole results directory.  Self-timed with ``perf_counter``
-(not the ``benchmark`` fixture) so a single pass still measures and
-asserts under ``--benchmark-disable``.
+uploads the whole results directory and the ``perf-gate`` job compares
+the fresh numbers against the committed baseline
+(``benchmarks/perf_gate.py``).  Self-timed with ``perf_counter`` (not
+the ``benchmark`` fixture) so a single pass still measures and asserts
+under ``--benchmark-disable``.
+
+Units note: per-shard ``synth_rows`` counts *pre-sampling* (day, port)
+count rows coming out of synthesis, while the top-level ``flow_rows``
+counts *exported* flows after 1:1000 NetFlow sampling drops empty
+cells — the two are different quantities and are reported under
+different names (``tests/test_parallel.py`` pins the relationship).
 """
 
 import dataclasses
@@ -148,69 +158,97 @@ def test_perf_flows_vectorized(flows_world, loop_baseline, results_dir):
 
 
 @pytest.mark.skipif(
-    (os.cpu_count() or 1) < 4,
-    reason="speedup floor needs >= 4 cores",
+    (os.cpu_count() or 1) < 4
+    and not os.environ.get("REPRO_BENCH_FORCE"),
+    reason="speedup floor needs >= 4 cores "
+    "(set REPRO_BENCH_FORCE=1 to regenerate the baseline anyway)",
 )
 def test_perf_flows_parallel(flows_world, loop_baseline, results_dir):
-    """4 workers end to end: bit-identical, >= 2x over the loop."""
+    """4 stealing workers: bit-identical, >= 3.8x, spread < 2x."""
     scenario, merit, heavy = flows_world
     loop_table, loop_totals, loop_seconds = loop_baseline
 
-    telemetry = PipelineTelemetry()
-    t0 = time.perf_counter()
-    table, totals = merit.collect_scanner_flows(
-        heavy, scenario.window(), scenario.clock, np.random.default_rng(5),
-        workers=4, telemetry=telemetry,
-    )
-    parallel_seconds = time.perf_counter() - t0
+    # Two attempts, keep the faster: one straggler core in a shared CI
+    # runner shouldn't fail the spread gate.  Both runs assert
+    # bit-identity, so correctness is never traded for the retry.
+    best = None
+    for _ in range(2):
+        telemetry = PipelineTelemetry()
+        t0 = time.perf_counter()
+        table, totals = merit.collect_scanner_flows(
+            heavy, scenario.window(), scenario.clock,
+            np.random.default_rng(5),
+            workers=4, schedule="stealing", telemetry=telemetry,
+        )
+        seconds = time.perf_counter() - t0
+        _assert_tables_identical(table, loop_table)
+        assert totals == loop_totals
+        assert len(telemetry.flow_worker_stats) == 4
+        if best is None or seconds < best[0]:
+            best = (seconds, table, telemetry)
+    parallel_seconds, table, telemetry = best
 
-    _assert_tables_identical(table, loop_table)
-    assert totals == loop_totals
-    assert len(telemetry.flow_worker_stats) == 4
+    workers = telemetry.flow_worker_stats
+    assert sum(w.scanners for w in workers) == len(heavy)
+    synth_rows = sum(w.rows for w in workers)
+    # The exporter only drops rows (empty sampled cells), never adds.
+    assert len(table) <= synth_rows
 
     speedup = loop_seconds / parallel_seconds
+    shard_seconds = [w.seconds for w in workers]
+    spread = max(shard_seconds) / max(min(shard_seconds), 1e-9)
     _merge_bench_json(
         "parallel",
         {
             "scenario": scenario.name,
             "days": DAYS,
             "workers": 4,
+            "schedule": "stealing",
             "scanners": len(heavy),
+            # exported flows (post 1:1000 sampling) — NOT the same unit
+            # as the per-shard synth_rows below.
             "flow_rows": len(table),
+            # pre-sampling synthesis count rows, summed over shards.
+            "synth_rows": synth_rows,
             "loop_seconds": round(loop_seconds, 3),
             "parallel_seconds": round(parallel_seconds, 3),
             "speedup": round(speedup, 3),
+            "spread": round(spread, 3),
             "workers_detail": [
                 {
                     "shard": w.shard,
                     "scanners": w.scanners,
-                    "rows": w.rows,
+                    "synth_rows": w.rows,
                     "seconds": round(w.seconds, 3),
-                    "rows_per_s": round(w.throughput),
+                    "synth_rows_per_s": round(w.throughput),
+                    "planned_cost": round(w.planned_cost, 1),
+                    "tasks": w.tasks,
+                    "stolen_tasks": w.stolen_tasks,
                 }
-                for w in telemetry.flow_worker_stats
+                for w in workers
             ],
         },
     )
     rows = [
         ("scanners", f"{len(heavy):,}"),
+        ("scalar loop", f"{loop_seconds:.2f} s"),
         (
-            "scalar loop",
-            f"{loop_seconds:.2f} s",
-        ),
-        (
-            "columnar, 4 workers",
+            "stealing, 4 workers",
             f"{parallel_seconds:.2f} s "
-            f"({len(table) / parallel_seconds:,.0f} rows/s)",
+            f"({len(table) / parallel_seconds:,.0f} flows/s)",
         ),
         ("speedup", f"{speedup:.2f}x"),
+        ("spread (max/min shard s)", f"{spread:.2f}x"),
+        ("exported flows", f"{len(table):,}"),
+        ("synth rows (pre-sampling)", f"{synth_rows:,}"),
     ] + [
         (
             f"worker {w.shard}",
-            f"{w.scanners:,} scanners, {w.rows:,} rows, "
-            f"{w.seconds:.2f} s",
+            f"{w.scanners:,} scanners, {w.rows:,} synth rows, "
+            f"{w.seconds:.2f} s, {w.tasks} tasks "
+            f"({w.stolen_tasks} stolen)",
         )
-        for w in telemetry.flow_worker_stats
+        for w in workers
     ]
     emit(
         results_dir,
@@ -222,4 +260,5 @@ def test_perf_flows_parallel(flows_world, loop_baseline, results_dir):
             align_right=False,
         ),
     )
-    assert speedup >= 2.0
+    assert speedup >= 3.8
+    assert spread < 2.0

@@ -220,6 +220,18 @@ class DetectionEngine:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
+    def shard_batch(self, batch) -> list:
+        """Partition a batch across this engine's detector shards.
+
+        The engine's own routing hook: one sub-batch per shard, by the
+        same source hash every parallel entry point uses
+        (:func:`repro.parallel.shard_of`), so an engine-fed run lands
+        packets exactly where a pool run would.
+        """
+        from repro.parallel import shard_batch
+
+        return shard_batch(batch, self.workers)
+
     def ingest(self, chunk) -> ChunkReport:
         """Fold one time-ordered capture chunk into the shard pool.
 
@@ -240,11 +252,9 @@ class DetectionEngine:
             open_flows = report.open_flows
             watermark = report.watermark
         else:
-            from repro.parallel import shard_batch
-
             finalized = 0
             for detector, sub in zip(
-                self._detectors, shard_batch(batch, self.workers)
+                self._detectors, self.shard_batch(batch)
             ):
                 if len(sub):
                     finalized += detector.add_batch(sub).events_finalized
@@ -370,6 +380,9 @@ class DetectionEngine:
                         peak_open_flows=report.peak_open_flows,
                         seconds=report.seconds,
                         generate_seconds=report.generate_seconds,
+                        planned_cost=getattr(report, "planned_cost", 0.0),
+                        tasks=getattr(report, "tasks", 1),
+                        stolen_tasks=getattr(report, "stolen_tasks", 0),
                     )
                 generate_seconds = sum(r.generate_seconds for r in reports)
                 if generate_seconds > 0.0:

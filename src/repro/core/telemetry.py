@@ -67,6 +67,15 @@ class WorkerStats:
     #: wall seconds the worker spent *generating* its shard's capture
     #: (lazy shard-local generation only; 0 when packets were shipped).
     generate_seconds: float = 0.0
+    #: work the size-aware planner predicted for this shard (0 when the
+    #: run used static sharding — no plan existed).
+    planned_cost: float = 0.0
+    #: schedulable tasks this shard was decomposed into (1 = the shard
+    #: ran whole, as static/packed shards do).
+    tasks: int = 1
+    #: tasks of this shard executed by a different pool process than
+    #: its heaviest task — drained off a straggler by an idle worker.
+    stolen_tasks: int = 0
 
     @property
     def throughput(self) -> Optional[float]:
@@ -92,6 +101,9 @@ class WorkerStats:
             "generate_seconds": self.generate_seconds,
             "throughput": self.throughput,
             "generate_throughput": self.generate_throughput,
+            "planned_cost": self.planned_cost,
+            "tasks": self.tasks,
+            "stolen_tasks": self.stolen_tasks,
         }
 
 
@@ -107,8 +119,19 @@ class FlowWorkerStats:
 
     shard: int
     scanners: int = 0
+    #: true-count flow cells synthesized (pre-sampling) — NOT the
+    #: exported flow rows the NetFlow exporter emits after 1:1000
+    #: sampling; see ``benchmarks/test_perf_flows.py`` for both units.
     rows: int = 0
     seconds: float = 0.0
+    #: work the size-aware planner predicted for this shard (0 when the
+    #: run used static sharding — no plan existed).
+    planned_cost: float = 0.0
+    #: schedulable tasks this shard was decomposed into.
+    tasks: int = 1
+    #: tasks of this shard executed by a different pool process than
+    #: its heaviest task (work stealing in action).
+    stolen_tasks: int = 0
 
     @property
     def throughput(self) -> Optional[float]:
@@ -124,6 +147,9 @@ class FlowWorkerStats:
             "rows": self.rows,
             "seconds": self.seconds,
             "throughput": self.throughput,
+            "planned_cost": self.planned_cost,
+            "tasks": self.tasks,
+            "stolen_tasks": self.stolen_tasks,
         }
 
 
@@ -260,6 +286,9 @@ class PipelineTelemetry:
         peak_open_flows: int,
         seconds: float,
         generate_seconds: float = 0.0,
+        planned_cost: float = 0.0,
+        tasks: int = 1,
+        stolen_tasks: int = 0,
     ) -> None:
         """Fold one shard worker's report into the gauges.
 
@@ -276,6 +305,9 @@ class PipelineTelemetry:
                 peak_open_flows=int(peak_open_flows),
                 seconds=float(seconds),
                 generate_seconds=float(generate_seconds),
+                planned_cost=float(planned_cost),
+                tasks=int(tasks),
+                stolen_tasks=int(stolen_tasks),
             )
         )
         self.peak_open_flows = max(
@@ -289,6 +321,9 @@ class PipelineTelemetry:
         scanners: int,
         rows: int,
         seconds: float,
+        planned_cost: float = 0.0,
+        tasks: int = 1,
+        stolen_tasks: int = 0,
     ) -> None:
         """Fold one flow-synthesis worker's report into the gauges."""
         self.flow_worker_stats.append(
@@ -297,6 +332,9 @@ class PipelineTelemetry:
                 scanners=int(scanners),
                 rows=int(rows),
                 seconds=float(seconds),
+                planned_cost=float(planned_cost),
+                tasks=int(tasks),
+                stolen_tasks=int(stolen_tasks),
             )
         )
 
@@ -352,6 +390,12 @@ class PipelineTelemetry:
                     detail += (
                         f", gen {worker.generate_seconds:.2f}s ({gen_rate})"
                     )
+                if worker.tasks > 1 or worker.planned_cost > 0.0:
+                    detail += (
+                        f", plan {worker.planned_cost:,.0f} over "
+                        f"{worker.tasks} task(s), "
+                        f"{worker.stolen_tasks} stolen"
+                    )
                 rows.append((f"worker {worker.shard}", detail))
         for worker in self.flow_worker_stats:
             throughput = worker.throughput
@@ -360,13 +404,16 @@ class PipelineTelemetry:
                 if throughput is not None
                 else "n/a"
             )
-            rows.append(
-                (
-                    f"flows worker {worker.shard}",
-                    f"{worker.scanners:,} scanners, {worker.rows:,} rows, "
-                    f"{worker.seconds:.2f}s ({rate})",
-                )
+            detail = (
+                f"{worker.scanners:,} scanners, {worker.rows:,} rows, "
+                f"{worker.seconds:.2f}s ({rate})"
             )
+            if worker.tasks > 1 or worker.planned_cost > 0.0:
+                detail += (
+                    f", plan {worker.planned_cost:,.0f} over "
+                    f"{worker.tasks} task(s), {worker.stolen_tasks} stolen"
+                )
+            rows.append((f"flows worker {worker.shard}", detail))
         if self.health.any_events():
             rows.extend(self.health.summary_rows())
         for stage in self.stages.values():

@@ -44,6 +44,7 @@ order, a faulted or resumed run is bit-identical to a fault-free one.
 from __future__ import annotations
 
 import dataclasses
+import os
 import pickle
 import time
 from dataclasses import dataclass
@@ -63,9 +64,22 @@ from repro.core.faults import (
     sha256_hex,
 )
 from repro.core.engine import DetectionEngine
+from repro.core.schedule import (
+    DEFAULT_STEAL_FACTOR,
+    SchedulePlan,
+    plan_contiguous,
+    plan_grouped,
+    validate_mode,
+)
 from repro.core.streaming import StreamingDetector
 from repro.core.telemetry import PipelineTelemetry, RunHealth
 from repro.packet import PacketBatch
+
+#: Hash fine-shards per worker when the scheduler runs over a chunk
+#: directory: every task streams the whole archive sequence, so the
+#: fan-out is kept low — 2x over-decomposition halves the straggler
+#: tail for one extra pass of (cheap, page-cached) reads.
+DIRECTORY_FINE_FACTOR = 2
 
 #: Fibonacci-hash multiplier: decorrelates the shard index from address
 #: structure (plain ``src % n`` would map whole prefixes to one shard).
@@ -132,6 +146,16 @@ class WorkerReport:
     #: directory reads only; every worker sees the same archives, so
     #: the parent deduplicates when folding into ``RunHealth``).
     quarantined: Tuple[str, ...] = ()
+    #: OS process id that executed the work — lets the parent tell
+    #: which tasks of a logical shard were stolen by another worker.
+    pid: int = 0
+    #: planner-predicted work for this logical shard (0 = unplanned).
+    planned_cost: float = 0.0
+    #: tasks folded into this logical shard (1 = no over-decomposition).
+    tasks: int = 1
+    #: tasks executed by a different process than the shard's heaviest
+    #: task — drained from the pool queue by an idle worker.
+    stolen_tasks: int = 0
 
 
 @dataclass
@@ -173,6 +197,7 @@ def _run_shard(
         peak_open_flows=detector.peak_open_flows,
         seconds=time.perf_counter() - t0,
         watermark=detector.watermark,
+        pid=os.getpid(),
     )
     return detector, report
 
@@ -186,27 +211,39 @@ def _run_shard_directory(
     config: Optional[DetectionConfig],
     day_seconds: float,
     on_corrupt: str = "raise",
+    fines: Optional[Tuple[int, ...]] = None,
 ) -> Tuple[StreamingDetector, WorkerReport]:
     """Worker body for chunk directories: read, filter to shard, fold.
 
     Every worker streams the full archive sequence but holds only one
     chunk at a time, and feeds its detector only the packets whose
-    source hashes to its shard.  Archives are verified against the
-    directory's digest manifest; a damaged one raises (strict) or is
-    skipped and reported back (``on_corrupt="quarantine"``) — every
-    worker skips the *same* archives, so degraded-mode results stay
-    deterministic across shard counts.
+    source hashes to its shard.  Under a schedule plan ``fines`` names
+    the set of fine hash-shards (mod ``n_shards``) this task owns
+    instead of the single ``shard`` value — the union filter keeps the
+    source partition disjoint across tasks, so one detector per task
+    stays correct.  Archives are verified against the directory's
+    digest manifest; a damaged one raises (strict) or is skipped and
+    reported back (``on_corrupt="quarantine"``) — every worker skips
+    the *same* archives, so degraded-mode results stay deterministic
+    across shard counts.
     """
     from repro.io.packetlog import iter_packets_verified
 
     t0 = time.perf_counter()
     detector = StreamingDetector(timeout, dark_size, config, day_seconds)
     quarantined: List[str] = []
+    fine_ids = (
+        None if fines is None else np.asarray(fines, dtype=np.int64)
+    )
     for path, batch in iter_packets_verified(directory, on_corrupt):
         if batch is None:
             quarantined.append(str(path))
             continue
-        if n_shards > 1:
+        if fine_ids is not None:
+            batch = batch.select(
+                np.isin(shard_of(batch.src, n_shards), fine_ids)
+            )
+        elif n_shards > 1:
             batch = batch.select(shard_of(batch.src, n_shards) == shard)
         if len(batch):
             detector.add_batch(batch)
@@ -219,6 +256,7 @@ def _run_shard_directory(
         seconds=time.perf_counter() - t0,
         watermark=detector.watermark,
         quarantined=tuple(quarantined),
+        pid=os.getpid(),
     )
     return detector, report
 
@@ -266,6 +304,7 @@ def _run_shard_lazy(
         seconds=time.perf_counter() - t0,
         watermark=detector.watermark,
         generate_seconds=generate_seconds,
+        pid=os.getpid(),
     )
     return detector, report
 
@@ -347,6 +386,157 @@ def _load_flow_state(payload: bytes) -> tuple:
     return flow_state_from_bytes(blob), report
 
 
+# ----------------------------------------------------------------------
+# Size-aware scheduling plumbing shared by the entry points
+# ----------------------------------------------------------------------
+
+
+def _scanner_cost(scanner, view, kind: str) -> float:
+    """Predicted work for one scanner, 1.0 when it cannot say.
+
+    Duck-typed so foreign scanner-like objects without
+    :meth:`~repro.scanners.base.Scanner.cost_estimate` still schedule
+    (uniform weight keeps the planner no worse than static for them).
+    """
+    estimate = getattr(scanner, "cost_estimate", None)
+    if estimate is None:
+        return 1.0
+    return float(estimate(view, kind=kind))
+
+
+def _source_groups(scanners: Sequence) -> List[List[int]]:
+    """Group scanner indices by source address, first-occurrence order.
+
+    Per-source detection state (events, flows, day/port statistics)
+    must stay within one task, so all scanners sharing a source — the
+    spoofed sentinel 0 included — form one indivisible planning unit.
+    """
+    by_src: Dict[int, List[int]] = {}
+    for index, scanner in enumerate(scanners):
+        by_src.setdefault(int(scanner.src), []).append(index)
+    return list(by_src.values())
+
+
+def _stolen_tasks(plan_tasks, reports) -> int:
+    """Tasks of one logical shard executed away from its home worker.
+
+    The home worker is wherever the shard's heaviest task ran; any
+    sibling task that a different process drained from the pool queue
+    counts as stolen.  In-process runs share one pid, so this is 0
+    there — it measures actual pool dynamics, not the plan.
+    """
+    if len(reports) <= 1:
+        return 0
+    heavy = max(
+        range(len(plan_tasks)),
+        key=lambda i: (plan_tasks[i].cost, -i),
+    )
+    home_pid = reports[heavy].pid
+    return sum(1 for report in reports if report.pid != home_pid)
+
+
+def _fold_detect_tasks(
+    plan: SchedulePlan,
+    task_results: List[Tuple[StreamingDetector, WorkerReport]],
+    make_detector,
+) -> List[Tuple[StreamingDetector, WorkerReport]]:
+    """Fold per-task detector states into one pair per logical shard.
+
+    Detection merges are partition-independent, so task detectors fold
+    in logical task order without changing results; the per-shard
+    report aggregates the task reports and carries the plan/steal
+    telemetry.  Output arity is exactly ``plan.workers`` — downstream
+    merge and telemetry code sees the same shape as a static run.
+    """
+    folded: List[Tuple[StreamingDetector, WorkerReport]] = []
+    for shard in range(plan.workers):
+        tasks = plan.shard_tasks(shard)
+        if not tasks:
+            folded.append(
+                (
+                    make_detector(),
+                    WorkerReport(
+                        shard=shard,
+                        packets=0,
+                        events_finalized=0,
+                        open_flows=0,
+                        peak_open_flows=0,
+                        seconds=0.0,
+                        watermark=None,
+                        planned_cost=0.0,
+                        tasks=0,
+                    ),
+                )
+            )
+            continue
+        reports = [task_results[task.index][1] for task in tasks]
+        detector = merge_detectors(
+            [task_results[task.index][0] for task in tasks]
+        )
+        watermarks = [
+            report.watermark
+            for report in reports
+            if report.watermark is not None
+        ]
+        quarantined: List[str] = []
+        for report in reports:
+            for path in report.quarantined:
+                if path not in quarantined:
+                    quarantined.append(path)
+        folded.append(
+            (
+                detector,
+                WorkerReport(
+                    shard=shard,
+                    packets=sum(r.packets for r in reports),
+                    events_finalized=sum(
+                        r.events_finalized for r in reports
+                    ),
+                    open_flows=detector.open_flows,
+                    peak_open_flows=max(
+                        r.peak_open_flows for r in reports
+                    ),
+                    seconds=sum(r.seconds for r in reports),
+                    watermark=max(watermarks) if watermarks else None,
+                    generate_seconds=sum(
+                        r.generate_seconds for r in reports
+                    ),
+                    quarantined=tuple(quarantined),
+                    pid=reports[0].pid,
+                    planned_cost=plan.planned_cost(shard),
+                    tasks=len(tasks),
+                    stolen_tasks=_stolen_tasks(tasks, reports),
+                ),
+            )
+        )
+    return folded
+
+
+def _record_flow_workers(
+    telemetry: PipelineTelemetry,
+    plan: SchedulePlan,
+    task_results: List[tuple],
+) -> None:
+    """Fold per-task flow reports into one telemetry entry per shard.
+
+    Keeps the long-standing arity invariant — exactly ``plan.workers``
+    ``flow_worker_stats`` entries whose scanner counts sum to the
+    population — whatever the task decomposition was.
+    """
+    for shard in range(plan.workers):
+        tasks = plan.shard_tasks(shard)
+        reports = [task_results[task.index][1] for task in tasks]
+        telemetry.record_flow_worker(
+            shard=shard,
+            scanners=sum(r.scanners for r in reports),
+            rows=sum(r.rows for r in reports),
+            seconds=sum(r.seconds for r in reports),
+            planned_cost=plan.planned_cost(shard),
+            tasks=len(tasks),
+            stolen_tasks=_stolen_tasks(tasks, reports),
+        )
+
+
 def parallel_detect(
     chunks: Iterable,
     timeout: float,
@@ -355,6 +545,7 @@ def parallel_detect(
     day_seconds: float = 86_400.0,
     *,
     workers: int,
+    schedule: str = "static",
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
     retry: Optional[RetryPolicy] = None,
@@ -369,6 +560,14 @@ def parallel_detect(
             :class:`~repro.telescope.chunks.CaptureChunk`).
         workers: number of source shards, one detector (and, with
             ``use_processes``, one worker process) per shard.
+        schedule: ``static`` hash-shards sources into exactly
+            ``workers`` tasks (the legacy layout); ``packed`` and
+            ``stealing`` hash into ``workers * steal-factor`` *fine*
+            shards, count each fine shard's packets while chunking, and
+            bin-pack the fine shards by measured packet count —
+            ``packed`` into one task per worker, ``stealing`` into
+            cost-capped sub-tasks drained by idle workers.  All modes
+            produce identical events and detections.
         use_processes: run shards in a process pool; ``False`` runs them
             serially in-process (same shard/merge code path — useful for
             tests and as the degenerate ``workers=1`` case).
@@ -391,6 +590,7 @@ def parallel_detect(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    validate_mode(schedule)
     health = _resolve_health(telemetry)
     store = _checkpoint_store(
         checkpoint_dir,
@@ -398,22 +598,36 @@ def parallel_detect(
         {
             "kind": "detect",
             "workers": workers,
+            "schedule": schedule,
             "timeout": float(timeout),
             "dark_size": int(dark_size),
             "day_seconds": float(day_seconds),
             "config": _config_meta(config),
         },
     )
+    static = schedule == "static"
+    n_fine = workers if static else workers * DEFAULT_STEAL_FACTOR
     shards: List[List[PacketBatch]] = [[] for _ in range(workers)]
+    pending: List[Optional[PacketBatch]] = []
+    fine_packets = np.zeros(n_fine, dtype=np.int64)
     t_prev = time.perf_counter()
     shard_stage = telemetry.stage("shard") if telemetry is not None else None
     for chunk in chunks:
         batch = getattr(chunk, "packets", chunk)
         if len(batch) == 0:
             continue
-        for index, sub in enumerate(shard_batch(batch, workers)):
-            if len(sub):
-                shards[index].append(sub)
+        if static:
+            for index, sub in enumerate(shard_batch(batch, workers)):
+                if len(sub):
+                    shards[index].append(sub)
+        else:
+            # Routing needs the task plan, and the plan needs every
+            # chunk's fine-shard packet counts — so only count here and
+            # route after the stream is exhausted.
+            pending.append(batch)
+            fine_packets += np.bincount(
+                shard_of(batch.src, n_fine), minlength=n_fine
+            )
         if telemetry is not None:
             now = time.perf_counter()
             shard_stage.add(len(batch), len(batch), now - t_prev)
@@ -427,21 +641,71 @@ def parallel_detect(
             )
             t_prev = time.perf_counter()
 
-    shard_results = run_sharded(
+    if static:
+        shard_results = run_sharded(
+            _run_shard,
+            [
+                (index, shards[index], timeout, dark_size, config, day_seconds)
+                for index in range(workers)
+            ],
+            policy=retry,
+            plan=fault_plan,
+            use_processes=use_processes and workers > 1,
+            max_workers=workers,
+            health=health,
+            store=store,
+            kind="detect",
+            dumps=_dump_detect_state,
+            loads=_load_detect_state,
+        )
+        return _finish_merged(shard_results, telemetry)
+
+    # Scheduled: bin-pack the fine hash-shards by measured packet count,
+    # then route every chunk to each task with a union-of-fine-shards
+    # mask.  One sub-batch per (chunk, task) keeps the chunks arriving
+    # in time order within each task, and the union masks partition the
+    # sources — one detector per task is exactly as correct as one per
+    # hash shard.
+    plan = plan_grouped(
+        fine_packets.tolist(),
+        [[fine] for fine in range(n_fine)],
+        workers,
+        schedule,
+    )
+    task_fines = [
+        np.asarray(task.items, dtype=np.int64) for task in plan.tasks
+    ]
+    task_batches: List[List[PacketBatch]] = [[] for _ in plan.tasks]
+    for position, batch in enumerate(pending):
+        fine = shard_of(batch.src, n_fine)
+        for index, fines in enumerate(task_fines):
+            sub = batch.select(np.isin(fine, fines))
+            if len(sub):
+                task_batches[index].append(sub)
+        pending[position] = None  # free as we go; peak stays ~one capture
+    args = [
+        (task.index, task_batches[index], timeout, dark_size, config,
+         day_seconds)
+        for index, task in enumerate(plan.tasks)
+    ]
+    task_results = run_sharded(
         _run_shard,
-        [
-            (index, shards[index], timeout, dark_size, config, day_seconds)
-            for index in range(workers)
-        ],
+        args,
         policy=retry,
         plan=fault_plan,
         use_processes=use_processes and workers > 1,
         max_workers=workers,
+        submit_order=plan.submit_order(),
         health=health,
         store=store,
         kind="detect",
         dumps=_dump_detect_state,
         loads=_load_detect_state,
+    )
+    shard_results = _fold_detect_tasks(
+        plan,
+        task_results,
+        lambda: StreamingDetector(timeout, dark_size, config, day_seconds),
     )
     return _finish_merged(shard_results, telemetry)
 
@@ -454,6 +718,7 @@ def parallel_detect_directory(
     day_seconds: float = 86_400.0,
     *,
     workers: int,
+    schedule: str = "static",
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
     retry: Optional[RetryPolicy] = None,
@@ -469,6 +734,14 @@ def parallel_detect_directory(
     is validated up front — a missing directory, no ``chunk-*.npz``
     archives, or a gap in the chunk sequence raise immediately with a
     clear message rather than failing mid-run.
+
+    ``schedule="packed"``/``"stealing"`` decompose into
+    ``workers * 2`` fine hash-shards and bin-pack them into tasks
+    (``packed``: one per worker; ``stealing``: over-decomposed and
+    drained by idle workers).  Packet counts are unknown before
+    reading, so fine shards are weighted uniformly — the win here is
+    finer granularity and stealing, not size prediction; results are
+    identical in every mode.
 
     Chunk archives are digest-verified against the directory manifest.
     ``on_corrupt="raise"`` (default) surfaces the first damaged archive
@@ -486,6 +759,7 @@ def parallel_detect_directory(
 
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    validate_mode(schedule)
     if on_corrupt not in CORRUPT_MODES:
         raise ValueError(
             f"on_corrupt must be one of {CORRUPT_MODES}, got {on_corrupt!r}"
@@ -499,15 +773,16 @@ def parallel_detect_directory(
             "kind": "directory",
             "directory": str(directory),
             "workers": workers,
+            "schedule": schedule,
             "timeout": float(timeout),
             "dark_size": int(dark_size),
             "day_seconds": float(day_seconds),
             "config": _config_meta(config),
         },
     )
-    shard_results = run_sharded(
-        _run_shard_directory,
-        [
+    if schedule == "static":
+        plan = None
+        args = [
             (
                 index,
                 workers,
@@ -519,17 +794,53 @@ def parallel_detect_directory(
                 on_corrupt,
             )
             for index in range(workers)
-        ],
+        ]
+    else:
+        # Every task re-reads the archive sequence, so keep the fan-out
+        # modest; counts are unknown before reading — uniform weights.
+        n_fine = workers * DIRECTORY_FINE_FACTOR
+        plan = plan_grouped(
+            [1.0] * n_fine,
+            [[fine] for fine in range(n_fine)],
+            workers,
+            schedule,
+        )
+        args = [
+            (
+                task.index,
+                n_fine,
+                str(directory),
+                timeout,
+                dark_size,
+                config,
+                day_seconds,
+                on_corrupt,
+                task.items,
+            )
+            for task in plan.tasks
+        ]
+    shard_results = run_sharded(
+        _run_shard_directory,
+        args,
         policy=retry,
         plan=fault_plan,
         use_processes=use_processes and workers > 1,
         max_workers=workers,
+        submit_order=plan.submit_order() if plan is not None else None,
         health=health,
         store=store,
         kind="detect",
         dumps=_dump_detect_state,
         loads=_load_detect_state,
     )
+    if plan is not None:
+        shard_results = _fold_detect_tasks(
+            plan,
+            shard_results,
+            lambda: StreamingDetector(
+                timeout, dark_size, config, day_seconds
+            ),
+        )
     for _, report in shard_results:
         for path in report.quarantined:
             health.record_quarantine(path)
@@ -582,6 +893,7 @@ def resume_run(
         config,
         meta["day_seconds"],
         workers=meta["workers"],
+        schedule=meta.get("schedule", "static"),
         use_processes=use_processes,
         telemetry=telemetry,
         retry=retry,
@@ -622,10 +934,13 @@ class FlowWorkerReport:
     shard: int
     #: scanners synthesized by this worker.
     scanners: int
-    #: flow rows (true-count cells) produced.
+    #: flow rows (true-count cells) produced — the pre-sampling unit,
+    #: not the (smaller) exported row count after flow sampling.
     rows: int
     #: wall-clock seconds inside the worker's synthesis loop.
     seconds: float
+    #: OS process id that executed the work (steal accounting).
+    pid: int = 0
 
 
 def _run_flow_shard(
@@ -657,6 +972,7 @@ def _run_flow_shard(
         scanners=len(scanners),
         rows=len(columns),
         seconds=time.perf_counter() - t0,
+        pid=os.getpid(),
     )
     return columns, report
 
@@ -670,6 +986,7 @@ def parallel_flow_columns(
     base: int,
     *,
     workers: int,
+    schedule: str = "static",
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
     retry: Optional[RetryPolicy] = None,
@@ -681,11 +998,11 @@ def parallel_flow_columns(
     Unlike detection — where state is keyed per source and shards are
     hash-partitioned — flow synthesis has *no* cross-scanner state:
     scanner ``i`` draws only from its own ``(base, salt, i)`` stream.
-    The population is therefore split into **contiguous** index slices
-    (``np.array_split``), and concatenating the per-shard columns in
-    shard order reproduces the serial population order exactly — the
-    merge is a concat, and results are bit-identical to serial for any
-    worker count (hypothesis-tested 1..8).
+    The population is therefore split into **contiguous** index slices,
+    and concatenating the per-task columns in logical task order
+    reproduces the serial population order exactly — the merge is a
+    concat, and results are bit-identical to serial for any worker
+    count and schedule mode (hypothesis-tested 1..8).
 
     Args:
         scanners: full population slice to synthesize, in order.
@@ -695,6 +1012,12 @@ def parallel_flow_columns(
         day_seconds: day length for day indexing.
         base: the run's flow base seed.
         workers: number of contiguous shards / worker processes.
+        schedule: ``static`` cuts even *count* slices
+            (``np.array_split``, the legacy layout); ``packed`` cuts at
+            cumulative :meth:`~repro.scanners.base.Scanner.cost_estimate`
+            quantiles so each worker gets equal predicted work;
+            ``stealing`` over-decomposes into cost-capped sub-tasks
+            submitted heaviest-first, so idle workers drain stragglers.
         use_processes: ``False`` runs shards serially in-process (same
             shard/merge code path; useful for tests).
         telemetry: optional gauge sink for per-worker throughput.
@@ -706,7 +1029,16 @@ def parallel_flow_columns(
 
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    validate_mode(schedule)
     scanners = list(scanners)
+    if schedule == "static":
+        costs = np.ones(len(scanners), dtype=np.float64)
+    else:
+        costs = np.array(
+            [_scanner_cost(s, view, "flows") for s in scanners],
+            dtype=np.float64,
+        )
+    plan = plan_contiguous(costs, workers, schedule)
     health = _resolve_health(telemetry)
     store = _checkpoint_store(
         checkpoint_dir,
@@ -714,6 +1046,8 @@ def parallel_flow_columns(
         {
             "kind": "flows",
             "workers": workers,
+            "schedule": schedule,
+            "n_tasks": plan.n_tasks,
             "day_seconds": float(day_seconds),
             "base": int(base),
             "window": _window_meta(window),
@@ -725,27 +1059,27 @@ def parallel_flow_columns(
             ),
         },
     )
-    parts = np.array_split(np.arange(len(scanners)), workers)
     args = [
         (
-            shard,
-            [scanners[i] for i in part],
-            int(part[0]) if len(part) else 0,
-            mixes[part],
+            task.index,
+            [scanners[i] for i in task.items],
+            task.items[0] if task.items else 0,
+            mixes[list(task.items)],
             view,
             window,
             day_seconds,
             base,
         )
-        for shard, part in enumerate(parts)
+        for task in plan.tasks
     ]
-    shard_results = run_sharded(
+    task_results = run_sharded(
         _run_flow_shard,
         args,
         policy=retry,
         plan=fault_plan,
         use_processes=use_processes and workers > 1,
         max_workers=workers,
+        submit_order=plan.submit_order() if schedule != "static" else None,
         health=health,
         store=store,
         kind="flows",
@@ -753,14 +1087,17 @@ def parallel_flow_columns(
         loads=_load_flow_state,
     )
     if telemetry is not None:
-        for _, report in shard_results:
-            telemetry.record_flow_worker(
-                shard=report.shard,
-                scanners=report.scanners,
-                rows=report.rows,
-                seconds=report.seconds,
-            )
-    return FlowColumns.concat([columns for columns, _ in shard_results])
+        if schedule == "static":
+            for _, report in task_results:
+                telemetry.record_flow_worker(
+                    shard=report.shard,
+                    scanners=report.scanners,
+                    rows=report.rows,
+                    seconds=report.seconds,
+                )
+        else:
+            _record_flow_workers(telemetry, plan, task_results)
+    return FlowColumns.concat([columns for columns, _ in task_results])
 
 
 def parallel_generate_detect(
@@ -773,6 +1110,7 @@ def parallel_generate_detect(
     day_seconds: float = 86_400.0,
     *,
     workers: int,
+    schedule: str = "static",
     window: Optional[tuple] = None,
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
@@ -804,6 +1142,15 @@ def parallel_generate_detect(
         config: detection thresholds configuration.
         day_seconds: day length for per-day statistics.
         workers: number of source shards / worker processes.
+        schedule: ``static`` hash-shards the population by source (the
+            legacy layout); ``packed``/``stealing`` group scanners by
+            source address, predict each group's packet output with
+            :meth:`~repro.scanners.base.Scanner.cost_estimate`, and LPT
+            bin-pack the groups — ``stealing`` further splits each
+            worker's groups into stealable sub-tasks submitted
+            heaviest-first.  Same-source scanners always stay together
+            (per-source detection state), and results are identical in
+            every mode.
         window: overall [start, end) restriction (the scenario window).
         use_processes: ``False`` runs shards serially in-process (same
             code path; useful for tests).
@@ -812,6 +1159,7 @@ def parallel_generate_detect(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    validate_mode(schedule)
     scanners = list(scanners)
     health = _resolve_health(telemetry)
     store = _checkpoint_store(
@@ -820,6 +1168,7 @@ def parallel_generate_detect(
         {
             "kind": "generate",
             "workers": workers,
+            "schedule": schedule,
             "chunk_seconds": float(chunk_seconds),
             "timeout": float(timeout),
             "dark_size": int(dark_size),
@@ -834,14 +1183,35 @@ def parallel_generate_detect(
             ),
         },
     )
-    shards = shard_scanners(scanners, workers)
-    args = [
-        (
-            index, shards[index], view, chunk_seconds, window,
-            timeout, dark_size, config, day_seconds,
-        )
-        for index in range(workers)
-    ]
+    if schedule == "static":
+        plan = None
+        shards = shard_scanners(scanners, workers)
+        args = [
+            (
+                index, shards[index], view, chunk_seconds, window,
+                timeout, dark_size, config, day_seconds,
+            )
+            for index in range(workers)
+        ]
+    else:
+        # Same-source scanners are one indivisible unit (per-source
+        # detection state); any source-disjoint partition of the
+        # population yields identical merged results, so the planner is
+        # free to bin-pack the groups by predicted packet output.
+        groups = _source_groups(scanners)
+        costs = [
+            sum(_scanner_cost(scanners[i], view, "packets") for i in group)
+            for group in groups
+        ]
+        plan = plan_grouped(costs, groups, workers, schedule)
+        args = [
+            (
+                task.index, [scanners[i] for i in task.items], view,
+                chunk_seconds, window, timeout, dark_size, config,
+                day_seconds,
+            )
+            for task in plan.tasks
+        ]
     shard_results = run_sharded(
         _run_shard_lazy,
         args,
@@ -849,12 +1219,21 @@ def parallel_generate_detect(
         plan=fault_plan,
         use_processes=use_processes and workers > 1,
         max_workers=workers,
+        submit_order=plan.submit_order() if plan is not None else None,
         health=health,
         store=store,
         kind="detect",
         dumps=_dump_detect_state,
         loads=_load_detect_state,
     )
+    if plan is not None:
+        shard_results = _fold_detect_tasks(
+            plan,
+            shard_results,
+            lambda: StreamingDetector(
+                timeout, dark_size, config, day_seconds
+            ),
+        )
     if telemetry is not None:
         telemetry.total_packets = sum(
             report.packets for _, report in shard_results

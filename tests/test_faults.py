@@ -213,6 +213,34 @@ class TestRunSharded:
         assert health.retries == 0
         assert not retryable(ChunkCorruptionError("x"))
 
+    def test_submit_order_reorders_execution_not_results(self):
+        submitted = []
+
+        def tracking(value):
+            submitted.append(value)
+            return value * 2
+
+        out = run_sharded(
+            tracking,
+            [(i,) for i in range(4)],
+            use_processes=False,
+            submit_order=[3, 1, 0, 2],
+            **_NO_SLEEP,
+        )
+        assert out == [0, 2, 4, 6]
+        assert submitted == [3, 1, 0, 2]
+
+    def test_submit_order_must_be_permutation(self):
+        for bad in ([0, 1], [0, 0, 1, 2], [0, 1, 2, 4]):
+            with pytest.raises(ValueError, match="permutation"):
+                run_sharded(
+                    _double,
+                    [(i,) for i in range(4)],
+                    use_processes=False,
+                    submit_order=bad,
+                    **_NO_SLEEP,
+                )
+
     def test_checkpoints_skip_finished_shards(self, tmp_path):
         health = RunHealth()
         store = CheckpointStore(tmp_path / "run", health)
@@ -533,6 +561,115 @@ class TestFlowShardFaults:
             assert np.array_equal(
                 getattr(serial, name), getattr(resumed, name)
             )
+
+
+class TestScheduledFaults:
+    """Scheduling modes preserve the whole fault-tolerance contract:
+    kills, interrupts and resumes still converge to the serial result,
+    and a checkpointed run refuses to resume under a different plan."""
+
+    @settings(deadline=None, max_examples=12)
+    @given(
+        workers=st.integers(1, 6),
+        victim=st.integers(0, 5),
+        schedule=st.sampled_from(["packed", "stealing"]),
+    )
+    def test_scheduled_kill_retry_identical(self, workers, victim, schedule):
+        plan = FaultPlan(kill={victim % workers: 1})
+        result = parallel_detect(
+            _chunks(),
+            600.0,
+            _DARK_SIZE,
+            _CONFIG,
+            workers=workers,
+            schedule=schedule,
+            use_processes=False,
+            retry=RetryPolicy(max_retries=1, backoff_seconds=0.0),
+            fault_plan=plan,
+        )
+        _assert_tables_identical(result.events, _REF_EVENTS)
+        _assert_detections_identical(result.detections, _REF_DETECTIONS)
+
+    @pytest.mark.parametrize("schedule", ["packed", "stealing"])
+    def test_scheduled_interrupt_resume_identical(self, schedule, tmp_path):
+        run_dir = tmp_path / "run"
+        with pytest.raises(ShardFailedError):
+            parallel_detect(
+                _chunks(), 600.0, _DARK_SIZE, _CONFIG,
+                workers=3, schedule=schedule, use_processes=False,
+                retry=RetryPolicy(max_retries=0, backoff_seconds=0.0),
+                fault_plan=FaultPlan(kill={1: 1}),
+                checkpoint_dir=run_dir,
+            )
+        telemetry = PipelineTelemetry(chunk_seconds=3_600.0)
+        result = parallel_detect(
+            _chunks(), 600.0, _DARK_SIZE, _CONFIG,
+            workers=3, schedule=schedule, use_processes=False,
+            telemetry=telemetry, checkpoint_dir=run_dir,
+        )
+        # The plan is a pure function of (costs, workers, mode), so the
+        # resume re-derives it and reloads every task that finished
+        # before the injected kill.
+        assert telemetry.health.checkpoint_hits >= 1
+        _assert_tables_identical(result.events, _REF_EVENTS)
+        _assert_detections_identical(result.detections, _REF_DETECTIONS)
+
+    def test_schedule_change_refuses_resume(self, tmp_path):
+        parallel_detect(
+            _chunks(), 600.0, _DARK_SIZE, _CONFIG,
+            workers=2, schedule="packed", use_processes=False,
+            checkpoint_dir=tmp_path / "run",
+        )
+        with pytest.raises(ValueError, match="schedule"):
+            parallel_detect(
+                _chunks(), 600.0, _DARK_SIZE, _CONFIG,
+                workers=2, schedule="stealing", use_processes=False,
+                checkpoint_dir=tmp_path / "run",
+            )
+
+    def test_resume_run_restores_schedule(self, tmp_path):
+        save_packets_chunked(_BATCH, tmp_path / "cap", 50_000.0)
+        run_dir = tmp_path / "run"
+        with pytest.raises(ShardFailedError):
+            parallel_detect_directory(
+                tmp_path / "cap", 600.0, _DARK_SIZE, _CONFIG,
+                workers=3, schedule="stealing", use_processes=False,
+                retry=RetryPolicy(max_retries=0, backoff_seconds=0.0),
+                fault_plan=FaultPlan(kill={1: 1}),
+                checkpoint_dir=run_dir,
+            )
+        result = resume_run(run_dir, use_processes=False)
+        _assert_tables_identical(result.events, _REF_EVENTS)
+        _assert_detections_identical(result.detections, _REF_DETECTIONS)
+
+    @pytest.mark.parametrize("schedule", ["packed", "stealing"])
+    def test_scheduled_flow_kill_retry_identical(self, schedule):
+        from repro.flows.synthesis import synthesize_flow_columns
+        from repro.sim.runner import run_scenario
+        from repro.sim.scenario import tiny_scenario
+
+        result = run_scenario(tiny_scenario(), mode="batch")
+        scanners = result.flow_scanners()
+        sources = np.array([int(s.src) for s in scanners], dtype=np.uint32)
+        mixes = result.merit.router_mix_many(sources)
+        window = (0.0, 2 * result.clock.seconds_per_day)
+        day_seconds = result.clock.seconds_per_day
+        base = 424242
+        serial = synthesize_flow_columns(
+            scanners, mixes, result.merit.transit_view, window,
+            day_seconds, base,
+        )
+        faulted = parallel_flow_columns(
+            scanners, mixes, result.merit.transit_view, window,
+            day_seconds, base,
+            workers=3, schedule=schedule, use_processes=False,
+            retry=RetryPolicy(max_retries=1, backoff_seconds=0.0),
+            fault_plan=FaultPlan(kill={0: 1}),
+        )
+        for name in ("router", "day", "src", "dport", "proto", "true"):
+            assert np.array_equal(
+                getattr(serial, name), getattr(faulted, name)
+            ), name
 
 
 class TestRunHealthTelemetry:

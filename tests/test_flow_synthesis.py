@@ -171,9 +171,14 @@ class TestShardedEqualsSerial:
         base = flow_base_seed(np.random.default_rng(seed))
         return mixes, base
 
-    @given(workers=st.integers(min_value=1, max_value=8))
-    @settings(max_examples=8, deadline=None)
-    def test_any_worker_count(self, merit_world, flow_population, workers):
+    @given(
+        workers=st.integers(min_value=1, max_value=8),
+        schedule=st.sampled_from(["static", "packed", "stealing"]),
+    )
+    @settings(max_examples=18, deadline=None)
+    def test_any_worker_count(
+        self, merit_world, flow_population, workers, schedule
+    ):
         _, merit = merit_world
         mixes, base = self._mixes_and_base(merit, flow_population)
         serial = synthesize_flow_columns(
@@ -181,11 +186,14 @@ class TestShardedEqualsSerial:
         )
         sharded = parallel_flow_columns(
             flow_population, mixes, merit.transit_view, self.WINDOW, DAY, base,
-            workers=workers, use_processes=False,
+            workers=workers, schedule=schedule, use_processes=False,
         )
         _assert_columns_identical(serial, sharded)
 
-    def test_more_workers_than_scanners(self, merit_world, flow_population):
+    @pytest.mark.parametrize("schedule", ["static", "packed", "stealing"])
+    def test_more_workers_than_scanners(
+        self, merit_world, flow_population, schedule
+    ):
         _, merit = merit_world
         few = flow_population[:3]
         mixes, base = self._mixes_and_base(merit, few)
@@ -194,9 +202,41 @@ class TestShardedEqualsSerial:
         )
         sharded = parallel_flow_columns(
             few, mixes, merit.transit_view, self.WINDOW, DAY, base,
-            workers=8, use_processes=False,
+            workers=8, schedule=schedule, use_processes=False,
         )
         _assert_columns_identical(serial, sharded)
+
+    @pytest.mark.parametrize("schedule", ["packed", "stealing"])
+    def test_scheduled_telemetry_units(
+        self, merit_world, flow_population, schedule
+    ):
+        # Satellite units contract: per-shard telemetry ``rows`` counts
+        # pre-sampling synthesis rows — their sum equals the serial
+        # FlowColumns length — while the exported table (post 1:1000
+        # sampling) can only be shorter.  The two quantities must never
+        # be conflated again (they once shared a name in BENCH_flows).
+        _, merit = merit_world
+        mixes, base = self._mixes_and_base(merit, flow_population)
+        serial = synthesize_flow_columns(
+            flow_population, mixes, merit.transit_view, self.WINDOW, DAY, base
+        )
+        telemetry = PipelineTelemetry()
+        sharded = parallel_flow_columns(
+            flow_population, mixes, merit.transit_view, self.WINDOW, DAY, base,
+            workers=3, schedule=schedule, use_processes=False,
+            telemetry=telemetry,
+        )
+        workers = telemetry.flow_worker_stats
+        assert len(workers) == 3
+        assert sum(w.rows for w in workers) == len(serial.day)
+        assert sum(w.scanners for w in workers) == len(flow_population)
+        assert all(w.planned_cost > 0 for w in workers)
+        assert all(w.tasks >= 1 for w in workers)
+        if schedule == "stealing":
+            assert sum(w.tasks for w in workers) > 3
+        exporter = NetflowExporter()
+        table = exporter.export_columns(sharded, base)
+        assert len(table) <= len(serial.day)
 
     def test_process_pool_smoke(self, merit_world, flow_population):
         # One real ProcessPoolExecutor pass: pickling, merge order,

@@ -17,6 +17,7 @@ from repro.parallel import (
     parallel_detect_directory,
     shard_batch,
     shard_of,
+    shard_scanners,
 )
 from repro.sim.runner import run_scenario
 from repro.sim.scenario import tiny_scenario
@@ -77,6 +78,35 @@ class TestSharding:
     def test_invalid_shard_count(self):
         with pytest.raises(ValueError):
             shard_of(np.arange(4, dtype=np.uint32), 0)
+
+    def test_shard_scanners_legacy_layout_stable(self):
+        # Backward compat for schedule="static": the hash-grouped
+        # scanner partition must keep matching shard_of on each source,
+        # preserving population order within a shard.
+        class _Fake:
+            def __init__(self, src):
+                self.src = src
+
+        scanners = [_Fake(src) for src in range(1, 300, 7)]
+        shards = shard_scanners(scanners, 4)
+        assert sum(len(s) for s in shards) == len(scanners)
+        sources = np.array([s.src for s in scanners], dtype=np.uint32)
+        expected = shard_of(sources, 4)
+        for idx, shard in enumerate(shards):
+            srcs = [s.src for s in shard]
+            assert srcs == [
+                s.src for s, e in zip(scanners, expected) if e == idx
+            ]
+
+    def test_shard_scanners_single_shard(self):
+        class _Fake:
+            def __init__(self, src):
+                self.src = src
+
+        scanners = [_Fake(1), _Fake(2)]
+        assert shard_scanners(scanners, 1) == [scanners]
+        with pytest.raises(ValueError):
+            shard_scanners(scanners, 0)
 
     def test_merge_detectors_empty(self):
         with pytest.raises(ValueError):
@@ -191,6 +221,32 @@ class TestRunnerIntegration:
         )
         assert parallel.telemetry.workers == 2
 
+    @pytest.mark.parametrize("schedule", ["static", "packed", "stealing"])
+    def test_schedule_modes_match_batch(self, batch_result, schedule):
+        # The full streaming pipeline — lazy generation, grouped
+        # scheduling, detection, flow synthesis — under every mode:
+        # identical results, telemetry arity pinned to the worker count.
+        parallel = run_scenario(
+            tiny_scenario(), mode="streaming", workers=2, schedule=schedule
+        )
+        _assert_tables_identical(parallel.events, batch_result.events)
+        _assert_detections_identical(
+            parallel.detections, batch_result.detections
+        )
+        assert parallel.schedule == schedule
+        assert len(parallel.telemetry.worker_stats) == 2
+        if schedule == "stealing":
+            assert any(
+                w.tasks > 1 for w in parallel.telemetry.worker_stats
+            )
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            run_scenario(
+                tiny_scenario(), mode="streaming", workers=2,
+                schedule="adaptive",
+            )
+
     def test_workers_allowed_in_batch_mode(self, batch_result):
         # Batch mode now accepts workers: detection runs serially, but
         # the ISP flow synthesis shards across the pool on demand.
@@ -206,10 +262,11 @@ class TestRunnerIntegration:
 
 
 # ----------------------------------------------------------------------
-# Property: for any shard count in 1..8, sharded streaming detection
-# emits AH sets (and thresholds, and the event table) identical to
-# serial detect_all, for all three definitions.  In-process execution —
-# the shard/merge code path is exactly the process-pool one.
+# Property: for any shard count in 1..8 and any scheduling mode,
+# sharded streaming detection emits AH sets (and thresholds, and the
+# event table) identical to serial detect_all, for all three
+# definitions.  In-process execution — the shard/merge code path is
+# exactly the process-pool one.
 # ----------------------------------------------------------------------
 
 packet_rows = st.lists(
@@ -227,11 +284,12 @@ packet_rows = st.lists(
 @given(
     packet_rows,
     st.integers(min_value=1, max_value=8),
+    st.sampled_from(["static", "packed", "stealing"]),
     st.floats(min_value=10.0, max_value=2_000.0),
     st.floats(min_value=50.0, max_value=6_000.0),
 )
 @settings(max_examples=60, deadline=None)
-def test_sharded_equals_serial(rows, workers, timeout, chunk_seconds):
+def test_sharded_equals_serial(rows, workers, schedule, timeout, chunk_seconds):
     batch = _packets([(ts, s, d, p, TCP) for ts, s, d, p in rows])
     ref_events = build_events(batch, timeout)
     ref_detections = detect_all(ref_events, _DARK_SIZE, _CONFIG)
@@ -242,6 +300,7 @@ def test_sharded_equals_serial(rows, workers, timeout, chunk_seconds):
         _DARK_SIZE,
         _CONFIG,
         workers=workers,
+        schedule=schedule,
         use_processes=False,
     )
     _assert_tables_identical(
