@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke fault-matrix serve-smoke perf-gate ci-local
+.PHONY: lint test bench bench-smoke bench-emit fault-matrix serve-smoke perf-gate ci-local
 
 lint:
 	ruff check .
@@ -24,6 +24,15 @@ bench:
 # import/logic rot cheaply; artifacts still land in benchmarks/results/.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
+
+# Emit-path benchmark alone: regenerate BENCH_emit.json (lazy vs
+# materialized time/memory ratios, span counters, shm availability) and
+# render the before/after table against the committed baseline — the
+# table also lands in $$GITHUB_STEP_SUMMARY when that variable is set.
+bench-emit:
+	$(PYTHON) -m pytest benchmarks/test_perf_emit.py -q --benchmark-disable
+	$(PYTHON) benchmarks/perf_gate.py --fresh-dir benchmarks/results \
+		--baseline-git HEAD
 
 # Fault-tolerance matrix: drive retry / pool-respawn / resume /
 # quarantine against injected faults at WORKERS shards, assert results

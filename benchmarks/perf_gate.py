@@ -12,7 +12,11 @@ when a gated metric regresses:
   ``--spread-max``;
 * the single-process columnar speedup and the emit-path parallel
   speedup get the same baseline-relative band when both sides report
-  them.
+  them;
+* the emit path's lazy/materialize ratios are hard ceilings: lazy
+  streaming may not be slower than materializing (``time_ratio < 1``)
+  and may not peak above a quarter of the materialized allocation
+  (``peak_ratio < 0.25``).
 
 Only *ratio* metrics are gated — speedups and spreads compare two
 timings from the same machine, so they transfer between the baseline
@@ -163,7 +167,7 @@ def build_rows(
                 metric,
                 base,
                 new,
-                f"< {limit:.1f}",
+                f"< {limit:.2f}",
                 passed=new < limit,
                 gated=True,
             )
@@ -186,6 +190,16 @@ def build_rows(
     relative(
         "emit: 4-worker lazy speedup",
         "BENCH_emit.json", "parallel", "speedup",
+    )
+    absolute_max(
+        "emit: lazy/materialize time ratio",
+        "BENCH_emit.json", "emit", "time_ratio",
+        limit=1.0,
+    )
+    absolute_max(
+        "emit: lazy/materialized peak-memory ratio",
+        "BENCH_emit.json", "emit", "peak_ratio",
+        limit=0.25,
     )
     return rows
 

@@ -5,9 +5,12 @@ scenario (a 6-day window — long enough that steady-state costs dominate
 fixed ones, short enough for the smoke pass):
 
 * **Memory** — generating the capture window by window
-  (`LazyCaptureSource`) peaks far below materializing it
+  (`LazyCaptureSource`) peaks at <= 0.25x of materializing it
   (`Telescope.capture`), because no process ever holds more than ~one
   chunk plus the open generation spans.
+* **Time** — since the batched span derivation, streaming the capture
+  is no slower than materializing it (`time_ratio <= 1.0`); both
+  ratios land in the JSON and are gated by ``benchmarks/perf_gate.py``.
 * **Wall-clock** — with 4 workers, shard-local lazy generation + sharded
   detection (`parallel_generate_detect`) beats the PR 2 pipeline
   (materialize the full capture, then stream-detect serially) by >= 2x
@@ -85,9 +88,10 @@ def test_perf_emit_throughput_and_memory(emit_world, results_dir):
     t0 = time.perf_counter()
     lazy_packets = 0
     peak_chunk = 0
-    for chunk in LazyCaptureSource.from_population(
+    source = LazyCaptureSource.from_population(
         population.scanners, view, CHUNK_SECONDS, window=window
-    ):
+    )
+    for chunk in source:
         lazy_packets += len(chunk)
         peak_chunk = max(peak_chunk, len(chunk))
     lazy_seconds = time.perf_counter() - t0
@@ -112,6 +116,8 @@ def test_perf_emit_throughput_and_memory(emit_world, results_dir):
     tracemalloc.stop()
     assert lazy_mem_packets == mem_packets
 
+    from repro.io.shm import shared_memory_available
+
     _merge_bench_json(
         "emit",
         {
@@ -124,10 +130,15 @@ def test_perf_emit_throughput_and_memory(emit_world, results_dir):
             "materialize_seconds": round(materialize_seconds, 3),
             "lazy_seconds": round(lazy_seconds, 3),
             "lazy_pkt_per_s": round(lazy_packets / lazy_seconds),
+            "time_ratio": round(lazy_seconds / materialize_seconds, 4),
+            "spans_derived": source.spans_derived,
+            "spans_emitted": source.spans_emitted,
             "memory_days": MEMORY_DAYS,
             "memory_packets": mem_packets,
             "materialized_peak_bytes": materialized_peak,
             "lazy_peak_bytes": lazy_peak,
+            "peak_ratio": round(lazy_peak / materialized_peak, 4),
+            "shm": shared_memory_available(),
         },
     )
     emit(
@@ -154,9 +165,11 @@ def test_perf_emit_throughput_and_memory(emit_world, results_dir):
             align_right=False,
         ),
     )
-    # The memory claim: streaming peaks at a small fraction of what
-    # materializing the same window allocates.
-    assert lazy_peak < materialized_peak / 3
+    # The acceptance claims: streaming is no slower than materializing
+    # (the batched span derivation closed the old 30% gap) and peaks at
+    # no more than a quarter of the materialized allocation.
+    assert lazy_seconds <= materialize_seconds
+    assert lazy_peak <= 0.25 * materialized_peak
 
 
 @pytest.mark.skipif(

@@ -39,11 +39,12 @@ from repro.core.events import EventTable
 from repro.core.faults import CheckpointStore
 from repro.core.streaming import ChunkReport, StreamingDetector
 from repro.core.telemetry import PipelineTelemetry
+from repro.io.shm import resolve_batch
 
 #: Versioned header for engine snapshots.  Bump on any change to the
 #: payload layout; ``restore`` refuses a mismatched header so a stale
 #: snapshot is discarded (and the tenant re-fed), never half-loaded.
-ENGINE_STATE_MAGIC = b"repro-engine-state-v1\n"
+ENGINE_STATE_MAGIC = b"repro-engine-state-v2\n"
 
 #: Checkpoint kind under which engine snapshots are stored.
 ENGINE_CKPT_KIND = "engine"
@@ -239,11 +240,16 @@ class DetectionEngine:
         with ``.packets`` (and optionally ``.end``, the chunk's window
         edge — used for watermark-lag accounting), e.g. the
         :class:`~repro.telescope.capture.CaptureChunk` objects that
-        :meth:`Telescope.stream` yields.
+        :meth:`Telescope.stream` yields.  A
+        :class:`~repro.io.shm.ShmBatch` handle (bare or under
+        ``.packets``) is resolved to read-only views of its
+        shared-memory segment — the zero-copy ingest path; the handle's
+        segment must stay leased by its producer until this call
+        returns.
         """
         if self._finished:
             raise RuntimeError("engine already finished")
-        batch = getattr(chunk, "packets", chunk)
+        batch = resolve_batch(getattr(chunk, "packets", chunk))
         t0 = time.perf_counter()
         if self.workers == 1:
             report = self._detectors[0].add_batch(batch)
@@ -380,6 +386,8 @@ class DetectionEngine:
                         peak_open_flows=report.peak_open_flows,
                         seconds=report.seconds,
                         generate_seconds=report.generate_seconds,
+                        spans_derived=getattr(report, "spans_derived", 0),
+                        spans_emitted=getattr(report, "spans_emitted", 0),
                         planned_cost=getattr(report, "planned_cost", 0.0),
                         tasks=getattr(report, "tasks", 1),
                         stolen_tasks=getattr(report, "stolen_tasks", 0),

@@ -53,49 +53,47 @@ from repro.core.events import (
 from repro.packet import PacketBatch, SCANNING_PROTOCOLS
 
 
-# Open-flow state is a plain list (not a dataclass) because the splice
-# loop in ``add_batch`` touches one record per live flow per chunk and
-# attribute access is measurably slower than indexing there.  Layout:
-# [src, dport, proto, start, last, packets, dst_segments] where
-# dst_segments is a list of per-segment destination collections, each
-# already deduplicated *within* itself.  Most flows are opened and
-# expired without ever being continued, so the cross-segment union (the
-# only genuinely per-element Python work) is deferred to close time and
-# paid only by multi-segment flows; flows continued across many chunks
-# are compacted into a single set periodically so open-flow memory is
-# bounded by distinct destinations (<= dark size), never flow length.
-_F_START, _F_LAST, _F_PACKETS, _F_DSTS = 3, 4, 5, 6
+# Open flows live in a columnar table sorted by composite flow key —
+# parallel numpy arrays for the numeric state (start, last, packets,
+# segment gauges) plus one dict of per-flow destination-segment lists.
+# Chunk folding is then a handful of vectorized passes (membership via
+# searchsorted on the sorted keys, batched in-place continuation
+# updates, batched closes straight into column chunks); Python-level
+# iteration is confined to destination-segment bookkeeping for the
+# flows a chunk actually touches.  Segments are numpy arrays, each
+# deduplicated *within* itself; the cross-segment union is deferred to
+# close time and computed for a whole close batch in one
+# lexsort/boundary pass (:func:`_union_counts`).  Long-lived flows are
+# compacted every :data:`_COMPACT_SEGMENTS` continuations so open-flow
+# memory is bounded by distinct destinations (<= dark size), never
+# flow length.
+_COMPACT_SEGMENTS = 8
+
+_KEY_DPORT_MASK = np.uint64(0xFFFF)
+_KEY_PROTO_MASK = np.uint64(0xFF)
 
 
-def _flow_row(flow: list) -> tuple:
-    """Finalize an open-flow record into an event row."""
-    segments = flow[_F_DSTS]
-    if len(segments) == 1:
-        n_dsts = len(segments[0])
-    else:
-        n_dsts = len(set().union(*segments))
-    return (
-        flow[0],
-        flow[1],
-        flow[2],
-        flow[_F_START],
-        flow[_F_LAST],
-        flow[_F_PACKETS],
-        n_dsts,
+def _union_counts(seg_lists: List[list]) -> np.ndarray:
+    """Distinct-destination counts for many multi-segment flows at once.
+
+    One lexsort over all (flow, dst) pairs replaces a per-flow
+    ``set().union(*segments)``; segments are already deduplicated
+    internally, so the pair count is bounded by segments' total size.
+    """
+    lens = np.fromiter(
+        (sum(len(s) for s in segs) for segs in seg_lists),
+        dtype=np.int64,
+        count=len(seg_lists),
     )
-
-
-def _rows_to_columns(rows: List[tuple]) -> tuple:
-    arr = np.array(rows, dtype=np.float64)
-    return (
-        arr[:, 0].astype(np.uint32),
-        arr[:, 1].astype(np.uint16),
-        arr[:, 2].astype(np.uint8),
-        arr[:, 3],
-        arr[:, 4],
-        arr[:, 5].astype(np.int64),
-        arr[:, 6].astype(np.int64),
-    )
+    ids = np.repeat(np.arange(len(seg_lists)), lens)
+    vals = np.concatenate([s for segs in seg_lists for s in segs])
+    order = np.lexsort((vals, ids))
+    ids = ids[order]
+    vals = vals[order]
+    first = np.empty(len(vals), dtype=bool)
+    first[0] = True
+    first[1:] = (ids[1:] != ids[:-1]) | (vals[1:] != vals[:-1])
+    return np.bincount(ids[first], minlength=len(seg_lists)).astype(np.int64)
 
 
 def _columns_to_table(chunks: List[tuple]) -> EventTable:
@@ -127,20 +125,31 @@ class StreamingEventBuilder:
     that data could belong to already-expired flows.
 
     Each chunk is folded in with a vectorized group-by (the same
-    lexsort/segment-boundary construction the batch builder uses):
-    per-packet work is all numpy, and Python-level iteration happens
-    only once per *flow* active in the chunk — to splice chunk-local
-    events into the open-flow state that survives chunk boundaries.
+    lexsort/segment-boundary construction the batch builder uses), and
+    the open-flow state that survives chunk boundaries is itself
+    columnar: a key-sorted struct-of-arrays table spliced with
+    searchsorted membership, batched in-place updates, and batched
+    closes.  Python-level iteration happens only for the
+    destination-segment lists of flows the chunk touches.
     """
 
     def __init__(self, timeout: float):
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         self.timeout = float(timeout)
-        self._open: Dict[tuple, list] = {}
-        #: finalized single rows (flow expiries) and vectorized column
-        #: chunks (in-chunk closures) awaiting drain/finish.
-        self._closed_rows: List[tuple] = []
+        #: open-flow table, all parallel and sorted by ``_keys``.
+        self._keys = np.empty(0, dtype=np.uint64)
+        self._start = np.empty(0, dtype=np.float64)
+        self._last = np.empty(0, dtype=np.float64)
+        self._packets = np.empty(0, dtype=np.int64)
+        #: destination-segment count; ``_seg0`` is the exact distinct
+        #: destination count while ``_nseg == 1`` (segments are deduped
+        #: internally), so single-segment closes never touch Python.
+        self._nseg = np.empty(0, dtype=np.int64)
+        self._seg0 = np.empty(0, dtype=np.int64)
+        #: flow key -> list of per-continuation destination arrays.
+        self._segs: Dict[int, list] = {}
+        #: finalized column chunks awaiting drain/finish.
         self._closed_cols: List[tuple] = []
         self._pending_closed = 0
         self._n_closed = 0
@@ -151,7 +160,7 @@ class StreamingEventBuilder:
     @property
     def open_flows(self) -> int:
         """Current state size (live flows)."""
-        return len(self._open)
+        return len(self._keys)
 
     @property
     def peak_open_flows(self) -> int:
@@ -227,10 +236,8 @@ class StreamingEventBuilder:
         ev_unique = np.bincount(
             eid_sorted[first_pair], minlength=n_events
         ).astype(np.int64)
-        ev_dst = dst_sorted[first_pair].tolist()
-        ev_off = np.concatenate(
-            [[0], np.cumsum(ev_unique)]
-        ).tolist()
+        ev_dst = dst_sorted[first_pair]
+        ev_off = np.concatenate([[0], np.cumsum(ev_unique)])
 
         ev_src = batch.src[order][start_idx]
         ev_dport = batch.dport[order][start_idx]
@@ -238,65 +245,95 @@ class StreamingEventBuilder:
         ev_start = ts[start_idx]
         ev_end = ts[end_idx]
 
-        # Python-level views for the per-flow splice loop.
-        src_l = ev_src.tolist()
-        dport_l = ev_dport.tolist()
-        proto_l = ev_proto.tolist()
-        start_l = ev_start.tolist()
-        end_l = ev_end.tolist()
-        packets_l = ev_packets.tolist()
-        key_first_ev = np.flatnonzero(new_key[start_idx]).tolist()
-        key_bounds = key_first_ev[1:] + [n_events]
+        # Per-key event groups: events are sorted by (key, ts), so the
+        # chunk's distinct keys come out ascending — ready for a single
+        # searchsorted membership probe against the sorted open table.
+        kf = np.flatnonzero(new_key[start_idx])
+        kl = np.concatenate([kf[1:], [n_events]]) - 1
+        chunk_keys = keys[start_idx][kf]
+        nk = len(chunk_keys)
+        n_open = len(self._keys)
+        timeout = self.timeout
+
+        matched = np.zeros(nk, dtype=bool)
+        pos = np.zeros(nk, dtype=np.intp)
+        if n_open:
+            pos = np.searchsorted(self._keys, chunk_keys)
+            inb = pos < n_open
+            matched[inb] = self._keys[pos[inb]] == chunk_keys[inb]
+        # A matched key continues its open flow only when the silence
+        # gap to the key's first chunk event is within the timeout.
+        cont = np.zeros(nk, dtype=bool)
+        mpos = pos[matched]
+        cont[matched] = ev_start[kf[matched]] - self._last[mpos] <= timeout
+        single = kf == kl
 
         closed_mask = np.ones(n_events, dtype=bool)
-        open_flows = self._open
-        closed_rows = self._closed_rows
-        timeout = self.timeout
-        n_rows_before = len(closed_rows)
+        closed_mask[kl] = False
+        closed_mask[kf[cont]] = False
 
-        for e0, e_stop in zip(key_first_ev, key_bounds):
-            last_e = e_stop - 1
-            key = (src_l[e0], dport_l[e0], proto_l[e0])
-            flow = open_flows.get(key)
-            if flow is not None:
-                if start_l[e0] - flow[_F_LAST] <= timeout:
-                    # The key's first event continues the open flow.
-                    segments = flow[_F_DSTS]
-                    segments.append(ev_dst[ev_off[e0]:ev_off[e0 + 1]])
-                    if len(segments) >= 8:
-                        # Compact long-lived flows: unmerged per-chunk
-                        # segments would grow O(flow packets), while the
-                        # union is bounded by the dark size.  Every 8th
-                        # continuation keeps the amortized union cost
-                        # low without ever holding more than a few
-                        # chunks' worth of duplicates.
-                        flow[_F_DSTS] = [set().union(*segments)]
-                    flow[_F_PACKETS] += packets_l[e0]
-                    flow[_F_LAST] = end_l[e0]
-                    closed_mask[e0] = False
-                    if e0 == last_e:
-                        continue  # single event: flow stays open
-                    # A gap follows within the chunk: the merged event
-                    # is final.
-                    closed_rows.append(_flow_row(flow))
+        # Destination-segment bookkeeping: the only per-flow Python
+        # work, confined to keys whose flows the chunk continues.
+        new_nseg = np.ones(nk, dtype=np.int64)
+        new_seg0 = ev_unique[kl].copy()
+        segs_map = self._segs
+        for i in np.flatnonzero(cont).tolist():
+            e0 = kf[i]
+            segs = segs_map[int(chunk_keys[i])]
+            segs.append(ev_dst[ev_off[e0]:ev_off[e0 + 1]].copy())
+            if single[i]:
+                if len(segs) >= _COMPACT_SEGMENTS:
+                    # Compact long-lived flows: unmerged per-chunk
+                    # segments would grow O(flow packets), while the
+                    # union is bounded by the dark size.
+                    merged = np.unique(np.concatenate(segs))
+                    segs_map[int(chunk_keys[i])] = [merged]
+                    new_nseg[i] = 1
+                    new_seg0[i] = len(merged)
                 else:
-                    # Open flow expired before the key's first packet.
-                    closed_rows.append(_flow_row(flow))
-            # Events between the first and last close in-chunk
-            # (vectorized below); the key's final event becomes the new
-            # open flow.
-            closed_mask[last_e] = False
-            open_flows[key] = [
-                key[0],
-                key[1],
-                key[2],
-                start_l[last_e],
-                end_l[last_e],
-                packets_l[last_e],
-                [ev_dst[ev_off[last_e]:ev_off[last_e + 1]]],
+                    new_nseg[i] = len(segs)
+
+        # Continued flows whose key has further in-chunk events: the
+        # merged first event is final.  Fold the merge into the table
+        # in place, then close those rows together with the flows that
+        # expired before their key's first packet.
+        cm = cont & ~single
+        cm_rows = pos[cm]
+        if len(cm_rows):
+            self._last[cm_rows] = ev_end[kf[cm]]
+            self._packets[cm_rows] += ev_packets[kf[cm]]
+            self._nseg[cm_rows] += 1
+        exp_rows = pos[matched & ~cont]
+        n_new_rows = self._close_rows(np.concatenate([exp_rows, cm_rows]))
+
+        # Every chunk key ends with an open flow built from its last
+        # event; a continued single-event key keeps the merged state.
+        cs = cont & single
+        cs_rows = pos[cs]
+        new_start = ev_start[kl].copy()
+        new_last = ev_end[kl]
+        new_packets = ev_packets[kl].copy()
+        new_start[cs] = self._start[cs_rows]
+        new_packets[cs] += self._packets[cs_rows]
+        for i in np.flatnonzero(~cs).tolist():
+            e = kl[i]
+            segs_map[int(chunk_keys[i])] = [
+                ev_dst[ev_off[e]:ev_off[e + 1]].copy()
             ]
 
-        n_new_rows = len(closed_rows) - n_rows_before
+        # Splice: drop every matched row (closed or about to be
+        # re-inserted merged), insert all chunk keys sorted.
+        keep = np.ones(n_open, dtype=bool)
+        keep[mpos] = False
+        kept_keys = self._keys[keep]
+        ins = np.searchsorted(kept_keys, chunk_keys)
+        self._keys = np.insert(kept_keys, ins, chunk_keys)
+        self._start = np.insert(self._start[keep], ins, new_start)
+        self._last = np.insert(self._last[keep], ins, new_last)
+        self._packets = np.insert(self._packets[keep], ins, new_packets)
+        self._nseg = np.insert(self._nseg[keep], ins, new_nseg)
+        self._seg0 = np.insert(self._seg0[keep], ins, new_seg0)
+
         if bool(closed_mask.any()):
             self._closed_cols.append(
                 (
@@ -312,26 +349,62 @@ class StreamingEventBuilder:
             n_new_rows += int(closed_mask.sum())
         self._n_closed += n_new_rows
         self._pending_closed += n_new_rows
-        self._peak_open = max(self._peak_open, len(open_flows))
+        self._peak_open = max(self._peak_open, len(self._keys))
         self._watermark = last_ts
 
+    def _close_rows(self, rows: np.ndarray) -> int:
+        """Close open-table rows by index: one column chunk, batched.
+
+        Single-segment flows (the overwhelming majority) read their
+        distinct-destination count straight from ``_seg0``; the rest
+        share one vectorized union pass.  Rows are *not* removed from
+        the table here — callers compact or rebuild the arrays.
+        """
+        if not len(rows):
+            return 0
+        keys = self._keys[rows]
+        n_dsts = self._seg0[rows].copy()
+        multi = np.flatnonzero(self._nseg[rows] > 1)
+        if len(multi):
+            n_dsts[multi] = _union_counts(
+                [self._segs[int(k)] for k in keys[multi]]
+            )
+        self._closed_cols.append(
+            (
+                (keys >> np.uint64(24)).astype(np.uint32),
+                ((keys >> np.uint64(8)) & _KEY_DPORT_MASK).astype(np.uint16),
+                (keys & _KEY_PROTO_MASK).astype(np.uint8),
+                self._start[rows],
+                self._last[rows],
+                self._packets[rows],
+                n_dsts,
+            )
+        )
+        segs_map = self._segs
+        for k in keys.tolist():
+            del segs_map[k]
+        return len(rows)
+
     def _expire_before(self, now: float) -> None:
-        expired = [
-            key
-            for key, flow in self._open.items()
-            if now - flow[_F_LAST] > self.timeout
-        ]
-        for key in expired:
-            self._closed_rows.append(_flow_row(self._open.pop(key)))
-        self._n_closed += len(expired)
-        self._pending_closed += len(expired)
+        if not len(self._keys):
+            return
+        expired = (now - self._last) > self.timeout
+        if not bool(expired.any()):
+            return
+        n = self._close_rows(np.flatnonzero(expired))
+        keep = ~expired
+        self._keys = self._keys[keep]
+        self._start = self._start[keep]
+        self._last = self._last[keep]
+        self._packets = self._packets[keep]
+        self._nseg = self._nseg[keep]
+        self._seg0 = self._seg0[keep]
+        self._n_closed += n
+        self._pending_closed += n
 
     # ------------------------------------------------------------------
     def _pending_table(self) -> EventTable:
-        chunks = list(self._closed_cols)
-        if self._closed_rows:
-            chunks.append(_rows_to_columns(self._closed_rows))
-        return _columns_to_table(chunks)
+        return _columns_to_table(self._closed_cols)
 
     def finalized_events(self) -> EventTable:
         """Events already final given the watermark (early emission).
@@ -354,7 +427,6 @@ class StreamingEventBuilder:
         if self._watermark is not None:
             self._expire_before(self._watermark)
         table = self._pending_table()
-        self._closed_rows = []
         self._closed_cols = []
         self._pending_closed = 0
         return table
@@ -379,14 +451,27 @@ class StreamingEventBuilder:
                 f"cannot merge builders with different timeouts "
                 f"({self.timeout} vs {other.timeout})"
             )
-        overlap = self._open.keys() & other._open.keys()
-        if overlap:
+        overlap = np.intersect1d(
+            self._keys, other._keys, assume_unique=True
+        )
+        if len(overlap):
+            k = int(overlap[0])
+            example = (k >> 24, (k >> 8) & 0xFFFF, k & 0xFF)
             raise ValueError(
                 f"open-flow keys overlap across builders (e.g. "
-                f"{next(iter(overlap))}); shards must partition sources"
+                f"{example}); shards must partition sources"
             )
-        self._open.update(other._open)
-        self._closed_rows.extend(other._closed_rows)
+        merged_keys = np.concatenate([self._keys, other._keys])
+        order = np.argsort(merged_keys, kind="stable")
+        self._keys = merged_keys[order]
+        self._start = np.concatenate([self._start, other._start])[order]
+        self._last = np.concatenate([self._last, other._last])[order]
+        self._packets = np.concatenate(
+            [self._packets, other._packets]
+        )[order]
+        self._nseg = np.concatenate([self._nseg, other._nseg])[order]
+        self._seg0 = np.concatenate([self._seg0, other._seg0])[order]
+        self._segs.update(other._segs)
         self._closed_cols.extend(other._closed_cols)
         self._pending_closed += other._pending_closed
         self._n_closed += other._n_closed
@@ -405,16 +490,17 @@ class StreamingEventBuilder:
         empty.  When no :meth:`drain_finalized` calls were made this is
         the complete event table, ordered like the batch builder's.
         """
-        chunks = list(self._closed_cols)
-        rows = list(self._closed_rows)
-        rows.extend(_flow_row(flow) for flow in self._open.values())
-        if rows:
-            chunks.append(_rows_to_columns(rows))
-        self._closed_rows = []
+        self._close_rows(np.arange(len(self._keys)))
+        self._keys = np.empty(0, dtype=np.uint64)
+        self._start = np.empty(0, dtype=np.float64)
+        self._last = np.empty(0, dtype=np.float64)
+        self._packets = np.empty(0, dtype=np.int64)
+        self._nseg = np.empty(0, dtype=np.int64)
+        self._seg0 = np.empty(0, dtype=np.int64)
+        table = _columns_to_table(self._closed_cols)
         self._closed_cols = []
         self._pending_closed = 0
-        self._open = {}
-        return _columns_to_table(chunks).sorted_canonical()
+        return table.sorted_canonical()
 
 
 def chunked_events(
@@ -551,7 +637,7 @@ class PortDayState:
 #: Versioned header guarding detector-state checkpoints; bump when the
 #: pickled layout changes incompatibly so stale checkpoints are
 #: rejected (and their shards re-run) instead of merged.
-STATE_MAGIC = b"repro-detector-state-v1\n"
+STATE_MAGIC = b"repro-detector-state-v2\n"
 
 
 @dataclass(frozen=True)

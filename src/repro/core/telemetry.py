@@ -67,6 +67,12 @@ class WorkerStats:
     #: wall seconds the worker spent *generating* its shard's capture
     #: (lazy shard-local generation only; 0 when packets were shipped).
     generate_seconds: float = 0.0
+    #: RNG span streams derived while generating — the pre-dedup unit
+    #: of the batched span derivation (0 when packets were shipped).
+    spans_derived: int = 0
+    #: derived spans that actually produced packets; the gap to
+    #: ``spans_derived`` is derivation work with no emitted packets.
+    spans_emitted: int = 0
     #: work the size-aware planner predicted for this shard (0 when the
     #: run used static sharding — no plan existed).
     planned_cost: float = 0.0
@@ -99,6 +105,8 @@ class WorkerStats:
             "peak_open_flows": self.peak_open_flows,
             "seconds": self.seconds,
             "generate_seconds": self.generate_seconds,
+            "spans_derived": self.spans_derived,
+            "spans_emitted": self.spans_emitted,
             "throughput": self.throughput,
             "generate_throughput": self.generate_throughput,
             "planned_cost": self.planned_cost,
@@ -286,6 +294,8 @@ class PipelineTelemetry:
         peak_open_flows: int,
         seconds: float,
         generate_seconds: float = 0.0,
+        spans_derived: int = 0,
+        spans_emitted: int = 0,
         planned_cost: float = 0.0,
         tasks: int = 1,
         stolen_tasks: int = 0,
@@ -305,6 +315,8 @@ class PipelineTelemetry:
                 peak_open_flows=int(peak_open_flows),
                 seconds=float(seconds),
                 generate_seconds=float(generate_seconds),
+                spans_derived=int(spans_derived),
+                spans_emitted=int(spans_emitted),
                 planned_cost=float(planned_cost),
                 tasks=int(tasks),
                 stolen_tasks=int(stolen_tasks),
@@ -389,6 +401,11 @@ class PipelineTelemetry:
                     gen_rate = f"{gen:,.0f}/s" if gen is not None else "n/a"
                     detail += (
                         f", gen {worker.generate_seconds:.2f}s ({gen_rate})"
+                    )
+                if worker.spans_derived > 0:
+                    detail += (
+                        f", spans {worker.spans_derived:,} derived / "
+                        f"{worker.spans_emitted:,} emitted"
                     )
                 if worker.tasks > 1 or worker.planned_cost > 0.0:
                     detail += (

@@ -14,6 +14,12 @@ can tell exactly which chunks of an interrupted or damaged capture are
 trustworthy.  Readers verify digests and raise
 :class:`~repro.core.faults.ChunkCorruptionError` naming the offending
 file (strict mode), or skip-and-account the damage (degraded mode).
+
+Archives lay columns out in :data:`repro.packet.COLUMNS` order — the
+same struct-of-arrays schema :mod:`repro.io.shm` packs into shared
+memory for the intra-host zero-copy hand-off, so the two surfaces stay
+mutually convertible without reshaping (shared-memory views serialize
+through :func:`packets_to_npz_bytes` unchanged).
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from repro.core.faults import (
     atomic_write_bytes,
     sha256_hex,
 )
-from repro.packet import PacketBatch
+from repro.packet import COLUMNS, PacketBatch
 
 #: Format marker stored inside every archive.
 _MAGIC = "repro-packetlog-v1"
@@ -48,12 +54,7 @@ def _packets_npz_bytes(batch: PacketBatch) -> bytes:
     np.savez_compressed(
         buffer,
         magic=np.array(_MAGIC),
-        ts=batch.ts,
-        src=batch.src,
-        dst=batch.dst,
-        dport=batch.dport,
-        proto=batch.proto,
-        ipid=batch.ipid,
+        **{name: getattr(batch, name) for name in COLUMNS},
     )
     return buffer.getvalue()
 
@@ -102,14 +103,7 @@ def _parse_packets_npz(data: bytes, path: Path) -> PacketBatch:
                 raise ChunkCorruptionError(
                     f"not a repro packet log: {path} (magic={magic!r})"
                 )
-            return PacketBatch(
-                ts=archive["ts"],
-                src=archive["src"],
-                dst=archive["dst"],
-                dport=archive["dport"],
-                proto=archive["proto"],
-                ipid=archive["ipid"],
-            )
+            return PacketBatch(**{name: archive[name] for name in COLUMNS})
     except ChunkCorruptionError:
         raise
     except Exception as exc:

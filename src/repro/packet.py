@@ -58,6 +58,11 @@ _PROTO_LABELS = {
     Protocol.TCP_RST: "TCP-RST (backscatter)",
 }
 
+#: Canonical column order of a :class:`PacketBatch` — the one schema
+#: every columnar surface (npz archives, shared-memory blocks, the
+#: chunk-ingest wire format) lays packets out in.
+COLUMNS = ("ts", "src", "dst", "dport", "proto", "ipid")
+
 
 @dataclass
 class PacketBatch:
@@ -128,6 +133,11 @@ class PacketBatch:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.ts)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across all columns (no container overhead)."""
+        return sum(getattr(self, name).nbytes for name in COLUMNS)
 
     def select(self, mask_or_index: np.ndarray) -> "PacketBatch":
         """Return a new batch with only the masked/indexed rows."""

@@ -73,6 +73,11 @@ from repro.core.schedule import (
 )
 from repro.core.streaming import StreamingDetector
 from repro.core.telemetry import PipelineTelemetry, RunHealth
+from repro.io.shm import (
+    resolve_batches,
+    share_shard_batches,
+    want_shared_memory,
+)
 from repro.packet import PacketBatch
 
 #: Hash fine-shards per worker when the scheduler runs over a chunk
@@ -142,6 +147,11 @@ class WorkerReport:
     #: wall-clock seconds spent generating this shard's capture (lazy
     #: shard-local generation only; stays 0 when packets were shipped).
     generate_seconds: float = 0.0
+    #: RNG span streams derived during lazy generation (pre-dedup
+    #: derivation units; 0 when packets were shipped).
+    spans_derived: int = 0
+    #: derived spans that actually produced packets (<= spans_derived).
+    spans_emitted: int = 0
     #: chunk archives this worker skipped as corrupt (degraded-mode
     #: directory reads only; every worker sees the same archives, so
     #: the parent deduplicates when folding into ``RunHealth``).
@@ -182,10 +192,14 @@ def _run_shard(
     """Worker body: drive one shard's detector over its sub-batches.
 
     Top-level (not a closure) so it pickles under any multiprocessing
-    start method.  Returns the *unfinished* detector — thresholds must
-    only be derived after the merge.
+    start method.  ``batches`` is either the shard's batch list (the
+    pickled hand-off) or a :class:`~repro.io.shm.ShmBatchList` handle,
+    resolved here into read-only views of the parent's segment.
+    Returns the *unfinished* detector — thresholds must only be derived
+    after the merge.
     """
     t0 = time.perf_counter()
+    batches = resolve_batches(batches)
     detector = StreamingDetector(timeout, dark_size, config, day_seconds)
     for batch in batches:
         detector.add_batch(batch)
@@ -304,6 +318,8 @@ def _run_shard_lazy(
         seconds=time.perf_counter() - t0,
         watermark=detector.watermark,
         generate_seconds=generate_seconds,
+        spans_derived=source.spans_derived,
+        spans_emitted=source.spans_emitted,
         pid=os.getpid(),
     )
     return detector, report
@@ -360,6 +376,25 @@ def _checkpoint_store(
     store = CheckpointStore(checkpoint_dir, health)
     store.require_meta(meta)
     return store
+
+
+def _ship_payloads(payloads: List[List[PacketBatch]], shm, processes: bool):
+    """Choose the pool hand-off for per-shard batch lists.
+
+    Returns ``(worker_payloads, lease)``: either the lists themselves
+    (pickled hand-off, ``lease=None``) or one
+    :class:`~repro.io.shm.ShmBatchList` handle per shard backed by a
+    single named segment the caller must close after the pool joins.
+    The segment outlives any worker crash — retried and respawned
+    shards re-attach by name — because only the parent unlinks it.
+    """
+    if not want_shared_memory(
+        shm,
+        processes,
+        sum(batch.nbytes for batches in payloads for batch in batches),
+    ):
+        return payloads, None
+    return share_shard_batches(payloads, "detect")
 
 
 def _dump_detect_state(result: tuple) -> bytes:
@@ -501,6 +536,8 @@ def _fold_detect_tasks(
                     generate_seconds=sum(
                         r.generate_seconds for r in reports
                     ),
+                    spans_derived=sum(r.spans_derived for r in reports),
+                    spans_emitted=sum(r.spans_emitted for r in reports),
                     quarantined=tuple(quarantined),
                     pid=reports[0].pid,
                     planned_cost=plan.planned_cost(shard),
@@ -546,6 +583,7 @@ def parallel_detect(
     *,
     workers: int,
     schedule: str = "static",
+    shm: Optional[bool] = None,
     use_processes: bool = True,
     telemetry: Optional[PipelineTelemetry] = None,
     retry: Optional[RetryPolicy] = None,
@@ -568,6 +606,16 @@ def parallel_detect(
             ``packed`` into one task per worker, ``stealing`` into
             cost-capped sub-tasks drained by idle workers.  All modes
             produce identical events and detections.
+        shm: hand shard payloads to the pool through a named
+            shared-memory segment (:mod:`repro.io.shm`) instead of
+            pickling them — workers map the segment read-only, so no
+            packet byte crosses a process pipe.  ``None`` (default)
+            decides automatically: shared memory when the pool uses
+            processes, the platform supports it, and the payload is at
+            least :data:`~repro.io.shm.SHM_MIN_BYTES`; ``True`` forces
+            it whenever possible; ``False`` always pickles.  Results
+            are bit-identical either way — the hand-off is pure
+            transport.
         use_processes: run shards in a process pool; ``False`` runs them
             serially in-process (same shard/merge code path — useful for
             tests and as the degenerate ``workers=1`` case).
@@ -642,22 +690,30 @@ def parallel_detect(
             t_prev = time.perf_counter()
 
     if static:
-        shard_results = run_sharded(
-            _run_shard,
-            [
-                (index, shards[index], timeout, dark_size, config, day_seconds)
-                for index in range(workers)
-            ],
-            policy=retry,
-            plan=fault_plan,
-            use_processes=use_processes and workers > 1,
-            max_workers=workers,
-            health=health,
-            store=store,
-            kind="detect",
-            dumps=_dump_detect_state,
-            loads=_load_detect_state,
+        payloads, lease = _ship_payloads(
+            shards, shm, use_processes and workers > 1
         )
+        try:
+            shard_results = run_sharded(
+                _run_shard,
+                [
+                    (index, payloads[index], timeout, dark_size, config,
+                     day_seconds)
+                    for index in range(workers)
+                ],
+                policy=retry,
+                plan=fault_plan,
+                use_processes=use_processes and workers > 1,
+                max_workers=workers,
+                health=health,
+                store=store,
+                kind="detect",
+                dumps=_dump_detect_state,
+                loads=_load_detect_state,
+            )
+        finally:
+            if lease is not None:
+                lease.close()
         return _finish_merged(shard_results, telemetry)
 
     # Scheduled: bin-pack the fine hash-shards by measured packet count,
@@ -683,25 +739,32 @@ def parallel_detect(
             if len(sub):
                 task_batches[index].append(sub)
         pending[position] = None  # free as we go; peak stays ~one capture
+    payloads, lease = _ship_payloads(
+        task_batches, shm, use_processes and workers > 1
+    )
     args = [
-        (task.index, task_batches[index], timeout, dark_size, config,
+        (task.index, payloads[index], timeout, dark_size, config,
          day_seconds)
         for index, task in enumerate(plan.tasks)
     ]
-    task_results = run_sharded(
-        _run_shard,
-        args,
-        policy=retry,
-        plan=fault_plan,
-        use_processes=use_processes and workers > 1,
-        max_workers=workers,
-        submit_order=plan.submit_order(),
-        health=health,
-        store=store,
-        kind="detect",
-        dumps=_dump_detect_state,
-        loads=_load_detect_state,
-    )
+    try:
+        task_results = run_sharded(
+            _run_shard,
+            args,
+            policy=retry,
+            plan=fault_plan,
+            use_processes=use_processes and workers > 1,
+            max_workers=workers,
+            submit_order=plan.submit_order(),
+            health=health,
+            store=store,
+            kind="detect",
+            dumps=_dump_detect_state,
+            loads=_load_detect_state,
+        )
+    finally:
+        if lease is not None:
+            lease.close()
     shard_results = _fold_detect_tasks(
         plan,
         task_results,

@@ -43,6 +43,7 @@ from repro.net.prefix import (
     sample_distinct_offsets,
 )
 from repro.packet import PacketBatch, Protocol
+from repro.scanners.streams import span_generators
 
 IPV4_SPACE = 2**32
 
@@ -329,6 +330,21 @@ class Scanner:
         spans[-1] = (spans[-1][0], session.end)
         return inter, hit_space, target_space, spans
 
+    def span_rngs(self, view_key: int, pairs: Sequence[tuple]) -> list:
+        """Derive many span RNG streams in one vectorized pass.
+
+        ``pairs`` is a sequence of ``(session_index, span_index)``
+        tuples; the returned generators are bit-identical to
+        ``np.random.default_rng((seed, view_key, session, span))`` per
+        pair (see :mod:`repro.scanners.streams`), but the
+        ``SeedSequence`` entropy mixing is amortized over the whole
+        batch — the per-span fixed cost drops ~5x, which is what makes
+        windowed emission touch tens of thousands of spans cheaply.
+        """
+        return span_generators(
+            [(self.seed, view_key, index, span) for index, span in pairs]
+        )
+
     def _emit_session_windowed(
         self,
         index: int,
@@ -343,7 +359,7 @@ class Scanner:
         )
         if hit_space == 0:
             return PacketBatch.empty()
-        parts = []
+        live = []
         for j, (s0, s1) in enumerate(spans):
             if window is not None:
                 c0, c1 = max(s0, window[0]), min(s1, window[1])
@@ -351,9 +367,15 @@ class Scanner:
                     continue
             else:
                 c0, c1 = s0, s1
+            live.append((j, s0, s1, c0, c1))
+        # One vectorized seed derivation for every span the window
+        # touches, instead of a full SeedSequence chain per span.
+        rngs = self.span_rngs(view_key, [(index, j) for j, *_ in live])
+        parts = []
+        for (j, s0, s1, c0, c1), rng in zip(live, rngs):
             batch = self._generate_span(
                 session, index, j, s0, s1, inter, hit_space, target_space,
-                view_key,
+                view_key, rng=rng,
             )
             if c0 > s0 or c1 < s1:
                 # Boolean mask, not searchsorted: spans are kept in
@@ -376,15 +398,21 @@ class Scanner:
         hit_space: int,
         target_space: int,
         view_key: int,
+        rng: Optional[np.random.Generator] = None,
     ) -> PacketBatch:
         """Generate one full [s0, s1) span of a session, unsorted.
 
         The RNG stream is keyed by (scanner seed, view, session, span),
         so a span regenerates bit-identically no matter which query
         window asked for it.  Rows stay in generation order; callers
-        sort once per capture window, never per span.
+        sort once per capture window, never per span.  ``rng`` lets
+        batched callers (:meth:`span_rngs`) hand in the pre-derived
+        stream; when omitted the span derives its own, identically.
         """
-        rng = np.random.default_rng((self.seed, view_key, index, span_index))
+        if rng is None:
+            rng = np.random.default_rng(
+                (self.seed, view_key, index, span_index)
+            )
         if session.mode is ScanMode.COVERAGE:
             dst, dport = self._coverage_hits(
                 session, inter, hit_space, 1.0, rng

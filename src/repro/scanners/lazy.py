@@ -20,11 +20,14 @@ Three properties make this both cheap and exact:
 * **Bit-identity** — span RNG streams are keyed by (scanner, view,
   session, span), so the concatenation of all window batches equals
   ``emit_population(scanners, view, window).sorted_by_time()`` exactly:
-  same addresses, ports, timestamps, and fingerprints.  Every sort in
-  the chain is stable — spans are stable-sorted once when generated,
-  window slices keep that order, and the per-window sort ties break in
-  cursor (= population) order — so even equal-timestamp ties break
-  exactly as the materialized path's single global stable sort would.
+  same addresses, ports, timestamps, and fingerprints.  Spans stay in
+  generation order, window slices are boolean masks that preserve it,
+  and the only sort in the chain is the stable per-window one — which
+  therefore breaks equal-timestamp ties in generation (= population)
+  order, exactly as the materialized path's single global stable sort
+  does.  Seed derivation is itself batched: each window derives the
+  streams of every span its newly admitted cursors will ever need in
+  one vectorized pass (:mod:`repro.scanners.streams`).
 
 Scanner-like objects without sessions (e.g.
 :class:`repro.scanners.background.SpoofedScan`) are handled by a
@@ -44,12 +47,27 @@ import numpy as np
 
 from repro.packet import PacketBatch
 from repro.scanners.base import View, view_rng_key
+from repro.scanners.streams import derive_span_words, generator_from_words
 
 
 class _ScannerCursor:
     """Forward-only window reader over one scanner's sessions."""
 
-    __slots__ = ("scanner", "start", "end", "_view_ranges", "_view_key", "_state")
+    __slots__ = (
+        "scanner",
+        "start",
+        "end",
+        "_view_ranges",
+        "_view_key",
+        "_state",
+        "_words",
+        "_pairs",
+        "_alive",
+        "_single",
+        "_single_batch",
+        "spans_derived",
+        "spans_emitted",
+    )
 
     def __init__(self, scanner, view_ranges: np.ndarray, view_key: int):
         self.scanner = scanner
@@ -59,25 +77,164 @@ class _ScannerCursor:
         self._view_key = view_key
         #: session index -> [plan, span_idx, cached span batch | None]
         self._state: dict = {}
+        #: (session, span) -> pre-derived ``generate_state`` words;
+        #: ``None`` until the cursor is primed.
+        self._words: dict = None
+        #: session indices not yet swept past, ascending.
+        self._alive: list = None
+        #: fast-path plan for the dominant one-session/one-span shape:
+        #: ``(index, session, s0, s1, inter, hit_space, target_space)``.
+        self._single = None
+        self._single_batch = None
+        #: RNG streams derived for this cursor (pre-dedup unit).
+        self.spans_derived = 0
+        #: spans that actually produced packets.
+        self.spans_emitted = 0
 
-    def take(self, t0: float, t1: float) -> list:
-        """Batches with ``t0 <= ts < t1``, in (session, span) order.
+    def prime_keys(self, t0: float) -> list:
+        """Plan every session and key all upcoming span streams.
+
+        Runs once, when the sweep admits the cursor: the session plans
+        (target intersections, span grids) are computed eagerly and
+        every span ending after ``t0`` contributes one RNG key row.
+        The caller derives the rows — batched across *all* cursors the
+        window admits (:func:`derive_span_words` pays off per batch,
+        and most scanners only have a handful of spans each) — and
+        hands the words back through :meth:`accept_words`.
+        """
+        pairs = []
+        rows = []
+        seed, view_key = self.scanner.seed, self._view_key
+        for index, session in enumerate(self.scanner.sessions):
+            if session.end <= t0:
+                continue
+            plan = self.scanner._session_plan(session, self._view_ranges)
+            self._state[index] = [plan, 0, None]
+            if plan[1] == 0:
+                continue
+            for span_idx, (_, s1) in enumerate(plan[3]):
+                if s1 > t0:
+                    pairs.append((index, span_idx))
+                    rows.append((seed, view_key, index, span_idx))
+        self._alive = sorted(self._state)
+        self._pairs = pairs
+        self.spans_derived = len(pairs)
+        if len(self._state) == 1:
+            # Nearly every scanner is one live session with one span —
+            # pin the plan so `take` can skip the generic session/span
+            # loops entirely.
+            (index,) = self._state
+            inter, hit_space, target_space, spans = self._state[index][0]
+            if hit_space == 0 or not spans:
+                self._single = ()
+            elif len(spans) == 1:
+                s0, s1 = spans[0]
+                self._single = (
+                    index, self.scanner.sessions[index],
+                    s0, s1, inter, hit_space, target_space,
+                )
+        return rows
+
+    def accept_words(self, words: np.ndarray) -> None:
+        """Store bulk-derived RNG words for the keys of ``prime_keys``."""
+        self._words = dict(zip(self._pairs, words))
+        del self._pairs
+
+    def _span_rng(self, index: int, span_idx: int):
+        words = self._words.pop((index, span_idx), None)
+        if words is None:
+            # A span the priming pass didn't key (already swept past at
+            # admission, or a cursor driven without priming) — derive
+            # the identical stream the scalar way.
+            return None
+        return generator_from_words(words)
+
+    def _sorted_span(self, gen, cut_by_window: bool) -> tuple:
+        """Generation output as a column tuple, span-sorted if sliced.
+
+        A window edge cutting the span means it will be served as
+        slices: stable-sort it once at generation (ties keep generation
+        order) and every slice is then a free view.  Spans fully inside
+        a window skip the sort and are handed over in generation order
+        — either way the per-window stable sort downstream sees ties in
+        generation order, exactly as the materialized path's single
+        global stable sort over generation order does.
+        """
+        if len(gen):
+            self.spans_emitted += 1
+        if not cut_by_window:
+            return gen.ts, gen.src, gen.dst, gen.dport, gen.proto, gen.ipid
+        order = np.argsort(gen.ts, kind="stable")
+        return (
+            gen.ts[order], gen.src[order], gen.dst[order],
+            gen.dport[order], gen.proto[order], gen.ipid[order],
+        )
+
+    def take(self, t0: float, t1: float, parts: list) -> None:
+        """Append column tuples with ``t0 <= ts < t1`` onto ``parts``.
+
+        Parts are raw ``(ts, src, dst, dport, proto, ipid)`` array
+        tuples in (session, span) order — the emitter builds one
+        :class:`PacketBatch` per window from all cursors' parts, so no
+        per-slice batch objects are constructed or validated on the hot
+        path.
 
         Must be called with non-decreasing windows; spans the sweep has
         passed are freed and cannot be revisited.
         """
-        parts = []
-        for index, session in enumerate(self.scanner.sessions):
+        if self._words is None:
+            self.accept_words(derive_span_words(self.prime_keys(t0)))
+        single = self._single
+        if single is not None:
+            if not single:
+                return
+            index, session, s0, s1, inter, hit_space, target_space = single
+            if s0 >= t1 or s1 <= t0:
+                return
+            batch = self._single_batch
+            sliced = s0 < t0 or s1 > t1
+            if batch is None:
+                batch = self._sorted_span(
+                    self.scanner._generate_span(
+                        session, index, 0, s0, s1,
+                        inter, hit_space, target_space, self._view_key,
+                        rng=self._span_rng(index, 0),
+                    ),
+                    sliced,
+                )
+            ts = batch[0]
+            if sliced:
+                # Sorted by construction: a span revisited across
+                # windows was cut at generation (s1 > t1 then, s0 < t0
+                # now), so `_sorted_span` already ordered it.
+                i0, i1 = ts.searchsorted(
+                    [max(s0, t0), min(s1, t1)], side="left"
+                )
+                if i0 < i1:
+                    cut = slice(int(i0), int(i1))
+                    parts.append((
+                        ts[cut], batch[1][cut], batch[2][cut],
+                        batch[3][cut], batch[4][cut], batch[5][cut],
+                    ))
+            elif len(ts):
+                parts.append(batch)
+            if s1 <= t1:
+                self._single = ()
+                self._single_batch = None
+            else:
+                self._single_batch = batch
+            return
+        still_alive = []
+        sessions = self.scanner.sessions
+        for index in self._alive:
+            session = sessions[index]
             if session.end <= t0:
                 self._state.pop(index, None)
                 continue
+            still_alive.append(index)
             if session.start >= t1:
                 continue
-            state = self._state.get(index)
-            if state is None:
-                plan = self.scanner._session_plan(session, self._view_ranges)
-                state = [plan, 0, None]
-                self._state[index] = state
+            state = self._state[index]
             inter, hit_space, target_space, spans = state[0]
             if hit_space == 0:
                 continue
@@ -90,37 +247,36 @@ class _ScannerCursor:
                     continue
                 if s0 >= t1:
                     break
+                sliced = s0 < t0 or s1 > t1
                 if batch is None:
-                    # Stable-sort each span once at generation time:
-                    # equal timestamps keep their generation order, so
-                    # cheap searchsorted slices below still reproduce
-                    # the tie order of the materialized path's global
-                    # stable sort (ties only exist *within* a span —
-                    # spans tile the session half-open, so timestamps
-                    # never collide across span boundaries).
-                    batch = self.scanner._generate_span(
-                        session, index, span_idx, s0, s1,
-                        inter, hit_space, target_space, self._view_key,
-                    ).sorted_by_time()
-                c0, c1 = max(s0, t0), min(s1, t1)
-                if c0 > s0 or c1 < s1:
-                    i0, i1 = np.searchsorted(batch.ts, [c0, c1], side="left")
-                    part = (
-                        batch.select(slice(int(i0), int(i1)))
-                        if i0 < i1
-                        else None
+                    batch = self._sorted_span(
+                        self.scanner._generate_span(
+                            session, index, span_idx, s0, s1,
+                            inter, hit_space, target_space, self._view_key,
+                            rng=self._span_rng(index, span_idx),
+                        ),
+                        sliced,
                     )
-                else:
-                    part = batch
-                if part is not None and len(part):
-                    parts.append(part)
+                ts = batch[0]
+                if sliced:
+                    i0, i1 = ts.searchsorted(
+                        [max(s0, t0), min(s1, t1)], side="left"
+                    )
+                    if i0 < i1:
+                        cut = slice(int(i0), int(i1))
+                        parts.append((
+                            ts[cut], batch[1][cut], batch[2][cut],
+                            batch[3][cut], batch[4][cut], batch[5][cut],
+                        ))
+                elif len(ts):
+                    parts.append(batch)
                 if s1 <= t1:
                     span_idx += 1
                     batch = None
                 else:
                     break
             state[1], state[2] = span_idx, batch
-        return parts
+        self._alive = still_alive
 
 
 class _FallbackCursor:
@@ -133,7 +289,10 @@ class _FallbackCursor:
     held only while the object is active.
     """
 
-    __slots__ = ("scanner", "start", "end", "_view", "_window", "_batch")
+    __slots__ = (
+        "scanner", "start", "end", "_view", "_window", "_batch",
+        "spans_derived", "spans_emitted",
+    )
 
     def __init__(self, scanner, view: View, window: Optional[tuple]):
         self.scanner = scanner
@@ -151,15 +310,25 @@ class _FallbackCursor:
         self._view = view
         self._window = window
         self._batch: Optional[PacketBatch] = None
+        #: one ``emit`` call is one realized stream (the fallback has
+        #: no span grid to pre-derive against).
+        self.spans_derived = 0
+        self.spans_emitted = 0
 
-    def take(self, t0: float, t1: float) -> list:
+    def take(self, t0: float, t1: float, parts: list) -> None:
         if self._batch is None:
             self._batch = self.scanner.emit(
                 self._view, self._window
             ).sorted_by_time()
+            self.spans_derived = 1
+            self.spans_emitted = 1 if len(self._batch) else 0
         i0, i1 = np.searchsorted(self._batch.ts, [t0, t1], side="left")
         part = self._batch.select(slice(int(i0), int(i1)))
-        return [part] if len(part) else []
+        if len(part):
+            parts.append(
+                (part.ts, part.src, part.dst,
+                 part.dport, part.proto, part.ipid)
+            )
 
 
 class PopulationEmitter:
@@ -210,6 +379,22 @@ class PopulationEmitter:
             cursors, key=lambda item: (item[1].start, item[0])
         )
 
+    @property
+    def spans_derived(self) -> int:
+        """RNG span streams keyed so far (pre-dedup derivation units).
+
+        Grows as the sweep admits cursors; read after iteration for the
+        population total.  Always >= :attr:`spans_emitted` — a derived
+        span whose generation lands entirely outside the view (or
+        produces zero packets) is derived work without emitted packets.
+        """
+        return sum(cursor.spans_derived for _, cursor in self._pending)
+
+    @property
+    def spans_emitted(self) -> int:
+        """Derived spans that actually produced packets."""
+        return sum(cursor.spans_emitted for _, cursor in self._pending)
+
     def span(self) -> Optional[tuple]:
         """Overall [start, end) the emitter will cover, or ``None``."""
         if not self._pending:
@@ -239,23 +424,50 @@ class PopulationEmitter:
                 break
             w1 = w0 + cs
             t0, t1 = max(w0, lo), min(w1, hi)
+            admitted = []
             while (
                 next_pending < len(pending)
                 and pending[next_pending][1].start < t1
             ):
                 position, cursor = pending[next_pending]
                 active[position] = cursor
+                if isinstance(cursor, _ScannerCursor):
+                    admitted.append(cursor)
                 next_pending += 1
+            if admitted:
+                # One vectorized seed derivation across every cursor
+                # this window admits — most scanners have only a few
+                # spans, so per-cursor batches would be too small to
+                # amortize anything.
+                rows = []
+                bounds = [0]
+                for cursor in admitted:
+                    rows.extend(cursor.prime_keys(t0))
+                    bounds.append(len(rows))
+                words = derive_span_words(rows)
+                for cursor, b0, b1 in zip(admitted, bounds, bounds[1:]):
+                    cursor.accept_words(words[b0:b1])
             parts = []
             finished = []
             for position in sorted(active):
                 cursor = active[position]
-                parts.extend(cursor.take(t0, t1))
+                cursor.take(t0, t1, parts)
                 if cursor.end <= t1:
                     finished.append(position)
             for position in finished:
                 del active[position]
-            yield w0, w1, PacketBatch.concat(parts).sorted_by_time()
+            if not parts:
+                batch = PacketBatch.empty()
+            elif len(parts) == 1:
+                batch = PacketBatch(*parts[0])
+            else:
+                batch = PacketBatch(
+                    *(
+                        np.concatenate([p[col] for p in parts])
+                        for col in range(6)
+                    )
+                )
+            yield w0, w1, batch.sorted_by_time()
             if not active and next_pending >= len(pending):
                 break
             i += 1

@@ -177,4 +177,21 @@ class LazyCaptureSource(ChunkedCaptureSource):
                 )
                 index += 1
 
-        return cls(generate(), chunk_seconds)
+        source = cls(generate(), chunk_seconds)
+        source._emitter = emitter
+        return source
+
+    @property
+    def spans_derived(self) -> int:
+        """RNG span streams the emitter has keyed so far (pre-dedup).
+
+        Telemetry for the batched span derivation: read after the
+        source is drained for the shard total.  Always >=
+        :attr:`spans_emitted`.
+        """
+        return self._emitter.spans_derived
+
+    @property
+    def spans_emitted(self) -> int:
+        """Derived spans that actually produced packets."""
+        return self._emitter.spans_emitted

@@ -433,6 +433,40 @@ class TestFaultedDetectionIdentity:
                 checkpoint_dir=tmp_path / "run",
             )
 
+    def test_shm_segment_unlinked_when_run_fails(self):
+        """Even a run that dies with retries exhausted unlinks its
+        shared-memory segment — the try/finally owns the lease."""
+        import repro.io.shm as shm_module
+        import repro.parallel as parallel_module
+
+        if not shm_module.shared_memory_available():
+            pytest.skip("platform has no usable shared memory")
+        created = []
+        original = shm_module.share_shard_batches
+
+        def recording(shards, label="detect"):
+            handles, lease = original(shards, label)
+            created.append(lease.name)
+            return handles, lease
+
+        parallel_module.share_shard_batches = recording
+        try:
+            with pytest.raises(ShardFailedError):
+                parallel_detect(
+                    _chunks(), 600.0, _DARK_SIZE, _CONFIG,
+                    workers=2, use_processes=False, shm=True,
+                    fault_plan=FaultPlan(kill={0: 5}),
+                    retry=RetryPolicy(max_retries=1, backoff_seconds=0.0),
+                )
+        finally:
+            parallel_module.share_shard_batches = original
+        from multiprocessing import shared_memory
+
+        assert created
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
 
 class TestDirectoryFaults:
     @pytest.fixture()

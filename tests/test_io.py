@@ -15,11 +15,13 @@ from repro.io.packetlog import (
     iter_packets_chunked,
     load_manifest,
     load_packets_npz,
+    packets_from_npz_bytes,
+    packets_to_npz_bytes,
     save_packets_chunked,
     save_packets_npz,
     verify_chunks,
 )
-from repro.packet import PacketBatch, Protocol
+from repro.packet import COLUMNS, PacketBatch, Protocol
 
 
 @pytest.fixture()
@@ -137,6 +139,67 @@ class TestChunkedPacketLog:
         target.write_bytes(b"")
         with pytest.raises(FileNotFoundError, match="not a chunk directory"):
             list(iter_packets_chunked(target))
+
+
+def _one_packet():
+    return PacketBatch(
+        ts=np.array([12.5]),
+        src=np.array([7], dtype=np.uint32),
+        dst=np.array([3], dtype=np.uint32),
+        dport=np.array([443], dtype=np.uint16),
+        proto=np.array([Protocol.TCP_SYN.value], dtype=np.uint8),
+        ipid=np.array([54321], dtype=np.uint16),
+    )
+
+
+class TestPacketNpzBytes:
+    """The byte-level wire format: edge cases the ingest path must eat."""
+
+    def _roundtrip(self, batch):
+        restored = packets_from_npz_bytes(packets_to_npz_bytes(batch))
+        assert len(restored) == len(batch)
+        for name in COLUMNS:
+            a, b = getattr(batch, name), getattr(restored, name)
+            assert np.array_equal(a, b)
+            assert a.dtype == b.dtype
+        return restored
+
+    def test_empty_batch_round_trips(self):
+        self._roundtrip(PacketBatch.empty())
+
+    def test_single_packet_round_trips(self):
+        self._roundtrip(_one_packet())
+
+    def test_zero_packet_window_round_trips(self):
+        # A batch confined to [100, 200) sliced at a window it does not
+        # touch — the "zero-packet window" the chunked writer can emit.
+        batch = _one_packet().time_slice(0.0, 10.0)
+        assert len(batch) == 0
+        self._roundtrip(batch)
+
+    def test_shared_memory_views_serialize_unchanged(self):
+        # Read-only shared-memory views are valid savez inputs: the two
+        # columnar surfaces convert without reshaping or copying first.
+        shm = pytest.importorskip("repro.io.shm")
+        if not shm.shared_memory_available():
+            pytest.skip("platform has no usable shared memory")
+        batch = _one_packet()
+        handle, lease = shm.share_batch(batch)
+        with lease:
+            self._roundtrip(handle.load())
+
+    def test_truncated_bytes_name_the_label(self):
+        data = packets_to_npz_bytes(_one_packet())
+        with pytest.raises(ChunkCorruptionError, match="tenant-3"):
+            packets_from_npz_bytes(data[: len(data) // 2], label="tenant-3")
+
+    def test_foreign_npz_rejected(self):
+        import io as _io
+
+        buffer = _io.BytesIO()
+        np.savez(buffer, magic=np.array("not-a-packet-log"))
+        with pytest.raises(ChunkCorruptionError, match="magic"):
+            packets_from_npz_bytes(buffer.getvalue())
 
 
 class TestCrashSafeChunkIO:

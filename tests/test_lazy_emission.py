@@ -224,6 +224,25 @@ def test_emitter_empty_population():
     emitter = PopulationEmitter([], _view(), 3_600.0)
     assert list(emitter) == []
     assert emitter.span() is None
+    assert emitter.spans_derived == 0
+    assert emitter.spans_emitted == 0
+
+
+def test_span_counters_split_derived_from_emitted():
+    # The population mixes session-backed cursors (batched derivation)
+    # with a fallback cursor (SpoofedScan) — both must count.
+    scanners = _population()
+    source = LazyCaptureSource.from_population(
+        scanners, _view(), 3_600.0, window=(0.0, _SPAN * 1.2)
+    )
+    assert source.spans_derived == 0  # nothing admitted before draining
+    total = sum(len(chunk) for chunk in source)
+    assert total > 0
+    assert source.spans_derived >= source.spans_emitted > 0
+    # One derivation unit per keyed span plus one per fallback emit:
+    # at least a span per session of each session-backed scanner.
+    sessions = sum(len(getattr(s, "sessions", []) or []) for s in scanners)
+    assert source.spans_derived >= sessions
 
 
 def test_emitter_rejects_bad_chunk_seconds():

@@ -240,6 +240,24 @@ class TestRunnerIntegration:
                 w.tasks > 1 for w in parallel.telemetry.worker_stats
             )
 
+    def test_span_counters_threaded_to_telemetry(self, batch_result):
+        # The lazy path reports spans_derived (pre-dedup derivation
+        # units) separately from spans_emitted, all the way into the
+        # per-worker telemetry rows.
+        parallel = run_scenario(
+            tiny_scenario(), mode="streaming", workers=2
+        )
+        stats = parallel.telemetry.worker_stats
+        assert len(stats) == 2
+        for worker in stats:
+            assert worker.spans_derived >= worker.spans_emitted >= 0
+            as_dict = worker.as_dict()
+            assert as_dict["spans_derived"] == worker.spans_derived
+            assert as_dict["spans_emitted"] == worker.spans_emitted
+        assert sum(w.spans_emitted for w in stats) > 0
+        rows = dict(parallel.telemetry.summary_rows())
+        assert any("derived" in value for value in rows.values())
+
     def test_invalid_schedule_rejected(self):
         with pytest.raises(ValueError, match="schedule"):
             run_scenario(

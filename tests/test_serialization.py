@@ -116,7 +116,7 @@ class TestDetectorRoundTrip:
     def test_magic_is_versioned(self):
         blob = _detector().to_bytes()
         assert blob.startswith(STATE_MAGIC)
-        assert b"v1" in STATE_MAGIC
+        assert b"v2" in STATE_MAGIC
 
 
 def _columns(seed, n=500):
