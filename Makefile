@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-emit fault-matrix serve-smoke perf-gate ci-local
+.PHONY: lint test bench bench-smoke bench-emit fault-matrix serve-smoke serve-bench perf-gate ci-local
 
 lint:
 	ruff check .
@@ -48,18 +48,29 @@ fault-matrix:
 # parity with offline run_scenario, then SIGKILL and restore from the
 # snapshot directory (benchmarks/run_serve_smoke.py).
 serve-smoke:
-	$(PYTHON) -m pytest tests/test_serve.py tests/test_tenants.py tests/test_engine.py -q
+	$(PYTHON) -m pytest tests/test_serve.py tests/test_tenants.py tests/test_engine.py tests/test_foldpool.py -q
 	$(PYTHON) benchmarks/run_serve_smoke.py
 
+# Serve-path throughput benchmark: boot the real server twice (per-chunk
+# executor folds vs micro-batched pool folds) over the same 4-tenant
+# workload, assert AH parity, and regenerate
+# benchmarks/results/BENCH_serve.json for the perf gate.  SERVE_BENCH_ARGS
+# defaults to the CI smoke profile; set it empty for the full workload.
+SERVE_BENCH_ARGS ?= --smoke
+serve-bench:
+	$(PYTHON) benchmarks/run_serve_bench.py $(SERVE_BENCH_ARGS)
+
 # Perf-regression gate: compare regenerated BENCH_*.json against the
-# committed baselines.  In CI, FRESH_RESULTS points at the downloaded
-# bench-smoke artifact and the baseline is the checkout; locally (after
-# bench-smoke overwrote benchmarks/results in place) set
-# BASELINE_GIT=HEAD to diff against the committed versions.
+# committed baselines.  In CI, FRESH_RESULTS lists the downloaded
+# artifact directories (bench-smoke + serve lanes, space-separated) and
+# the baseline is the checkout; locally (after bench-smoke overwrote
+# benchmarks/results in place) set BASELINE_GIT=HEAD to diff against
+# the committed versions.
 FRESH_RESULTS ?= benchmarks/results
 BASELINE_GIT ?=
 perf-gate:
-	$(PYTHON) benchmarks/perf_gate.py --fresh-dir $(FRESH_RESULTS) \
+	$(PYTHON) benchmarks/perf_gate.py \
+		$(foreach dir,$(FRESH_RESULTS),--fresh-dir $(dir)) \
 		$(if $(BASELINE_GIT),--baseline-git $(BASELINE_GIT),)
 
 # The whole CI job sequence, in order, on the local machine: lint,
@@ -73,6 +84,7 @@ ci-local:
 	$(MAKE) test PYTEST_ARGS="--junitxml=test-results/junit.xml --durations=20"
 	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) serve-bench
 	$(MAKE) fault-matrix WORKERS=2
 	$(MAKE) fault-matrix WORKERS=4
 	$(MAKE) perf-gate BASELINE_GIT=HEAD

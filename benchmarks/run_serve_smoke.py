@@ -45,7 +45,7 @@ READY_PREFIX = "repro-serve listening on "
 BOOT_TIMEOUT = 60.0
 
 
-def _start_server(snapshot_dir: Path):
+def _start_server(snapshot_dir: Path, extra_args=()):
     """Boot ``repro.cli serve`` on an ephemeral port; return (proc, client)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
@@ -61,6 +61,7 @@ def _start_server(snapshot_dir: Path):
             "0",
             "--snapshot-dir",
             str(snapshot_dir),
+            *extra_args,
         ],
         env=env,
         cwd=REPO_ROOT,

@@ -1,0 +1,71 @@
+"""Performance gate for the high-throughput serve path.
+
+Runs the end-to-end serve benchmark (``benchmarks/run_serve_bench.py``
+in smoke mode — real server subprocesses, HTTP loadgen, N concurrent
+tenants) and asserts the micro-batched + process-pooled ingest path
+beats per-chunk executor-thread folds by the acceptance floor.  The
+bench itself asserts AH parity (definitions 1–3) between both serve
+modes and an offline serial engine, so the speedup can never come at
+the cost of a result change.
+
+Skipped below 4 cores: the pooled path's win is process-parallel fold
+execution, which a 1–2 core box cannot demonstrate (the bench still
+runs there and records throughput, it just omits the ``compare``
+section).  CI's 4-vCPU runners execute this as part of bench-smoke;
+the regenerated ``BENCH_serve.json`` is compared against the committed
+baseline by ``benchmarks/perf_gate.py``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: acceptance floor for the smoke-sized workload on a 4-core runner.
+#: The committed baseline carries the measured headroom above this;
+#: the perf gate tracks regressions relative to that baseline.
+SPEEDUP_FLOOR = 2.5
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4 and not os.environ.get("REPRO_BENCH_FORCE"),
+    reason="pooled-fold speedup needs >= 4 cores "
+    "(set REPRO_BENCH_FORCE=1 to regenerate the baseline anyway)",
+)
+def test_perf_serve_pooled_speedup(results_dir):
+    """4 tenants, 4 cores: pooled ingest >= 2.5x per-chunk, AH-identical."""
+    out = results_dir / "BENCH_serve.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_serve_bench.py"),
+            "--smoke",
+            "--out",
+            str(out),
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    print(proc.stdout)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["parity"]["identical"] is True
+    assert payload["pooled"]["fold_processes"] >= 2
+    assert payload["per_chunk"]["fold_processes"] == 0
+    compare = payload.get("compare")
+    if compare is None:
+        pytest.skip("host below the bench's compare-cpu floor")
+    assert compare["ingest_speedup"] >= SPEEDUP_FLOOR, payload

@@ -428,6 +428,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="thread-pool size for CPU-bound chunk folding (default: 2)",
     )
+    serve.add_argument(
+        "--fold-processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fold-worker processes shared by all tenants; 0 folds "
+            "in-process on the ingest threads (default: auto-size to "
+            "the machine)"
+        ),
+    )
     return parser
 
 
@@ -439,6 +450,8 @@ def main(argv: Optional[list] = None) -> int:
         # validation and the run_study call.
         if args.ingest_threads < 1:
             raise SystemExit("--ingest-threads must be >= 1")
+        if args.fold_processes is not None and args.fold_processes < 0:
+            raise SystemExit("--fold-processes must be >= 0")
         from repro.serve.server import run_server
 
         def _announce(address):
@@ -451,6 +464,7 @@ def main(argv: Optional[list] = None) -> int:
             port=args.port,
             unix_socket=args.unix_socket,
             ingest_threads=args.ingest_threads,
+            fold_processes=args.fold_processes,
             ready=None if args.unix_socket else _announce,
         )
         return 0

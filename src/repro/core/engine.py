@@ -27,9 +27,10 @@ ones:
 
 from __future__ import annotations
 
+import math
 import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,7 +40,9 @@ from repro.core.events import EventTable
 from repro.core.faults import CheckpointStore
 from repro.core.streaming import ChunkReport, StreamingDetector
 from repro.core.telemetry import PipelineTelemetry
-from repro.io.shm import resolve_batch
+from repro.io.packetlog import packets_from_npz_bytes
+from repro.io.shm import resolve_batch, share_batches, want_shared_memory
+from repro.packet import PacketBatch
 
 #: Versioned header for engine snapshots.  Bump on any change to the
 #: payload layout; ``restore`` refuses a mismatched header so a stale
@@ -48,6 +51,45 @@ ENGINE_STATE_MAGIC = b"repro-engine-state-v2\n"
 
 #: Checkpoint kind under which engine snapshots are stored.
 ENGINE_CKPT_KIND = "engine"
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one (possibly coalesced) ingest call folded in.
+
+    The micro-batch analogue of
+    :class:`~repro.core.streaming.ChunkReport`: one report per
+    :meth:`DetectionEngine.ingest_payloads` call, covering every wire
+    chunk it coalesced.  ``chunks`` counts the chunks actually folded;
+    chunks that failed to decode (or arrived out of order) are dropped
+    individually and surface in ``errors`` without poisoning the rest
+    of the fold — matching what per-chunk ingestion would have rejected.
+    """
+
+    packets: int
+    events_finalized: int
+    open_flows: int
+    watermark: Optional[float]
+    chunks: int
+    errors: Tuple[str, ...]
+    seconds: float
+
+
+@dataclass
+class _ShardGauge:
+    """Parent-side mirror of one pooled shard's cumulative gauges.
+
+    While a :class:`~repro.serve.foldpool.FoldPool` is attached the
+    live detector state lives in the worker processes; each
+    :class:`~repro.serve.foldpool.FoldReply` refreshes this mirror so
+    the engine's gauge properties stay O(1) — no pipe round-trip.
+    """
+
+    packets_seen: int = 0
+    events_finalized: int = 0
+    open_flows: int = 0
+    peak_open_flows: int = 0
+    watermark: Optional[float] = field(default=None)
 
 
 @dataclass(frozen=True)
@@ -75,6 +117,38 @@ class EngineQuery:
     def ah_sources(self, definition: int = 1) -> set:
         """The current AH set for one definition."""
         return self.detections[definition].sources
+
+
+def gate_time_order(
+    batches: Sequence[PacketBatch],
+    watermark: Optional[float],
+    errors: List[str],
+) -> List[PacketBatch]:
+    """Drop batches per-chunk ingestion would reject as out of order.
+
+    Coalescing folds several wire chunks as one concatenated batch, so
+    the per-chunk ordering check the streaming builder performs
+    (each chunk's first timestamp at or past the watermark) has to be
+    re-applied *before* concatenation — otherwise one stale chunk would
+    either poison the whole fold or, worse, silently slip into it.
+    Empty batches are dropped silently; violators append a message to
+    ``errors``.  Returns the batches that fold.
+    """
+    kept = []
+    mark = -math.inf if watermark is None else watermark
+    for batch in batches:
+        if len(batch) == 0:
+            continue
+        first = float(batch.ts.min())
+        if first < mark:
+            errors.append(
+                f"chunk out of order: first ts {first:.6f} precedes "
+                f"watermark {mark:.6f}"
+            )
+            continue
+        mark = max(mark, float(batch.ts.max()))
+        kept.append(batch)
+    return kept
 
 
 class DetectionEngine:
@@ -142,6 +216,13 @@ class DetectionEngine:
         self._chunks_since_snapshot = 0
         self._degraded = False
         self._finished = False
+        #: fold-pool attachment (serve path); while set, detector
+        #: state lives in the pool's workers and ``_detectors`` is
+        #: empty — ``_gauges`` mirrors the shard counters.
+        self._pool = None
+        self._pool_key = None
+        self._gauges: List[_ShardGauge] = []
+        self._shard_spec_cache = None
 
     def _new_detector(self) -> StreamingDetector:
         return StreamingDetector(
@@ -185,26 +266,46 @@ class DetectionEngine:
     # ------------------------------------------------------------------
     @property
     def packets_seen(self) -> int:
+        if self._pool is not None:
+            return sum(g.packets_seen for g in self._gauges)
         return sum(d.packets_seen for d in self._detectors)
 
     @property
     def events_finalized(self) -> int:
+        if self._pool is not None:
+            return sum(g.events_finalized for g in self._gauges)
         return sum(d.events_finalized for d in self._detectors)
 
     @property
     def open_flows(self) -> int:
+        if self._pool is not None:
+            return sum(g.open_flows for g in self._gauges)
         return sum(d.open_flows for d in self._detectors)
 
     @property
     def peak_open_flows(self) -> int:
+        if self._pool is not None:
+            return sum(g.peak_open_flows for g in self._gauges)
         return sum(d.peak_open_flows for d in self._detectors)
 
     @property
     def watermark(self) -> Optional[float]:
-        marks = [
-            d.watermark for d in self._detectors if d.watermark is not None
-        ]
+        if self._pool is not None:
+            marks = [
+                g.watermark for g in self._gauges if g.watermark is not None
+            ]
+        else:
+            marks = [
+                d.watermark
+                for d in self._detectors
+                if d.watermark is not None
+            ]
         return max(marks) if marks else None
+
+    @property
+    def pooled(self) -> bool:
+        """True while a fold pool owns this engine's detector state."""
+        return self._pool is not None
 
     @property
     def chunks_ingested(self) -> int:
@@ -233,6 +334,295 @@ class DetectionEngine:
 
         return shard_batch(batch, self.workers)
 
+    # ------------------------------------------------------------------
+    # Fold-pool attachment (the serve path's off-loop parallel folds)
+    # ------------------------------------------------------------------
+    def _shard_spec(self):
+        if self._shard_spec_cache is None:
+            from repro.serve.foldpool import ShardSpec
+
+            self._shard_spec_cache = ShardSpec(
+                self.timeout,
+                self.dark_size,
+                self.config,
+                self.day_seconds,
+                self.max_ecdf_samples,
+            )
+        return self._shard_spec_cache
+
+    def attach_pool(self, pool, key) -> None:
+        """Move this engine's detector state into a fold pool.
+
+        ``pool`` is a :class:`~repro.serve.foldpool.FoldPool`; ``key``
+        namespaces this engine's shards inside it (the serve layer uses
+        the tenant id).  Each shard's serialized state is installed in
+        its affine worker; from then on folds run off-process and the
+        engine only mirrors the gauges.  Queries, snapshots and
+        ``finish`` pull state back over the pipe on demand, so their
+        answers are byte-identical to the unpooled engine's.
+        """
+        if self._finished:
+            raise RuntimeError("cannot attach a pool to a finished engine")
+        if self._pool is not None:
+            raise RuntimeError("a fold pool is already attached")
+        gauges = []
+        for index, detector in enumerate(self._detectors):
+            pool.load(
+                (key, index),
+                detector.to_bytes() if detector.packets_seen else None,
+            )
+            gauges.append(
+                _ShardGauge(
+                    packets_seen=detector.packets_seen,
+                    events_finalized=detector.events_finalized,
+                    open_flows=detector.open_flows,
+                    peak_open_flows=detector.peak_open_flows,
+                    watermark=detector.watermark,
+                )
+            )
+        self._pool = pool
+        self._pool_key = key
+        self._gauges = gauges
+        self._detectors = []
+
+    def detach_pool(self) -> None:
+        """Pull detector state back out of the pool (no-op if unpooled).
+
+        After this the engine folds locally again; the pool forgets the
+        engine's shards.
+        """
+        if self._pool is None:
+            return
+        pool, key = self._pool, self._pool_key
+        self._detectors = self._collect_detectors()
+        self._pool = None
+        self._pool_key = None
+        self._gauges = []
+        pool.drop(key)
+
+    def abandon_pool(self) -> None:
+        """Forget pooled state without pulling it back.
+
+        The tenant-removal path: the state is being discarded anyway,
+        so skip the collect round-trip and just clear the workers.  The
+        engine is left empty (as if freshly built).
+        """
+        if self._pool is None:
+            return
+        pool, key = self._pool, self._pool_key
+        self._pool = None
+        self._pool_key = None
+        self._gauges = []
+        self._detectors = [
+            self._new_detector() for _ in range(self.workers)
+        ]
+        pool.drop(key)
+
+    def _collect_detectors(self) -> List[StreamingDetector]:
+        """Fresh local detector copies of the pooled shard states."""
+        detectors = []
+        for index in range(self.workers):
+            blob = self._pool.collect((self._pool_key, index))
+            detectors.append(
+                StreamingDetector.from_bytes(blob)
+                if blob is not None
+                else self._new_detector()
+            )
+        return detectors
+
+    def _apply_reply(self, index: int, reply) -> None:
+        gauge = self._gauges[index]
+        gauge.packets_seen = reply.packets_seen
+        gauge.events_finalized = reply.events_total
+        gauge.open_flows = reply.open_flows
+        gauge.peak_open_flows = reply.peak_open_flows
+        gauge.watermark = reply.watermark
+        if reply.degraded:
+            self._degraded = True
+
+    def _fold_pooled(self, batch, errors: List[str]) -> Tuple[int, int]:
+        """Fold one coalesced batch through the attached pool."""
+        spec = self._shard_spec()
+        lease = None
+        if self.workers == 1:
+            live = [0]
+            requests = [
+                (
+                    (self._pool_key, 0),
+                    spec,
+                    self._gauges[0].packets_seen,
+                    ("batch", batch),
+                )
+            ]
+        else:
+            subs = self.shard_batch(batch)
+            live = [i for i, sub in enumerate(subs) if len(sub)]
+            nbytes = sum(subs[i].nbytes for i in live)
+            if want_shared_memory(self._pool.shm, True, nbytes):
+                handles, lease = share_batches(
+                    [subs[i] for i in live], "fold"
+                )
+                payloads = [("shm", handle) for handle in handles]
+            else:
+                payloads = [("batch", subs[i]) for i in live]
+            requests = [
+                (
+                    (self._pool_key, i),
+                    spec,
+                    self._gauges[i].packets_seen,
+                    payload,
+                )
+                for i, payload in zip(live, payloads)
+            ]
+        try:
+            replies = self._pool.fold_many(requests)
+        finally:
+            if lease is not None:
+                lease.close()
+        packets = finalized = 0
+        for index, reply in zip(live, replies):
+            self._apply_reply(index, reply)
+            errors.extend(reply.errors)
+            packets += reply.packets
+            finalized += reply.events_finalized
+        return packets, finalized
+
+    def _fold_coalesced(
+        self, kept: List[PacketBatch], errors: List[str]
+    ) -> Tuple[int, int]:
+        """Fold already-gated batches as one concatenated pass."""
+        if not kept:
+            return 0, 0
+        batch = kept[0] if len(kept) == 1 else PacketBatch.concat(kept)
+        if self._pool is not None:
+            return self._fold_pooled(batch, errors)
+        packets = finalized = 0
+        if self.workers == 1:
+            try:
+                report = self._detectors[0].add_batch(batch)
+                packets = report.packets
+                finalized = report.events_finalized
+            except Exception as exc:  # noqa: BLE001 — surface, don't die
+                errors.append(str(exc))
+        else:
+            for detector, sub in zip(
+                self._detectors, self.shard_batch(batch)
+            ):
+                if len(sub) == 0:
+                    continue
+                try:
+                    report = detector.add_batch(sub)
+                    packets += report.packets
+                    finalized += report.events_finalized
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(str(exc))
+        if self.max_ecdf_samples is not None:
+            for detector in self._detectors:
+                if detector.bound_volume_samples(self.max_ecdf_samples):
+                    self._degraded = True
+        return packets, finalized
+
+    def _account_fold(
+        self,
+        packets: int,
+        finalized: int,
+        chunks: int,
+        errors: List[str],
+        t0: float,
+        window_end: Optional[float],
+    ) -> IngestReport:
+        """Telemetry + chunk/snapshot bookkeeping for one fold pass."""
+        seconds = time.perf_counter() - t0
+        open_flows = self.open_flows
+        watermark = self.watermark
+        if self.telemetry is not None:
+            self.telemetry.stage("detect").add(packets, finalized, seconds)
+            self.telemetry.record_chunk(
+                packets=packets,
+                events_finalized=finalized,
+                open_flows=open_flows,
+                window_end=(
+                    window_end
+                    if window_end is not None
+                    else (watermark if watermark is not None else 0.0)
+                ),
+                watermark=watermark,
+            )
+        self._chunks_ingested += chunks
+        self._chunks_since_snapshot += chunks
+        if (
+            self.store is not None
+            and self.snapshot_every_chunks is not None
+            and self._chunks_since_snapshot >= self.snapshot_every_chunks
+        ):
+            self.save_snapshot()
+        return IngestReport(
+            packets=packets,
+            events_finalized=finalized,
+            open_flows=open_flows,
+            watermark=watermark,
+            chunks=chunks,
+            errors=tuple(errors),
+            seconds=seconds,
+        )
+
+    def ingest_payloads(
+        self,
+        blobs: Sequence[bytes],
+        *,
+        window_end: Optional[float] = None,
+    ) -> IngestReport:
+        """Decode and fold a micro-batch of npz wire chunks in one pass.
+
+        The serve layer's coalesced entry point: ``blobs`` are raw npz
+        payloads in arrival order.  Undecodable or out-of-order chunks
+        are dropped individually — each contributes an error string and
+        is excluded from the ``chunks`` count, exactly as per-chunk
+        ingestion would have rejected it — while the rest concatenate
+        into one fold, amortizing decode and the builder's lexsort.
+        With a single-shard engine attached to a fold pool, the raw
+        bytes ship to the shard's worker and decode entirely
+        off-process; sharded pooled engines decode here, split by
+        source, and hand sub-batches over (through shared memory once
+        past the auto threshold).
+
+        Cumulative results are identical to folding the same chunks one
+        at a time: streaming event building is chunking-invariant.
+        """
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        t0 = time.perf_counter()
+        errors: List[str] = []
+        if self._pool is not None and self.workers == 1:
+            reply = self._pool.fold_many(
+                [
+                    (
+                        (self._pool_key, 0),
+                        self._shard_spec(),
+                        self._gauges[0].packets_seen,
+                        ("npz", list(blobs)),
+                    )
+                ]
+            )[0]
+            self._apply_reply(0, reply)
+            errors.extend(reply.errors)
+            packets, finalized = reply.packets, reply.events_finalized
+        else:
+            batches = []
+            for blob in blobs:
+                try:
+                    batches.append(
+                        packets_from_npz_bytes(blob, label="chunk")
+                    )
+                except Exception as exc:  # noqa: BLE001 — isolate chunk
+                    errors.append(str(exc))
+            kept = gate_time_order(batches, self.watermark, errors)
+            packets, finalized = self._fold_coalesced(kept, errors)
+        chunks = max(0, len(blobs) - len(errors))
+        return self._account_fold(
+            packets, finalized, chunks, errors, t0, window_end
+        )
+
     def ingest(self, chunk) -> ChunkReport:
         """Fold one time-ordered capture chunk into the shard pool.
 
@@ -250,6 +640,23 @@ class DetectionEngine:
         if self._finished:
             raise RuntimeError("engine already finished")
         batch = resolve_batch(getattr(chunk, "packets", chunk))
+        if self._pool is not None:
+            t0 = time.perf_counter()
+            errors: List[str] = []
+            kept = gate_time_order([batch], self.watermark, errors)
+            packets, finalized = self._fold_coalesced(kept, errors)
+            if errors:
+                raise ValueError("; ".join(errors))
+            report = self._account_fold(
+                packets, finalized, 1, errors, t0,
+                getattr(chunk, "end", None),
+            )
+            return ChunkReport(
+                packets=report.packets,
+                events_finalized=report.events_finalized,
+                open_flows=report.open_flows,
+                watermark=report.watermark,
+            )
         t0 = time.perf_counter()
         if self.workers == 1:
             report = self._detectors[0].add_batch(batch)
@@ -309,12 +716,17 @@ class DetectionEngine:
 
         The copy goes through ``to_bytes``/``from_bytes`` — the exact
         serialization snapshots and checkpoints use, so a query answers
-        from the same bytes a restore would.
+        from the same bytes a restore would.  With a fold pool attached
+        the states come over the worker pipes (``collect``), which ship
+        the very same serialization.
         """
-        copies = [
-            StreamingDetector.from_bytes(d.to_bytes())
-            for d in self._detectors
-        ]
+        if self._pool is not None:
+            copies = self._collect_detectors()
+        else:
+            copies = [
+                StreamingDetector.from_bytes(d.to_bytes())
+                for d in self._detectors
+            ]
         merged = copies[0]
         for other in copies[1:]:
             merged.merge(other)
@@ -354,6 +766,7 @@ class DetectionEngine:
             "workers": self.workers,
             "degraded": self._degraded,
             "finished": self._finished,
+            "pooled": self._pool is not None,
         }
 
     def finish(self) -> Tuple[EventTable, Dict[int, DetectionResult]]:
@@ -366,6 +779,7 @@ class DetectionEngine:
         """
         if self._finished:
             raise RuntimeError("engine already finished")
+        self.detach_pool()
         t0 = time.perf_counter()
         merged = self._detectors[0]
         for other in self._detectors[1:]:
@@ -429,6 +843,15 @@ class DetectionEngine:
         """
         if self._finished:
             raise RuntimeError("cannot snapshot a finished engine")
+        if self._pool is not None:
+            blobs = []
+            for index in range(self.workers):
+                blob = self._pool.collect((self._pool_key, index))
+                if blob is None:
+                    blob = self._new_detector().to_bytes()
+                blobs.append(blob)
+        else:
+            blobs = [d.to_bytes() for d in self._detectors]
         payload = {
             "timeout": self.timeout,
             "dark_size": self.dark_size,
@@ -438,7 +861,7 @@ class DetectionEngine:
             "chunks": self._chunks_ingested,
             "degraded": self._degraded,
             "max_ecdf_samples": self.max_ecdf_samples,
-            "detectors": [d.to_bytes() for d in self._detectors],
+            "detectors": blobs,
         }
         return ENGINE_STATE_MAGIC + pickle.dumps(payload, protocol=4)
 

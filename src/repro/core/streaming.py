@@ -595,7 +595,17 @@ class PortDayState:
     overlapping crafted windows, in several shards' histories — repeats
     its triple but is counted once).  Merging is run-list concatenation:
     associative, and commutative up to the final sorted grouping.
+
+    Long-lived states (an always-on serve tenant folds chunks forever)
+    compact the run list once it exceeds :data:`COMPACT_AFTER` runs:
+    the runs are concatenated and deduplicated into a single run, so
+    memory is bounded by the number of *distinct* triples, not by the
+    number of ``update()`` calls.  Compaction never changes
+    :meth:`counts` — the grouping pass already counts duplicates once.
     """
+
+    #: Compact ``_runs`` into one deduplicated run at this many runs.
+    COMPACT_AFTER = 64
 
     def __init__(self, day_seconds: float):
         self.day_seconds = float(day_seconds)
@@ -605,6 +615,7 @@ class PortDayState:
         """Fold a batch of finalized events in."""
         if len(events):
             self._runs.append(events.daily_port_triples(self.day_seconds))
+            self._maybe_compact()
 
     def merge(self, other: "PortDayState") -> None:
         """Append another shard's runs to this state."""
@@ -616,6 +627,22 @@ class PortDayState:
                 f"({self.day_seconds} vs {other.day_seconds})"
             )
         self._runs.extend(other._runs)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if len(self._runs) < self.COMPACT_AFTER:
+            return
+        src, day, port_proto = self.triples()
+        order = np.lexsort((port_proto, day, src))
+        src, day, port_proto = src[order], day[order], port_proto[order]
+        fresh = np.empty(len(src), dtype=bool)
+        fresh[0] = True
+        fresh[1:] = (
+            (src[1:] != src[:-1])
+            | (day[1:] != day[:-1])
+            | (port_proto[1:] != port_proto[:-1])
+        )
+        self._runs = [(src[fresh], day[fresh], port_proto[fresh])]
 
     def triples(self) -> tuple:
         """The concatenated (src, day, port·proto) runs."""

@@ -162,6 +162,99 @@ class FlowWorkerStats:
 
 
 @dataclass
+class ServeStats:
+    """Per-tenant ingest-path accounting for the serve layer.
+
+    The always-on service (:mod:`repro.serve`) folds queued wire chunks
+    in adaptive micro-batches: the tenant worker drains everything
+    queued up to a byte/chunk budget and folds it as one coalesced
+    batch.  This block records how that path behaved — how long chunks
+    waited in the queue, how many chunks each fold coalesced, and how
+    much wall time the folds took.  Nothing here affects results.
+    """
+
+    #: wire chunks accepted into the tenant queue (HTTP 202s).
+    chunks_received: int = 0
+    #: wire bytes accepted into the tenant queue.
+    bytes_received: int = 0
+    #: coalesced fold calls executed (<= chunks_received).
+    folds: int = 0
+    #: packets folded into the engine by those calls.
+    packets_folded: int = 0
+    #: wall seconds spent inside fold calls.
+    fold_seconds: float = 0.0
+    #: total queue wait (enqueue -> dequeue of the oldest chunk per fold).
+    queue_wait_seconds: float = 0.0
+    #: worst single queue wait observed.
+    max_queue_wait_seconds: float = 0.0
+    #: largest number of chunks one fold coalesced.
+    max_coalesced_chunks: int = 0
+    #: histogram: chunks-coalesced-per-fold -> number of folds.
+    coalesce_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def record_enqueued(self, n_bytes: int) -> None:
+        """Account one wire chunk accepted into the queue."""
+        self.chunks_received += 1
+        self.bytes_received += int(n_bytes)
+
+    def record_fold(
+        self,
+        chunks: int,
+        packets: int,
+        seconds: float,
+        queue_wait: float,
+    ) -> None:
+        """Account one coalesced fold call."""
+        chunks = int(chunks)
+        self.folds += 1
+        self.packets_folded += int(packets)
+        self.fold_seconds += float(seconds)
+        self.queue_wait_seconds += float(queue_wait)
+        self.max_queue_wait_seconds = max(
+            self.max_queue_wait_seconds, float(queue_wait)
+        )
+        self.max_coalesced_chunks = max(self.max_coalesced_chunks, chunks)
+        self.coalesce_histogram[chunks] = (
+            self.coalesce_histogram.get(chunks, 0) + 1
+        )
+
+    @property
+    def mean_coalesced_chunks(self) -> Optional[float]:
+        """Average chunks folded per fold call (None before data)."""
+        if self.folds == 0:
+            return None
+        return sum(
+            chunks * count for chunks, count in self.coalesce_histogram.items()
+        ) / self.folds
+
+    @property
+    def fold_packets_per_second(self) -> Optional[float]:
+        """Packets folded per second of fold wall time."""
+        if self.fold_seconds <= 0.0:
+            return None
+        return self.packets_folded / self.fold_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (histogram keys become strings)."""
+        return {
+            "chunks_received": self.chunks_received,
+            "bytes_received": self.bytes_received,
+            "folds": self.folds,
+            "packets_folded": self.packets_folded,
+            "fold_seconds": self.fold_seconds,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "max_queue_wait_seconds": self.max_queue_wait_seconds,
+            "max_coalesced_chunks": self.max_coalesced_chunks,
+            "mean_coalesced_chunks": self.mean_coalesced_chunks,
+            "fold_packets_per_second": self.fold_packets_per_second,
+            "coalesce_histogram": {
+                str(chunks): count
+                for chunks, count in sorted(self.coalesce_histogram.items())
+            },
+        }
+
+
+@dataclass
 class RunHealth:
     """Fault-tolerance accounting for one run.
 

@@ -306,3 +306,17 @@ def share_batch(
     """Single-batch convenience over :func:`share_shard_batches`."""
     handles, lease = share_shard_batches([[batch]], label)
     return handles[0].batches[0], lease
+
+
+def share_batches(
+    batches: Sequence[PacketBatch], label: str = "fold"
+) -> Tuple[List[ShmBatch], SegmentLease]:
+    """Pack independent batches into one segment, one handle each.
+
+    The serve layer's fold hand-off: a coalesced chunk is sharded by
+    source, and each sub-batch ships to its fold worker as one
+    :class:`ShmBatch` handle over a single shared segment.  The caller
+    closes the lease once every worker has answered.
+    """
+    handles, lease = share_shard_batches([[b] for b in batches], label)
+    return [handle.batches[0] for handle in handles], lease

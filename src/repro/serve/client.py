@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.io.packetlog import packets_to_npz_bytes
 from repro.serve.tenants import TenantConfig
@@ -37,6 +38,10 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: headers of the last response, keys lowercased — lets callers
+        #: read throttle hints (``Retry-After``) without re-plumbing
+        #: every return value.
+        self.last_headers: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -67,6 +72,10 @@ class ServeClient:
                 conn.request(method, path, body=body or None)
                 response = conn.getresponse()
                 data = response.read()
+                self.last_headers = {
+                    name.lower(): value
+                    for name, value in response.getheaders()
+                }
                 break
             except (
                 ConnectionError,
@@ -124,7 +133,13 @@ class ServeClient:
         max_retries: int = 200,
         backoff: float = 0.05,
     ) -> int:
-        """Ingest with 429 slow-down; returns the number of retries."""
+        """Ingest with 429 slow-down; returns the number of retries.
+
+        The sleep honours the server's ``Retry-After`` response header
+        (falling back to the JSON ``retry_after`` hint, then to
+        ``backoff``), stretched by a small random jitter so a burst of
+        throttled clients does not retry in lockstep.
+        """
         body = (
             batch if isinstance(batch, bytes) else packets_to_npz_bytes(batch)
         )
@@ -138,7 +153,16 @@ class ServeClient:
             if retries >= max_retries:
                 raise ServeError(status, payload)
             retries += 1
-            time.sleep(float(payload.get("retry_after", backoff)))
+            delay = None
+            header = self.last_headers.get("retry-after")
+            if header is not None:
+                try:
+                    delay = float(header)
+                except ValueError:
+                    delay = None
+            if delay is None:
+                delay = float(payload.get("retry_after", backoff))
+            time.sleep(delay * (1.0 + 0.25 * random.random()))
 
     def query_ah(
         self, tenant_id: str, definition: Optional[int] = None

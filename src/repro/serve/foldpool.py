@@ -1,0 +1,413 @@
+"""Process-pool detector folds for the always-on serve layer.
+
+The ingestion server's CPU-bound work — npz decode plus the
+:class:`~repro.core.streaming.StreamingDetector` fold — used to run on
+an in-process thread pool, where every tenant's folds serialized on the
+GIL.  A :class:`FoldPool` moves that work into a small fleet of
+long-lived worker *processes*: each worker owns the live detector state
+for the ``(tenant, shard)`` keys hashed to it, so many tenants fold
+concurrently on real cores while the asyncio loop and its ingest
+threads only shuttle requests.
+
+Design points:
+
+* **Shard affinity.**  A ``(tenant, shard)`` key always maps to the
+  same worker (stable hash), and each worker processes its pipe in
+  order — so the per-shard fold order the detectors require is
+  preserved without any cross-process locking.
+* **State lives in the worker.**  Detector state grows with the stream
+  (finalized event columns accumulate), so shipping it back and forth
+  per fold would cost O(history) each time.  Instead only small
+  :class:`FoldReply` gauge structs cross the pipe per fold; the engine
+  pulls full state bytes (``collect``) only for queries, snapshots and
+  finish — operations that were O(history) already.
+* **Zero-copy hand-off.**  Sub-batches above the shared-memory auto
+  threshold travel as :class:`~repro.io.shm.ShmBatch` handles over one
+  named segment per fold (see :func:`repro.io.shm.share_batches`);
+  single-shard tenants ship raw npz wire bytes and the worker decodes
+  them off-loop.
+* **Desync detection.**  Every fold carries the packet count the
+  engine believes the shard has folded; a mismatch (a respawned worker
+  that lost state, or an affinity bug) fails the fold loudly instead
+  of silently restarting the shard from empty.  The server heals a
+  tenant that hits this by recycling it from its last snapshot.
+
+The pool is shared by every tenant of one server; per-tenant ordering
+still comes from the server's per-tenant command queue, which never
+lets two folds for the same tenant be in flight at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import gate_time_order
+from repro.core.streaming import StreamingDetector
+from repro.io.packetlog import packets_from_npz_bytes
+from repro.io.shm import resolve_batch
+from repro.packet import PacketBatch
+
+#: Upper bound the auto policy puts on the fold-worker count.
+AUTO_MAX_PROCESSES = 4
+
+
+def auto_processes() -> int:
+    """The default fold-worker count: one per core, capped."""
+    return max(1, min(AUTO_MAX_PROCESSES, os.cpu_count() or 1))
+
+
+class FoldPoolError(RuntimeError):
+    """A fold-pool worker failed or lost state; see the message."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Constructor arguments for a worker-side detector shard."""
+
+    timeout: float
+    dark_size: int
+    config: object
+    day_seconds: float
+    max_ecdf_samples: Optional[int]
+
+
+@dataclass(frozen=True)
+class FoldReply:
+    """What one fold request did, plus the shard's gauges after it."""
+
+    #: packets folded by this call.
+    packets: int
+    #: events finalized by this call.
+    events_finalized: int
+    #: npz payloads (or batches) that failed to decode/fold, as
+    #: message strings; the good ones were still folded.
+    errors: Tuple[str, ...]
+    #: worker-side wall seconds spent decoding + folding.
+    seconds: float
+    #: cumulative shard gauges after the fold.
+    packets_seen: int
+    events_total: int
+    open_flows: int
+    peak_open_flows: int
+    watermark: Optional[float]
+    #: True once the shard's volume ECDF was ever compacted.
+    degraded: bool
+
+
+def _decode_payload(payload) -> Tuple[list, List[str]]:
+    """``(batches, errors)`` for one fold payload.
+
+    Payloads are tagged tuples: ``("npz", [bytes, ...])`` for raw wire
+    chunks the worker decodes itself, ``("shm", ShmBatch)`` for a
+    shared-memory handle, ``("batch", PacketBatch)`` for a pickled
+    batch.
+    """
+    kind, value = payload
+    if kind == "npz":
+        batches, errors = [], []
+        for blob in value:
+            try:
+                batches.append(packets_from_npz_bytes(blob, label="chunk"))
+            except Exception as exc:  # noqa: BLE001 — per-chunk isolation
+                errors.append(str(exc))
+        return batches, errors
+    if kind == "shm":
+        return [resolve_batch(value)], []
+    return [value], []
+
+
+def _worker_main(conn) -> None:
+    """One fold worker: serve pipe requests until ``close`` or EOF."""
+    detectors: Dict[tuple, StreamingDetector] = {}
+    degraded: set = set()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = message[0]
+        try:
+            if op == "fold":
+                _, key, spec, expect_packets, payload = message
+                detector = detectors.get(key)
+                if detector is None:
+                    if expect_packets:
+                        raise FoldPoolError(
+                            f"shard {key!r} has no state here but the engine "
+                            f"expects {expect_packets} folded packets "
+                            "(worker respawned?)"
+                        )
+                    detector = StreamingDetector(
+                        spec.timeout,
+                        spec.dark_size,
+                        spec.config,
+                        spec.day_seconds,
+                    )
+                    detectors[key] = detector
+                elif detector.packets_seen != expect_packets:
+                    raise FoldPoolError(
+                        f"shard {key!r} state out of sync: worker has "
+                        f"{detector.packets_seen} packets, engine expects "
+                        f"{expect_packets}"
+                    )
+                batches, errors = _decode_payload(payload)
+                t0 = time.perf_counter()
+                kept = gate_time_order(batches, detector.watermark, errors)
+                packets = finalized = 0
+                if kept:
+                    coalesced = (
+                        kept[0]
+                        if len(kept) == 1
+                        else PacketBatch.concat(kept)
+                    )
+                    try:
+                        report = detector.add_batch(coalesced)
+                        packets = report.packets
+                        finalized = report.events_finalized
+                    except Exception as exc:  # noqa: BLE001 — surface it
+                        errors.append(str(exc))
+                if spec.max_ecdf_samples is not None:
+                    if detector.bound_volume_samples(spec.max_ecdf_samples):
+                        degraded.add(key)
+                conn.send(
+                    (
+                        "ok",
+                        FoldReply(
+                            packets=packets,
+                            events_finalized=finalized,
+                            errors=tuple(errors),
+                            seconds=time.perf_counter() - t0,
+                            packets_seen=detector.packets_seen,
+                            events_total=detector.events_finalized,
+                            open_flows=detector.open_flows,
+                            peak_open_flows=detector.peak_open_flows,
+                            watermark=detector.watermark,
+                            degraded=key in degraded,
+                        ),
+                    )
+                )
+            elif op == "collect":
+                _, key = message
+                detector = detectors.get(key)
+                conn.send(
+                    ("ok", None if detector is None else detector.to_bytes())
+                )
+            elif op == "load":
+                _, key, blob = message
+                if blob is None:
+                    detectors.pop(key, None)
+                    degraded.discard(key)
+                else:
+                    detectors[key] = StreamingDetector.from_bytes(blob)
+                conn.send(("ok", None))
+            elif op == "drop":
+                _, tenant = message
+                for key in [k for k in detectors if k[0] == tenant]:
+                    del detectors[key]
+                    degraded.discard(key)
+                conn.send(("ok", None))
+            elif op == "ping":
+                conn.send(("ok", None))
+            elif op == "close":
+                conn.send(("ok", None))
+                return
+            else:
+                conn.send(("err", f"unknown fold-pool op: {op!r}"))
+        except Exception as exc:  # noqa: BLE001 — keep the worker alive
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _Worker:
+    """Parent-side handle to one fold process: pipe + dispatch lock."""
+
+    def __init__(self, ctx, index: int):
+        self.index = index
+        self.lock = threading.Lock()
+        self._spawn(ctx)
+
+    def _spawn(self, ctx) -> None:
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child,),
+            name=f"repro-fold-{self.index}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+
+class FoldPool:
+    """A fleet of long-lived detector fold processes.
+
+    Args:
+        processes: worker-process count (>= 1); see
+            :func:`auto_processes` for the serve default.
+        shm: shared-memory policy for batch hand-off, as accepted by
+            :func:`repro.io.shm.want_shared_memory` (None = auto).
+        start_method: multiprocessing start method.  ``spawn`` (the
+            default) is safe to call from threaded parents — the serve
+            test harness runs the event loop on a background thread.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        *,
+        shm: Optional[bool] = None,
+        start_method: str = "spawn",
+    ):
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = int(processes)
+        self.shm = shm
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers = [
+            _Worker(self._ctx, index) for index in range(self.processes)
+        ]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def worker_index(self, key) -> int:
+        """The worker that owns ``key`` (stable across calls)."""
+        digest = hashlib.blake2b(
+            repr(key).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % self.processes
+
+    def _exchange(self, worker: _Worker, messages: list) -> list:
+        """Send/recv a message batch on one worker (lock already held)."""
+        try:
+            for message in messages:
+                worker.conn.send(message)
+            replies = [worker.conn.recv() for _ in messages]
+        except (EOFError, OSError) as exc:
+            self._respawn(worker)
+            raise FoldPoolError(
+                f"fold worker {worker.index} died mid-request; its "
+                "unsnapshotted shard state is lost — recycle affected "
+                "tenants to restore from their last snapshot"
+            ) from exc
+        values = []
+        error = None
+        for status, value in replies:
+            if status != "ok":
+                error = value
+            values.append(value)
+        if error is not None:
+            raise FoldPoolError(error)
+        return values
+
+    def _respawn(self, worker: _Worker) -> None:
+        """Replace a dead worker with a fresh (state-less) process."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        worker._spawn(self._ctx)
+
+    def _call(self, worker: _Worker, message: tuple):
+        with worker.lock:
+            return self._exchange(worker, [message])[0]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def fold_many(
+        self, requests: Sequence[tuple]
+    ) -> List[Optional[FoldReply]]:
+        """Dispatch fold requests, overlapping across workers.
+
+        ``requests`` is a sequence of ``(key, spec, expect_packets,
+        payload)`` tuples.  Requests for distinct workers run
+        concurrently (two-phase: send everything, then collect);
+        requests landing on the same worker run in order.  Worker locks
+        are taken in index order, so concurrent callers cannot
+        deadlock.  Returns one :class:`FoldReply` per request, in
+        request order.
+        """
+        if self._closed:
+            raise FoldPoolError("fold pool is closed")
+        by_worker: Dict[int, List[tuple]] = {}
+        for position, (key, spec, expect_packets, payload) in enumerate(
+            requests
+        ):
+            index = self.worker_index(key)
+            by_worker.setdefault(index, []).append(
+                (position, ("fold", key, spec, expect_packets, payload))
+            )
+        indexes = sorted(by_worker)
+        replies: List[Optional[FoldReply]] = [None] * len(requests)
+        for index in indexes:
+            self._workers[index].lock.acquire()
+        try:
+            for index in indexes:
+                worker = self._workers[index]
+                messages = [message for _, message in by_worker[index]]
+                values = self._exchange(worker, messages)
+                for (position, _), value in zip(by_worker[index], values):
+                    replies[position] = value
+        finally:
+            for index in indexes:
+                self._workers[index].lock.release()
+        return replies
+
+    def collect(self, key) -> Optional[bytes]:
+        """The shard's serialized detector state (None if never used)."""
+        worker = self._workers[self.worker_index(key)]
+        return self._call(worker, ("collect", key))
+
+    def load(self, key, blob: Optional[bytes]) -> None:
+        """Install (or, with ``None``, drop) one shard's state."""
+        worker = self._workers[self.worker_index(key)]
+        self._call(worker, ("load", key, blob))
+
+    def drop(self, tenant) -> None:
+        """Forget every shard state belonging to one tenant."""
+        for worker in self._workers:
+            self._call(worker, ("drop", tenant))
+
+    def ping(self) -> bool:
+        """Round-trip every worker (used by health checks and tests)."""
+        for worker in self._workers:
+            self._call(worker, ("ping",))
+        return True
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            with worker.lock:
+                try:
+                    worker.conn.send(("close",))
+                    worker.conn.recv()
+                except (EOFError, OSError, ValueError):
+                    pass
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            worker.process.join(timeout=10)
+            if worker.process.is_alive():  # pragma: no cover - stuck child
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+
+    def __enter__(self) -> "FoldPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

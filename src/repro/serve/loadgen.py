@@ -13,12 +13,21 @@ from __future__ import annotations
 
 import argparse
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from repro.io.packetlog import load_packets_npz, packets_to_npz_bytes
 from repro.packet import PacketBatch
 from repro.serve.client import ServeClient
+
+
+def percentile(samples: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of ``samples`` (None when empty)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
 
 
 @dataclass
@@ -30,6 +39,9 @@ class DriveStats:
     bytes_sent: int = 0
     retries: int = 0
     seconds: float = 0.0
+    #: wall seconds from POSTing each chunk to its 202 ack (including
+    #: any 429 sleep-and-retry) — the client-observed ingest latency.
+    ack_seconds: List[float] = field(default_factory=list)
 
     @property
     def throughput(self) -> Optional[float]:
@@ -37,6 +49,16 @@ class DriveStats:
         if self.seconds <= 0.0:
             return None
         return self.packets / self.seconds
+
+    @property
+    def ack_p50(self) -> Optional[float]:
+        """Median ingest-ack latency (seconds)."""
+        return percentile(self.ack_seconds, 0.50)
+
+    @property
+    def ack_p99(self) -> Optional[float]:
+        """99th-percentile ingest-ack latency (seconds)."""
+        return percentile(self.ack_seconds, 0.99)
 
 
 def chunk_payloads(
@@ -67,9 +89,11 @@ def drive(
     stats = DriveStats()
     t0 = time.perf_counter()
     for n_packets, payload in payloads:
+        sent_at = time.perf_counter()
         stats.retries += client.ingest_blocking(
             tenant_id, payload, max_retries=max_retries, backoff=backoff
         )
+        stats.ack_seconds.append(time.perf_counter() - sent_at)
         stats.chunks += 1
         stats.packets += int(n_packets)
         stats.bytes_sent += len(payload)
@@ -104,10 +128,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             chunk_payloads(batch, args.chunk_seconds),
         )
     rate = stats.throughput
+    p50, p99 = stats.ack_p50, stats.ack_p99
     print(
         f"sent {stats.chunks} chunks / {stats.packets:,} packets "
         f"({stats.bytes_sent:,} bytes) in {stats.seconds:.2f}s"
         + (f" — {rate:,.0f} pkt/s" if rate else "")
+        + (
+            f", ack p50 {p50 * 1e3:.1f}ms / p99 {p99 * 1e3:.1f}ms"
+            if p50 is not None and p99 is not None
+            else ""
+        )
         + (f", {stats.retries} back-pressure retries" if stats.retries else "")
     )
     return 0

@@ -12,12 +12,24 @@ Concurrency model — one bounded queue and one worker task per tenant:
   server answers **429** with a ``Retry-After`` hint instead of
   buffering unboundedly — back-pressure reaches the client, memory
   stays bounded.
-* The tenant worker drains its queue in order, running the CPU-bound
-  parse+ingest on a thread pool.  Queries, snapshots, recycles, and
-  sync barriers travel *through the same queue*, so they observe
-  exactly the chunks accepted before them and never race an ingest on
-  the same engine.  Tenants only share the thread pool — one tenant's
-  backlog never blocks another's queries.
+* The tenant worker drains its queue in order — and *adaptively
+  micro-batches*: on wake-up it dequeues every already-queued chunk up
+  to the tenant's ``coalesce_chunks``/``coalesce_bytes`` budgets and
+  folds them as one coalesced pass, amortizing npz decode and the
+  streaming builder's lexsort across the burst.  Queries, snapshots,
+  recycles, and sync barriers travel *through the same queue* and cut
+  a coalescing run short, so they observe exactly the chunks accepted
+  before them and never race an ingest on the same engine.
+* Folds run **off-process** by default: the server owns one
+  :class:`~repro.serve.foldpool.FoldPool` (``fold_processes`` workers,
+  auto-sized to the machine) shared by all tenants, each tenant's
+  engine shipping its coalesced batches to shard-affine worker
+  processes — many tenants fold concurrently on real cores instead of
+  serializing on the GIL, and sub-batches past the shared-memory auto
+  threshold hand off zero-copy.  ``fold_processes=0`` restores the
+  in-process thread-pool folds.  A fold-worker death surfaces as a
+  :class:`~repro.serve.foldpool.FoldPoolError`; the server heals the
+  tenant by rebuilding it from its last persisted snapshot.
 * Periodic snapshots ride on the engine's own chunk-count scheduling
   (:class:`~repro.core.faults.CheckpointStore` underneath); a killed
   server restarts from the last verified snapshot via
@@ -48,7 +60,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.io.packetlog import packets_from_npz_bytes
+from repro.serve.foldpool import FoldPool, FoldPoolError, auto_processes
 from repro.serve.tenants import Tenant, TenantConfig, TenantRegistry
 
 _REASONS = {
@@ -111,6 +123,7 @@ class ScannerServer:
         *,
         unix_socket: Optional[str] = None,
         ingest_threads: int = 2,
+        fold_processes: Optional[int] = None,
         restore: bool = True,
     ):
         self.registry = registry
@@ -118,6 +131,10 @@ class ScannerServer:
         self.port = port
         self.unix_socket = unix_socket
         self.restore = restore
+        #: ``None`` = auto-size to the machine, ``0`` = fold in-process
+        #: on the thread pool, ``N >= 1`` = that many fold workers.
+        self.fold_processes = fold_processes
+        self._fold_pool: Optional[FoldPool] = None
         self._executor = ThreadPoolExecutor(
             max_workers=ingest_threads, thread_name_prefix="repro-ingest"
         )
@@ -129,8 +146,24 @@ class ScannerServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self.fold_processes != 0:
+            processes = self.fold_processes or auto_processes()
+
+            def _boot_pool():
+                pool = FoldPool(processes)
+                # Pre-existing tenants move their state into the
+                # workers here; tenants built later (create/restore)
+                # attach as the registry builds them.
+                self.registry.attach_pool(pool)
+                return pool
+
+            # Worker spawn + state hand-off block; keep them off the
+            # event loop.
+            self._fold_pool = await loop.run_in_executor(
+                self._executor, _boot_pool
+            )
         if self.restore:
-            loop = asyncio.get_running_loop()
             # Snapshot loading is blocking I/O + unpickling; keep it
             # off the event loop.
             await loop.run_in_executor(
@@ -164,8 +197,18 @@ class ScannerServer:
             except asyncio.CancelledError:
                 pass
         self._workers.clear()
+        loop = asyncio.get_running_loop()
+        if self._fold_pool is not None:
+            # Pull every tenant's detector state back in-process while
+            # the workers are still alive, then retire them.
+            await loop.run_in_executor(
+                self._executor, self.registry.detach_pool
+            )
+            await loop.run_in_executor(
+                self._executor, self._fold_pool.close
+            )
+            self._fold_pool = None
         if snapshot:
-            loop = asyncio.get_running_loop()
             await loop.run_in_executor(
                 self._executor, self.registry.snapshot_all
             )
@@ -196,58 +239,125 @@ class ScannerServer:
             task.cancel()
 
     async def _tenant_worker(self, tenant_id: str) -> None:
-        """Drain one tenant's queue in order, forever."""
+        """Drain one tenant's queue in order, forever.
+
+        Chunk items coalesce: one wake-up folds every chunk already
+        queued, up to the tenant's micro-batching budgets.  Command
+        items (query/snapshot/sync/recycle) are barriers — they end a
+        coalescing run and execute strictly after the chunks queued
+        before them.
+        """
         queue = self._queues[tenant_id]
         loop = asyncio.get_running_loop()
         while True:
-            kind, payload, future = await queue.get()
-            tenant = self.registry.get(tenant_id)
-            try:
+            item = await queue.get()
+            if item[0] == "chunk":
+                tenant = self.registry.get(tenant_id)
                 if tenant is None:
-                    raise RuntimeError(f"tenant {tenant_id!r} was removed")
-                result = None
-                if kind == "chunk":
-                    await loop.run_in_executor(
-                        self._executor, self._ingest_bytes, tenant, payload
-                    )
-                elif kind == "query":
-                    result = await loop.run_in_executor(
-                        self._executor, tenant.query
-                    )
-                elif kind == "snapshot":
-                    result = await loop.run_in_executor(
-                        self._executor, tenant.save_snapshot
-                    )
-                elif kind == "recycle":
-                    await loop.run_in_executor(
-                        self._executor, tenant.recycle
-                    )
-                # "sync" needs no work: reaching it proves every prior
-                # item in the queue was processed.
-                if future is not None and not future.cancelled():
-                    future.set_result(result)
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:  # noqa: BLE001 — fault isolation
-                if tenant is not None:
-                    tenant.record_error(f"{kind}: {exc}")
-                if future is not None and not future.cancelled():
-                    future.set_exception(exc)
-            finally:
-                queue.task_done()
+                    queue.task_done()
+                    continue
+                await self._drain_chunks(loop, queue, tenant, item)
+            else:
+                await self._run_command(loop, queue, tenant_id, item)
 
-    @staticmethod
-    def _ingest_bytes(tenant: Tenant, payload: bytes) -> None:
-        batch = packets_from_npz_bytes(
-            payload, label=f"tenant:{tenant.tenant_id}"
+    async def _drain_chunks(
+        self, loop, queue: asyncio.Queue, tenant: Tenant, first: tuple
+    ) -> None:
+        """Coalesce queued chunks up to the budgets, fold them once."""
+        max_chunks = max(1, tenant.config.coalesce_chunks)
+        max_bytes = tenant.config.coalesce_bytes
+        items = [first]
+        n_bytes = len(first[1])
+        trailing = None
+        while len(items) < max_chunks and n_bytes < max_bytes:
+            try:
+                nxt = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if nxt[0] != "chunk":
+                # A barrier command: stop coalescing, run it after the
+                # fold (it was queued after these chunks).
+                trailing = nxt
+                break
+            items.append(nxt)
+            n_bytes += len(nxt[1])
+        blobs = [item[1] for item in items]
+        # FIFO: the first item waited longest.
+        queue_wait = (
+            loop.time() - first[3] if first[3] is not None else 0.0
         )
-        tenant.ingest(batch)
+        try:
+            report = await loop.run_in_executor(
+                self._executor, tenant.ingest_payloads, blobs
+            )
+            tenant.serve_stats.record_fold(
+                chunks=len(blobs),
+                packets=report.packets,
+                seconds=report.seconds,
+                queue_wait=queue_wait,
+            )
+        except FoldPoolError as exc:
+            tenant.record_error(f"fold pool: {exc}")
+            # The dead worker's unsnapshotted state is gone; rebuild
+            # the tenant from its last persisted snapshot.
+            await loop.run_in_executor(
+                self._executor, tenant.restore_from_store
+            )
+        except Exception as exc:  # noqa: BLE001 — fault isolation
+            tenant.record_error(f"chunk: {exc}")
+        finally:
+            for _ in items:
+                queue.task_done()
+        if trailing is not None:
+            await self._run_command(loop, queue, tenant.tenant_id, trailing)
+
+    async def _run_command(
+        self, loop, queue: asyncio.Queue, tenant_id: str, item: tuple
+    ) -> None:
+        """Execute one barrier command dequeued from a tenant queue."""
+        kind, future = item[0], item[2]
+        tenant = self.registry.get(tenant_id)
+        try:
+            if tenant is None:
+                raise RuntimeError(f"tenant {tenant_id!r} was removed")
+            result = None
+            if kind == "query":
+                result = await loop.run_in_executor(
+                    self._executor, tenant.query
+                )
+            elif kind == "snapshot":
+                result = await loop.run_in_executor(
+                    self._executor, tenant.save_snapshot
+                )
+            elif kind == "recycle":
+                await loop.run_in_executor(self._executor, tenant.recycle)
+            # "sync" needs no work: reaching it proves every prior
+            # item in the queue was processed.
+            if future is not None and not future.cancelled():
+                future.set_result(result)
+        except asyncio.CancelledError:
+            raise
+        except FoldPoolError as exc:
+            if tenant is not None:
+                tenant.record_error(f"{kind}: fold pool: {exc}")
+                await loop.run_in_executor(
+                    self._executor, tenant.restore_from_store
+                )
+            if future is not None and not future.cancelled():
+                future.set_exception(exc)
+        except Exception as exc:  # noqa: BLE001 — fault isolation
+            if tenant is not None:
+                tenant.record_error(f"{kind}: {exc}")
+            if future is not None and not future.cancelled():
+                future.set_exception(exc)
+        finally:
+            queue.task_done()
 
     async def _submit(self, tenant_id: str, kind: str):
         """Queue a command and wait for the worker to reach it."""
         queue = self._ensure_worker(tenant_id)
         future = asyncio.get_running_loop().create_future()
-        await queue.put((kind, None, future))
+        await queue.put((kind, None, future, None))
         return await future
 
     # ------------------------------------------------------------------
@@ -431,8 +541,9 @@ class ScannerServer:
         if not body:
             return 400, {"error": "empty chunk body"}, {}
         queue = self._ensure_worker(tenant.tenant_id)
+        now = asyncio.get_running_loop().time()
         try:
-            queue.put_nowait(("chunk", body, None))
+            queue.put_nowait(("chunk", body, None, now))
         except asyncio.QueueFull:
             return (
                 429,
@@ -442,6 +553,7 @@ class ScannerServer:
                 },
                 {"Retry-After": str(RETRY_AFTER_SECONDS)},
             )
+        tenant.serve_stats.record_enqueued(len(body))
         return 202, {"queued": queue.qsize()}, {}
 
     def _health_payload(self) -> dict:
@@ -453,12 +565,22 @@ class ScannerServer:
                 "chunks": tenant.engine.chunks_ingested,
                 "packets": tenant.engine.packets_seen,
                 "queued": queue.qsize() if queue is not None else 0,
+                "queue_depth": tenant.config.queue_depth,
                 "errors": len(tenant.errors),
                 "degraded": tenant.engine.degraded,
                 "recycles": tenant.recycles,
                 "health": tenant.telemetry.health.as_dict(),
+                "serve": tenant.serve_stats.as_dict(),
             }
-        return {"ok": True, "tenants": tenants}
+        return {
+            "ok": True,
+            "fold_processes": (
+                self._fold_pool.processes
+                if self._fold_pool is not None
+                else 0
+            ),
+            "tenants": tenants,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -473,6 +595,7 @@ def run_server(
     *,
     unix_socket: Optional[str] = None,
     ingest_threads: int = 2,
+    fold_processes: Optional[int] = None,
     ready: Optional[callable] = None,
 ) -> None:
     """Run a server until interrupted (the ``repro serve`` CLI path).
@@ -490,6 +613,7 @@ def run_server(
             port,
             unix_socket=unix_socket,
             ingest_threads=ingest_threads,
+            fold_processes=fold_processes,
         )
         await server.start()
         if ready is not None:

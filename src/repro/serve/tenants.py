@@ -20,9 +20,9 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.config import DetectionConfig
-from repro.core.engine import DetectionEngine, EngineQuery
+from repro.core.engine import DetectionEngine, EngineQuery, IngestReport
 from repro.core.faults import CheckpointStore, atomic_write_json
-from repro.core.telemetry import PipelineTelemetry
+from repro.core.telemetry import PipelineTelemetry, ServeStats
 
 #: Registry filename under the snapshot root.
 REGISTRY_NAME = "tenants.json"
@@ -54,6 +54,12 @@ class TenantConfig:
     snapshot_every_chunks: Optional[int] = 16
     #: bounded ingest-queue depth before the server answers 429.
     queue_depth: int = 8
+    #: micro-batching budget: at most this many queued chunks coalesce
+    #: into one fold (1 = per-chunk, the pre-coalescing behavior).
+    coalesce_chunks: int = 32
+    #: micro-batching budget: stop coalescing once the queued wire
+    #: bytes drained so far reach this many.
+    coalesce_bytes: int = 8 * 2**20
 
     def as_dict(self) -> dict:
         d = asdict(self)
@@ -82,12 +88,45 @@ class Tenant:
     errors: List[str] = field(default_factory=list)
     #: engines rebuilt from snapshot (graceful recycling).
     recycles: int = 0
+    #: serve-path ingest telemetry (queue wait, coalescing, folds).
+    serve_stats: ServeStats = field(default_factory=ServeStats)
+    #: fold pool this tenant's engine routes through (``None`` = local
+    #: in-process folds); set via :meth:`attach_pool`, never persisted.
+    fold_pool: Optional[object] = field(default=None, repr=False)
 
     _MAX_ERRORS = 32
 
     def ingest(self, batch) -> None:
         """Fold one chunk into the tenant's engine (synchronous)."""
         self.engine.ingest(batch)
+
+    def ingest_payloads(self, blobs: List[bytes]) -> IngestReport:
+        """Fold a coalesced micro-batch of npz wire chunks.
+
+        Individual bad chunks are recorded on the tenant's error list
+        (and excluded from the folded-chunk count) without failing the
+        rest of the batch.
+        """
+        report = self.engine.ingest_payloads(blobs)
+        for message in report.errors:
+            self.record_error(f"chunk rejected: {message}")
+        return report
+
+    def attach_pool(self, pool) -> None:
+        """Route this tenant's folds through a fold pool."""
+        self.fold_pool = pool
+        if pool is not None and not self.engine.pooled:
+            self.engine.attach_pool(pool, self.tenant_id)
+
+    def detach_pool(self) -> None:
+        """Pull detector state back in-process (no-op if unpooled)."""
+        self.engine.detach_pool()
+        self.fold_pool = None
+
+    def abandon_pool(self) -> None:
+        """Drop pooled state without collecting it (tenant removal)."""
+        self.engine.abandon_pool()
+        self.fold_pool = None
 
     def query(self) -> EngineQuery:
         return self.engine.query()
@@ -99,6 +138,7 @@ class Tenant:
             recycles=self.recycles,
             errors=list(self.errors),
             health=self.telemetry.health.as_dict(),
+            serve=self.serve_stats.as_dict(),
         )
         return status
 
@@ -129,6 +169,41 @@ class Tenant:
             snapshot_every_chunks=self.config.snapshot_every_chunks,
         )
         self.recycles += 1
+        if self.fold_pool is not None:
+            self.engine.attach_pool(self.fold_pool, self.tenant_id)
+
+    def restore_from_store(self) -> None:
+        """Rebuild the engine from its last *persisted* snapshot.
+
+        The fold-pool failure path: when a worker process dies its
+        unsnapshotted shard state is gone, so the live engine cannot be
+        trusted — rebuild from the newest snapshot on disk (empty if
+        none survives) and re-attach the pool, overwriting whatever
+        stale shard state the surviving workers still hold.
+        """
+        engine = None
+        if self.store is not None:
+            engine = DetectionEngine.from_store(
+                self.store,
+                telemetry=self.telemetry,
+                snapshot_every_chunks=self.config.snapshot_every_chunks,
+            )
+        if engine is None:
+            engine = DetectionEngine(
+                self.config.timeout,
+                self.config.dark_size,
+                self.config.detection,
+                self.config.day_seconds,
+                workers=self.config.workers,
+                telemetry=self.telemetry,
+                store=self.store,
+                snapshot_every_chunks=self.config.snapshot_every_chunks,
+                max_ecdf_samples=self.config.max_ecdf_samples,
+            )
+        self.engine = engine
+        self.recycles += 1
+        if self.fold_pool is not None:
+            self.engine.attach_pool(self.fold_pool, self.tenant_id)
 
 
 class TenantRegistry:
@@ -147,8 +222,23 @@ class TenantRegistry:
             Path(snapshot_dir) if snapshot_dir is not None else None
         )
         self._tenants: Dict[str, Tenant] = {}
+        #: fold pool every current and future tenant routes through
+        #: (``None`` = in-process folds); set via :meth:`attach_pool`.
+        self.fold_pool = None
         if self.snapshot_dir is not None:
             self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+
+    def attach_pool(self, pool) -> None:
+        """Route every current and future tenant through ``pool``."""
+        self.fold_pool = pool
+        for tenant in self._tenants.values():
+            tenant.attach_pool(pool)
+
+    def detach_pool(self) -> None:
+        """Pull every tenant's state back in-process (e.g. shutdown)."""
+        self.fold_pool = None
+        for tenant in self._tenants.values():
+            tenant.detach_pool()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -189,10 +279,12 @@ class TenantRegistry:
 
     def remove(self, tenant_id: str) -> bool:
         """Forget a tenant (its snapshot files are left on disk)."""
-        existed = self._tenants.pop(tenant_id, None) is not None
-        if existed:
-            self._persist()
-        return existed
+        tenant = self._tenants.pop(tenant_id, None)
+        if tenant is None:
+            return False
+        tenant.abandon_pool()
+        self._persist()
+        return True
 
     # ------------------------------------------------------------------
     def _store_for(
@@ -228,13 +320,16 @@ class TenantRegistry:
                 snapshot_every_chunks=config.snapshot_every_chunks,
                 max_ecdf_samples=config.max_ecdf_samples,
             )
-        return Tenant(
+        tenant = Tenant(
             tenant_id=tenant_id,
             config=config,
             engine=engine,
             telemetry=telemetry,
             store=store,
         )
+        if self.fold_pool is not None:
+            tenant.attach_pool(self.fold_pool)
+        return tenant
 
     # ------------------------------------------------------------------
     # Durability

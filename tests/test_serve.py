@@ -5,6 +5,8 @@ ephemeral port and drives it with the real stdlib client — the same
 code path the serve-smoke CI job exercises, minus the subprocess.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -72,7 +74,9 @@ class TestEndpoints:
     def test_health_on_empty_server(self, server):
         client, _, _ = server
         payload = client.health()
-        assert payload == {"ok": True, "tenants": {}}
+        assert payload["ok"] is True
+        assert payload["tenants"] == {}
+        assert payload["fold_processes"] >= 1
 
     def test_unknown_routes(self, server):
         client, _, _ = server
@@ -154,12 +158,80 @@ class TestIngestParity:
         assert client.ah_sources("t", 1) == _offline_ah(batch, 1)
 
 
+class TestCoalescingParity:
+    """Micro-batched + pooled ingest is AH-identical to per-chunk.
+
+    One capture, many tenants: coalesce budgets (per-chunk up to
+    32-chunk micro-batches, byte-capped budgets), shard counts, and
+    chunkings all vary — every variant must answer the exact offline
+    AH sets for all three definitions.
+    """
+
+    def test_budget_and_chunking_matrix(self, server):
+        client, _, _ = server
+        batch = _capture(88)
+        expected = {d: _offline_ah(batch, d) for d in (1, 2, 3)}
+        variants = {
+            "per-chunk": (_tenant_config(coalesce_chunks=1), 3_600.0),
+            "pairs": (
+                _tenant_config(coalesce_chunks=2, queue_depth=8),
+                3_600.0,
+            ),
+            "deep": (
+                _tenant_config(coalesce_chunks=32, queue_depth=16),
+                1_800.0,
+            ),
+            "byte-capped": (
+                _tenant_config(coalesce_bytes=1, queue_depth=8),
+                3_600.0,
+            ),
+            "sharded": (
+                _tenant_config(
+                    workers=2, coalesce_chunks=32, queue_depth=16
+                ),
+                7_200.0,
+            ),
+            "coarse": (_tenant_config(), 50_000.0),
+        }
+        for name, (config, chunk_seconds) in variants.items():
+            client.create_tenant(name, config)
+            stats = drive(
+                client, name, chunk_payloads(batch, chunk_seconds)
+            )
+            assert stats.packets == len(batch)
+            status = client.status(name)
+            assert status["packets"] == len(batch), name
+            assert status["chunks"] == stats.chunks, name
+            assert status["errors"] == [], name
+            for definition in (1, 2, 3):
+                assert (
+                    client.ah_sources(name, definition)
+                    == expected[definition]
+                ), (name, definition)
+
+    def test_serve_stats_account_folds(self, server):
+        client, _, _ = server
+        batch = _capture(99)
+        client.create_tenant("t", _tenant_config(queue_depth=16))
+        stats = drive(client, "t", chunk_payloads(batch, 3_600.0))
+        serve = client.status("t")["serve"]
+        assert serve["chunks_received"] == stats.chunks
+        assert serve["packets_folded"] == len(batch)
+        assert 1 <= serve["folds"] <= stats.chunks
+        assert sum(serve["coalesce_histogram"].values()) == serve["folds"]
+        assert serve["bytes_received"] == stats.bytes_sent
+
+
 class TestBackPressure:
     def test_overflow_answers_429_with_retry_hint(self, server):
         client, _, _ = server
         # depth 1 and a single slow ingest thread: the queue fills as
-        # soon as two chunks are in flight.
-        client.create_tenant("slow", _tenant_config(queue_depth=1))
+        # soon as two chunks are in flight.  coalesce_chunks=1 keeps
+        # the worker folding one chunk per wake-up so the queue
+        # actually overflows.
+        client.create_tenant(
+            "slow", _tenant_config(queue_depth=1, coalesce_chunks=1)
+        )
         payloads = [p for _, p in chunk_payloads(_capture(44), 600.0)]
         saw_429 = False
         accepted = 0
@@ -171,6 +243,7 @@ class TestBackPressure:
                     break
                 assert status == 429
                 assert body["retry_after"] > 0
+                assert float(client.last_headers["retry-after"]) > 0
                 saw_429 = True
         client.sync("slow")
         assert accepted == len(payloads)
@@ -178,13 +251,80 @@ class TestBackPressure:
         assert client.status("slow")["packets"] == len(_capture(44))
         assert saw_429, "queue depth 1 never shed load"
 
+    def test_sustained_backpressure_no_loss_no_double_fold(self, server):
+        """Fill the queue behind a gated fold; drain exactly once.
+
+        The fold is blocked on an event so the burst is deterministic:
+        the first chunk sits in the (stalled) fold, the queue holds
+        ``queue_depth`` more, and the next POST must shed.  After
+        releasing the gate every accepted chunk folds exactly once.
+        """
+        client, thread, _ = server
+        depth = 3
+        client.create_tenant("burst", _tenant_config(queue_depth=depth))
+        tenant = thread.registry.get("burst")
+        gate = threading.Event()
+        started = threading.Event()
+        real_ingest = tenant.ingest_payloads
+
+        def gated(blobs):
+            started.set()
+            gate.wait(timeout=30)
+            return real_ingest(blobs)
+
+        tenant.ingest_payloads = gated
+        pairs = list(chunk_payloads(_capture(45), 600.0))
+        accepted_packets = 0
+        accepted = 0
+        rejected = 0
+        for n_packets, payload in pairs:
+            status, _ = client.ingest("burst", payload)
+            if status == 202:
+                accepted += 1
+                accepted_packets += int(n_packets)
+                if accepted == 1:
+                    # Wait for the worker to pull the first chunk into
+                    # the (stalled) fold, so the burst fills the queue
+                    # deterministically behind it.
+                    assert started.wait(timeout=10)
+            else:
+                assert status == 429
+                assert "retry-after" in client.last_headers
+                rejected += 1
+            if accepted > depth and rejected:
+                break
+        assert rejected >= 1, "queue never overflowed behind the gate"
+        # Mid-burst: /health must report the true queue depth — the
+        # first chunk is in the stalled fold, the rest are queued.
+        health = client.health()["tenants"]["burst"]
+        assert health["queued"] == depth
+        assert health["queue_depth"] == depth
+        gate.set()
+        tenant.ingest_payloads = real_ingest
+        client.sync("burst")
+        status = client.status("burst")
+        # No accepted chunk lost, none folded twice.
+        assert status["packets"] == accepted_packets
+        assert status["chunks"] == accepted
+        assert status["errors"] == []
+        serve = status["serve"]
+        assert serve["chunks_received"] == accepted
+        assert sum(serve["coalesce_histogram"].values()) == serve["folds"]
+        # The gated burst must have coalesced at least once.
+        assert serve["max_coalesced_chunks"] >= 2
+
     def test_ingest_blocking_retries_through(self, server):
         client, _, _ = server
-        client.create_tenant("t", _tenant_config(queue_depth=1))
+        client.create_tenant(
+            "t", _tenant_config(queue_depth=1, coalesce_chunks=1)
+        )
         stats = drive(
             client, "t", chunk_payloads(_capture(55), 600.0), backoff=0.01
         )
         assert client.status("t")["packets"] == stats.packets
+        assert stats.ack_p50 is not None and stats.ack_p99 is not None
+        assert stats.ack_p99 >= stats.ack_p50 >= 0.0
+        assert len(stats.ack_seconds) == stats.chunks
 
 
 class TestKillAndRestore:

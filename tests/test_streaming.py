@@ -339,3 +339,76 @@ def test_detector_chunking_invariant(rows, timeout, chunk_seconds):
         detector.add_batch(chunk)
     _, detections = detector.finish()
     _assert_detections_identical(detections, ref)
+
+
+class TestPortDayStateCompaction:
+    """Bounded Definition-3 state for long-lived (serve) detectors."""
+
+    _DAY = 86_400.0
+
+    def _tables(self):
+        # A few distinct event tables, replayed many times: the set of
+        # distinct (src, day, port) triples stays tiny while the number
+        # of update() calls grows without bound.
+        tables = []
+        for day in range(3):
+            base = day * self._DAY
+            rows = [
+                (base + 10.0 * i, src, i % 7, port, TCP)
+                for i, (src, port) in enumerate(
+                    (s, p) for s in (1, 2, 3) for p in (22, 80, 443)
+                )
+            ]
+            tables.append(build_events(_packets(rows), 60.0))
+        return tables
+
+    @staticmethod
+    def _stored_triples(state):
+        return sum(len(run[0]) for run in state._runs)
+
+    def test_memory_flat_and_counts_identical(self):
+        from repro.core.streaming import PortDayState
+
+        compacted = PortDayState(self._DAY)
+        unbounded = PortDayState(self._DAY)
+        # Instance attribute shadows the class threshold: this copy
+        # keeps every run, as the pre-compaction code did.
+        unbounded.COMPACT_AFTER = 10**9
+
+        tables = self._tables()
+        rounds = 8 * PortDayState.COMPACT_AFTER
+        for i in range(rounds):
+            table = tables[i % len(tables)]
+            compacted.update(table)
+            unbounded.update(table)
+
+        assert len(unbounded._runs) == rounds
+        assert len(compacted._runs) < PortDayState.COMPACT_AFTER
+        # Memory is bounded by distinct triples, not update() calls.
+        assert (
+            self._stored_triples(compacted)
+            < self._stored_triples(unbounded) / 4
+        )
+        assert compacted.counts() == unbounded.counts()
+        assert compacted.counts()  # non-trivial state
+
+    def test_merge_triggers_compaction_and_preserves_counts(self):
+        from repro.core.streaming import PortDayState
+
+        tables = self._tables()
+        half = PortDayState.COMPACT_AFTER // 2 + 1
+
+        left = PortDayState(self._DAY)
+        right = PortDayState(self._DAY)
+        reference = PortDayState(self._DAY)
+        reference.COMPACT_AFTER = 10**9
+        for i in range(half):
+            left.update(tables[i % len(tables)])
+            right.update(tables[(i + 1) % len(tables)])
+            reference.update(tables[i % len(tables)])
+            reference.update(tables[(i + 1) % len(tables)])
+
+        assert len(left._runs) == half  # below threshold: untouched
+        left.merge(right)
+        assert len(left._runs) < PortDayState.COMPACT_AFTER
+        assert left.counts() == reference.counts()

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.core.telemetry import PipelineTelemetry, RunHealth, StageStats
 
 
@@ -124,3 +126,42 @@ class TestRunHealthDict:
         assert set(d["health"]) == self.STABLE_KEYS
         # The whole block must be JSON-serializable as-is.
         assert json.loads(json.dumps(d["health"]))["any_events"] is False
+
+
+class TestServeStats:
+    def test_accounts_enqueues_and_folds(self):
+        from repro.core.telemetry import ServeStats
+
+        stats = ServeStats()
+        assert stats.mean_coalesced_chunks is None
+        assert stats.fold_packets_per_second is None
+
+        for _ in range(5):
+            stats.record_enqueued(1_000)
+        stats.record_fold(chunks=3, packets=300, seconds=0.5, queue_wait=0.1)
+        stats.record_fold(chunks=2, packets=200, seconds=0.5, queue_wait=0.3)
+        stats.record_fold(chunks=3, packets=100, seconds=1.0, queue_wait=0.2)
+
+        assert stats.chunks_received == 5
+        assert stats.bytes_received == 5_000
+        assert stats.folds == 3
+        assert stats.packets_folded == 600
+        assert stats.max_coalesced_chunks == 3
+        assert stats.max_queue_wait_seconds == 0.3
+        assert stats.queue_wait_seconds == pytest.approx(0.6)
+        assert stats.mean_coalesced_chunks == pytest.approx(8 / 3)
+        assert stats.fold_packets_per_second == pytest.approx(300.0)
+        assert stats.coalesce_histogram == {3: 2, 2: 1}
+
+    def test_as_dict_is_json_friendly(self):
+        from repro.core.telemetry import ServeStats
+
+        stats = ServeStats()
+        stats.record_enqueued(64)
+        stats.record_fold(chunks=1, packets=10, seconds=0.1, queue_wait=0.0)
+        stats.record_fold(chunks=4, packets=40, seconds=0.1, queue_wait=0.0)
+        d = json.loads(json.dumps(stats.as_dict()))
+        assert d["coalesce_histogram"] == {"1": 1, "4": 1}
+        assert list(d["coalesce_histogram"]) == ["1", "4"]  # sorted
+        assert d["folds"] == 2
+        assert d["mean_coalesced_chunks"] == 2.5

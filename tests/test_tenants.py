@@ -54,6 +54,22 @@ class TestConfigRoundTrip:
         restored = TenantConfig.from_dict(config.as_dict())
         assert restored.detection is None
 
+    def test_coalesce_budgets_round_trip(self):
+        config = _config(coalesce_chunks=5, coalesce_bytes=1_234_567)
+        restored = TenantConfig.from_dict(config.as_dict())
+        assert restored == config
+        assert restored.coalesce_chunks == 5
+        assert restored.coalesce_bytes == 1_234_567
+
+    def test_legacy_dict_without_coalesce_keys_gets_defaults(self):
+        # Registries persisted before micro-batching lack these keys.
+        payload = _config().as_dict()
+        del payload["coalesce_chunks"]
+        del payload["coalesce_bytes"]
+        restored = TenantConfig.from_dict(payload)
+        assert restored.coalesce_chunks == 32
+        assert restored.coalesce_bytes == 8 * 2**20
+
 
 class TestRegistry:
     def test_create_get_remove(self):
