@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-emit fault-matrix serve-smoke serve-bench perf-gate ci-local
+.PHONY: lint test bench bench-smoke bench-emit fault-matrix serve-smoke serve-bench chaos-serve perf-gate ci-local
 
 lint:
 	ruff check .
@@ -60,6 +60,15 @@ SERVE_BENCH_ARGS ?= --smoke
 serve-bench:
 	$(PYTHON) benchmarks/run_serve_bench.py $(SERVE_BENCH_ARGS)
 
+# Serve-path chaos harness: SIGKILL the real server subprocess at
+# seeded-random points under two-tenant load, CHAOS_ROUNDS times, and
+# prove zero acked-chunk loss (journal replay) plus exact AH parity
+# with the offline pipeline.  Report: benchmarks/results/BENCH_chaos_serve.json.
+CHAOS_ROUNDS ?= 5
+chaos-serve:
+	$(PYTHON) -m pytest tests/test_journal.py -q
+	$(PYTHON) benchmarks/run_chaos_serve.py --rounds $(CHAOS_ROUNDS)
+
 # Perf-regression gate: compare regenerated BENCH_*.json against the
 # committed baselines.  In CI, FRESH_RESULTS lists the downloaded
 # artifact directories (bench-smoke + serve lanes, space-separated) and
@@ -75,8 +84,8 @@ perf-gate:
 
 # The whole CI job sequence, in order, on the local machine: lint,
 # byte-compile, tier-1 tests (with the same JUnit/durations artifacts),
-# benchmark smoke, ingestion-service smoke, both fault matrices, then
-# the perf gate against the committed (HEAD) baselines.
+# benchmark smoke, ingestion-service smoke + bench + chaos, both fault
+# matrices, then the perf gate against the committed (HEAD) baselines.
 ci-local:
 	$(MAKE) lint
 	$(PYTHON) -m compileall -q src
@@ -85,6 +94,7 @@ ci-local:
 	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) serve-bench
+	$(MAKE) chaos-serve
 	$(MAKE) fault-matrix WORKERS=2
 	$(MAKE) fault-matrix WORKERS=4
 	$(MAKE) perf-gate BASELINE_GIT=HEAD

@@ -1,0 +1,324 @@
+"""Chaos harness for the durable serve path (``repro.serve.journal``).
+
+The ack contract under test: **a 202-acked chunk survives any process
+crash**.  This driver boots the real server as a subprocess (the same
+``python -m repro.cli serve`` path production uses), drives two
+tenants' captures at it from concurrent loadgen threads, and SIGKILLs
+the server at a randomized point in ack-space each round — no drain,
+no snapshot, no warning.  After every kill it restarts the server over
+the same ``--snapshot-dir`` and asserts that the restored engines hold
+at least every packet whose chunk was acked before the kill (snapshot
++ write-ahead-journal replay).  After the last round it delivers the
+remaining chunks and asserts the end state is *exactly* the offline
+serial pipeline's: per-tenant packet counts equal and AH source sets
+(definitions 1–3) identical to ``run_scenario`` over the same
+captures.
+
+Randomization is seeded (``--seed``) so a failing sequence of kill
+points reproduces.  Kills land at arbitrary moments relative to
+journal appends, queue folds, and snapshot writes; the torn-tail
+framing, replay dedup, and retransmit dedup are all exercised because
+the drivers resend every chunk whose ack the kill swallowed.
+
+Run from the repo root (CI runs ``make chaos-serve`` with 5 rounds)::
+
+    PYTHONPATH=src python benchmarks/run_chaos_serve.py --rounds 20
+
+Writes a loss/parity report to ``benchmarks/results/BENCH_chaos_serve.json``.
+"""
+
+import argparse
+import json
+import random
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from run_serve_smoke import (  # noqa: E402
+    CHUNK_SECONDS,
+    _assert_ah_parity,
+    _start_server,
+    _tenant_config,
+)
+
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.loadgen import chunk_payloads, drive  # noqa: E402
+from repro.sim.runner import build_world, run_scenario  # noqa: E402
+from repro.sim.scenario import tiny_scenario  # noqa: E402
+
+RESULTS_DEFAULT = REPO_ROOT / "benchmarks" / "results" / "BENCH_chaos_serve.json"
+
+
+class ChaosState:
+    """Shared ack bookkeeping across driver threads and the killer."""
+
+    def __init__(self, payloads):
+        self.lock = threading.Lock()
+        #: per-tenant index of the next chunk still awaiting its ack;
+        #: everything below it was 202-acked and must survive any kill.
+        self.cursor = {name: 0 for name in payloads}
+        self.acked_packets = {name: 0 for name in payloads}
+        self.total_acks = 0
+        self.payloads = payloads
+
+    def on_ack(self, name):
+        def _hook(_index, n_packets):
+            with self.lock:
+                self.cursor[name] += 1
+                self.acked_packets[name] += int(n_packets)
+                self.total_acks += 1
+
+        return _hook
+
+    def remaining(self):
+        with self.lock:
+            return sum(
+                len(self.payloads[name]) - self.cursor[name]
+                for name in self.payloads
+            )
+
+    def snapshot(self):
+        with self.lock:
+            return (
+                dict(self.cursor),
+                dict(self.acked_packets),
+                self.total_acks,
+            )
+
+
+def _drive_round(state, name, host, port):
+    """Send one tenant's unacked suffix until done or the server dies."""
+    with state.lock:
+        start = state.cursor[name]
+    slice_ = state.payloads[name][start:]
+    if not slice_:
+        return
+    client = ServeClient(host, port, timeout=30.0)
+    try:
+        drive(
+            client,
+            name,
+            slice_,
+            sync=False,
+            backoff=0.02,
+            connect_retries=2,
+            on_ack=state.on_ack(name),
+        )
+    except Exception:  # noqa: BLE001 — the kill is the point
+        pass
+    finally:
+        client.close()
+
+
+def _assert_no_acked_loss(client, state, round_no):
+    """Every packet of every acked chunk must be folded after boot."""
+    checks = {}
+    cursor, acked_packets, _ = state.snapshot()
+    for name in state.payloads:
+        status = client.status(name)
+        folded = status["packets"]
+        promised = acked_packets[name]
+        assert folded >= promised, (
+            f"round {round_no}: tenant {name!r} lost acked chunks — "
+            f"{promised:,} packets were 202-acked but only {folded:,} "
+            f"survive the restart ({cursor[name]} chunks acked)"
+        )
+        checks[name] = {
+            "acked_chunks": cursor[name],
+            "acked_packets": promised,
+            "restored_packets": folded,
+        }
+    return checks
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL the serve subprocess under load; prove "
+        "zero acked-chunk loss and offline AH parity."
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=20, help="SIGKILL rounds (default 20)"
+    )
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--journal-fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help="journal fsync policy for the server under test; 'batch' "
+        "(default) is the SIGKILL-durable production setting",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULTS_DEFAULT,
+        help="loss/parity report path (default: %(default)s)",
+    )
+    args = parser.parse_args()
+    rng = random.Random(args.seed)
+    started = time.monotonic()
+
+    scenarios = {"merit": tiny_scenario(), "campus": tiny_scenario(seed=777)}
+    captures, configs, offline = {}, {}, {}
+    for name, sc in scenarios.items():
+        _, telescope, _, capture, _, _, timeout = build_world(sc)
+        captures[name] = capture.packets
+        workers = 2 if name == "campus" else 1
+        configs[name] = _tenant_config(sc, timeout, telescope.size, workers)
+        offline[name] = run_scenario(sc).detections
+        print(
+            f"[offline] {name}: {len(capture):,} packets, "
+            f"AH1={len(offline[name][1].sources)} "
+            f"AH2={len(offline[name][2].sources)} "
+            f"AH3={len(offline[name][3].sources)}"
+        )
+
+    payloads = {
+        name: list(chunk_payloads(capture, CHUNK_SECONDS))
+        for name, capture in captures.items()
+    }
+    state = ChaosState(payloads)
+    extra_args = ("--journal-fsync", args.journal_fsync)
+    rounds_report = []
+    kills = 0
+
+    with tempfile.TemporaryDirectory(prefix="chaos-serve-") as tmp:
+        snapshot_dir = Path(tmp) / "snapshots"
+
+        for round_no in range(1, args.rounds + 1):
+            proc, client = _start_server(snapshot_dir, extra_args)
+            try:
+                if round_no == 1:
+                    for name in scenarios:
+                        client.create_tenant(name, configs[name])
+                    checks = {}
+                else:
+                    checks = _assert_no_acked_loss(client, state, round_no)
+                remaining = state.remaining()
+                # Kill after a random number of further acks — early,
+                # mid-fold, mid-coalesce, right after a snapshot
+                # boundary: over the rounds the kill point sweeps the
+                # whole ingest pipeline.  Paced against the remaining
+                # chunks so every round (not just the early ones) kills
+                # with traffic still in flight.
+                rounds_left = args.rounds - round_no + 1
+                pace = max(1, min(12, remaining // rounds_left))
+                kill_after = rng.randint(1, pace) if remaining else 0
+                _, _, acks_before = state.snapshot()
+                kill_at = acks_before + kill_after
+                host, port = client.host, client.port
+                client.close()
+
+                drivers = [
+                    threading.Thread(
+                        target=_drive_round,
+                        args=(state, name, host, port),
+                        name=f"chaos-drive-{name}",
+                        daemon=True,
+                    )
+                    for name in scenarios
+                ]
+                for thread in drivers:
+                    thread.start()
+                while proc.poll() is None:
+                    with state.lock:
+                        acks = state.total_acks
+                    if acks >= kill_at:
+                        break
+                    if not any(t.is_alive() for t in drivers):
+                        break
+                    time.sleep(0.002)
+                # Small jitter so the kill lands at a random offset
+                # inside whatever the server is doing right now.
+                time.sleep(rng.uniform(0.0, 0.05))
+            except BaseException:
+                proc.kill()
+                raise
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            kills += 1
+            for thread in drivers:
+                thread.join(timeout=60)
+            cursor, acked_packets, total_acks = state.snapshot()
+            rounds_report.append(
+                {
+                    "round": round_no,
+                    "kill_after_acks": kill_at,
+                    "total_acks": total_acks,
+                    "acked_chunks": dict(cursor),
+                    "boot_checks": checks,
+                }
+            )
+            print(
+                f"[round {round_no:>2}] SIGKILL at >= {kill_at} acks "
+                f"(now {total_acks}); acked "
+                + ", ".join(
+                    f"{name}={cursor[name]}/{len(payloads[name])}"
+                    for name in sorted(payloads)
+                )
+            )
+
+        # ---- Final round: verify, deliver the rest, exact parity. ---
+        proc, client = _start_server(snapshot_dir, extra_args)
+        try:
+            _assert_no_acked_loss(client, state, args.rounds + 1)
+            for name in sorted(payloads):
+                _drive_round(state, name, client.host, client.port)
+            replayed = {}
+            for name in sorted(payloads):
+                client.sync(name)
+                status = client.status(name)
+                expected = len(captures[name])
+                assert status["packets"] == expected, (
+                    f"tenant {name!r}: {status['packets']:,} packets "
+                    f"folded, offline capture has {expected:,} — the "
+                    "journal lost or double-folded chunks"
+                )
+                _assert_ah_parity(client, name, offline[name])
+                replayed[name] = status["serve"]["replayed_chunks"]
+            health = client.health()
+            assert not health["journal_degraded"], health["journal_degraded"]
+            client.close()
+        except BaseException:
+            proc.kill()
+            raise
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    elapsed = time.monotonic() - started
+    report = {
+        "bench": "chaos_serve",
+        "seed": args.seed,
+        "rounds": args.rounds,
+        "sigkills": kills,
+        "journal_fsync": args.journal_fsync,
+        "tenants": {
+            name: {
+                "chunks": len(payloads[name]),
+                "packets": len(captures[name]),
+                "replayed_chunks_final_boot": replayed[name],
+            }
+            for name in sorted(payloads)
+        },
+        "acked_chunk_loss": 0,
+        "ah_parity": "identical (definitions 1-3)",
+        "seconds": round(elapsed, 2),
+        "rounds_detail": rounds_report,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"[ok] chaos serve passed in {elapsed:.1f}s: {kills} SIGKILLs, "
+        "zero acked-chunk loss, AH parity (defs 1-3) with the offline "
+        f"pipeline — report at {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

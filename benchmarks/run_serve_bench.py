@@ -308,6 +308,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--tenants", type=int, default=4)
     parser.add_argument(
+        "--journal-fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help="write-ahead journal fsync policy for both measured modes "
+        "(default: the shipping 'batch')",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the write-ahead chunk journal — measures the "
+        "serve path without the durability tax, for A/B overhead runs",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=RESULTS_PATH,
@@ -343,20 +356,26 @@ def main(argv=None) -> int:
 
     reference = _offline_ah(payloads)
 
+    journal_args = (
+        ("--no-journal",)
+        if args.no_journal
+        else ("--journal-fsync", args.journal_fsync)
+    )
     with tempfile.TemporaryDirectory(prefix="serve-bench-") as tmp:
         root = Path(tmp)
         per_chunk = _run_mode(
             "per_chunk",
             payloads,
             _tenant_config(coalesce_chunks=1),
-            ("--fold-processes", "0"),
+            ("--fold-processes", "0") + journal_args,
             root,
         )
         pooled = _run_mode(
             "pooled",
             payloads,
             _tenant_config(),
-            (),  # shipping default: auto-sized fold pool + coalescing
+            # shipping default otherwise: auto-sized pool + coalescing
+            journal_args,
             root,
         )
 
@@ -365,7 +384,11 @@ def main(argv=None) -> int:
     print("[parity] AH sets identical: per_chunk == pooled == offline")
 
     payload = {
-        "host": {"cpu_count": cpu_count, "smoke": bool(args.smoke)},
+        "host": {
+            "cpu_count": cpu_count,
+            "smoke": bool(args.smoke),
+            "journal": "off" if args.no_journal else args.journal_fsync,
+        },
         "workload": {
             "tenants": args.tenants,
             "chunks_per_tenant": chunks_per_tenant,

@@ -439,6 +439,25 @@ def build_parser() -> argparse.ArgumentParser:
             "the machine)"
         ),
     )
+    serve.add_argument(
+        "--journal-fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help=(
+            "write-ahead journal fsync policy: 'always' survives power "
+            "loss, 'batch' (default) survives any process crash with "
+            "fsyncs amortized, 'off' relies on the page cache"
+        ),
+    )
+    serve.add_argument(
+        "--no-journal",
+        action="store_true",
+        help=(
+            "disable the write-ahead chunk journal (202 acks are no "
+            "longer crash-durable; chunks since the last snapshot are "
+            "lost on a crash)"
+        ),
+    )
     return parser
 
 
@@ -465,6 +484,8 @@ def main(argv: Optional[list] = None) -> int:
             unix_socket=args.unix_socket,
             ingest_threads=args.ingest_threads,
             fold_processes=args.fold_processes,
+            journal=not args.no_journal,
+            journal_fsync=args.journal_fsync,
             ready=None if args.unix_socket else _announce,
         )
         return 0

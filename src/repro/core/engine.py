@@ -214,6 +214,14 @@ class DetectionEngine:
         self._worker_reports: Optional[list] = None
         self._chunks_ingested = 0
         self._chunks_since_snapshot = 0
+        #: newest journal sequence number folded in (0 = none); set by
+        #: the serve layer via ``ingest_payloads(last_seq=...)`` and
+        #: recorded in snapshots so boot-time journal replay knows
+        #: exactly which suffix the last snapshot does *not* cover.
+        self._last_seq = 0
+        #: ``_last_seq`` as of the most recent persisted snapshot —
+        #: journal segments at or below it are safe to truncate.
+        self._snapshot_seq = 0
         self._degraded = False
         self._finished = False
         #: fold-pool attachment (serve path); while set, detector
@@ -314,6 +322,27 @@ class DetectionEngine:
     @property
     def degraded(self) -> bool:
         return self._degraded
+
+    @property
+    def last_seq(self) -> int:
+        """Newest journal sequence folded in (0 = none tracked)."""
+        return self._last_seq
+
+    @property
+    def snapshot_seq(self) -> int:
+        """Journal sequence covered by the last persisted snapshot."""
+        return self._snapshot_seq
+
+    def advance_seq(self, seq: int) -> None:
+        """Record that journal records through ``seq`` are folded in.
+
+        Monotone: a stale (lower) value never rewinds the watermark.
+        Rejected chunks advance it too — a chunk the engine dropped as
+        undecodable or out of order must not be replayed after a crash,
+        since live ingestion already refused it.
+        """
+        if seq > self._last_seq:
+            self._last_seq = int(seq)
 
     @property
     def finished(self) -> bool:
@@ -571,6 +600,7 @@ class DetectionEngine:
         blobs: Sequence[bytes],
         *,
         window_end: Optional[float] = None,
+        last_seq: Optional[int] = None,
     ) -> IngestReport:
         """Decode and fold a micro-batch of npz wire chunks in one pass.
 
@@ -619,6 +649,10 @@ class DetectionEngine:
             kept = gate_time_order(batches, self.watermark, errors)
             packets, finalized = self._fold_coalesced(kept, errors)
         chunks = max(0, len(blobs) - len(errors))
+        if last_seq is not None:
+            # Advance *before* accounting so a snapshot scheduled by
+            # this very fold records coverage of these chunks.
+            self.advance_seq(last_seq)
         return self._account_fold(
             packets, finalized, chunks, errors, t0, window_end
         )
@@ -767,6 +801,8 @@ class DetectionEngine:
             "degraded": self._degraded,
             "finished": self._finished,
             "pooled": self._pool is not None,
+            "last_seq": self._last_seq,
+            "snapshot_seq": self._snapshot_seq,
         }
 
     def finish(self) -> Tuple[EventTable, Dict[int, DetectionResult]]:
@@ -861,6 +897,9 @@ class DetectionEngine:
             "chunks": self._chunks_ingested,
             "degraded": self._degraded,
             "max_ecdf_samples": self.max_ecdf_samples,
+            # Read back with .get() so pre-journal v2 snapshots stay
+            # loadable (they replay the whole journal, which dedups).
+            "last_seq": self._last_seq,
             "detectors": blobs,
         }
         return ENGINE_STATE_MAGIC + pickle.dumps(payload, protocol=4)
@@ -903,14 +942,20 @@ class DetectionEngine:
         ]
         engine._chunks_ingested = int(payload["chunks"])
         engine._degraded = bool(payload["degraded"])
+        engine._last_seq = int(payload.get("last_seq", 0))
+        engine._snapshot_seq = engine._last_seq
         return engine
 
     def save_snapshot(self) -> Path:
         """Write a snapshot through the attached checkpoint store."""
         if self.store is None:
             raise RuntimeError("engine has no checkpoint store attached")
+        covered = self._last_seq
         path = self.store.save(ENGINE_CKPT_KIND, 0, self.snapshot())
         self._chunks_since_snapshot = 0
+        # Only after store.save returns is the snapshot durable — and
+        # only then may journal segments through ``covered`` go away.
+        self._snapshot_seq = max(self._snapshot_seq, covered)
         return path
 
     @classmethod

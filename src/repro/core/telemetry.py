@@ -191,11 +191,41 @@ class ServeStats:
     max_coalesced_chunks: int = 0
     #: histogram: chunks-coalesced-per-fold -> number of folds.
     coalesce_histogram: Dict[int, int] = field(default_factory=dict)
+    #: chunk records appended to the write-ahead journal.
+    journal_appends: int = 0
+    #: journal bytes written (records incl. framing).
+    journal_bytes: int = 0
+    #: fsync calls the journal issued (policy-dependent).
+    journal_fsyncs: int = 0
+    #: journal appends that failed (chunk answered 429, not acked).
+    journal_failures: int = 0
+    #: chunks answered 202 as already-admitted duplicates (retransmits).
+    duplicate_chunks: int = 0
+    #: chunks re-folded from the journal at boot/heal time.
+    replayed_chunks: int = 0
 
     def record_enqueued(self, n_bytes: int) -> None:
         """Account one wire chunk accepted into the queue."""
         self.chunks_received += 1
         self.bytes_received += int(n_bytes)
+
+    def record_journal_append(self, n_bytes: int, fsyncs: int = 0) -> None:
+        """Account one durable journal append (pre-ack)."""
+        self.journal_appends += 1
+        self.journal_bytes += int(n_bytes)
+        self.journal_fsyncs += int(fsyncs)
+
+    def record_journal_failure(self) -> None:
+        """Account one failed journal append (chunk refused, 429)."""
+        self.journal_failures += 1
+
+    def record_duplicate(self) -> None:
+        """Account one retransmitted chunk deduplicated by digest."""
+        self.duplicate_chunks += 1
+
+    def record_replay(self, chunks: int) -> None:
+        """Account chunks re-folded from the journal after a restart."""
+        self.replayed_chunks += int(chunks)
 
     def record_fold(
         self,
@@ -251,6 +281,12 @@ class ServeStats:
                 str(chunks): count
                 for chunks, count in sorted(self.coalesce_histogram.items())
             },
+            "journal_appends": self.journal_appends,
+            "journal_bytes": self.journal_bytes,
+            "journal_fsyncs": self.journal_fsyncs,
+            "journal_failures": self.journal_failures,
+            "duplicate_chunks": self.duplicate_chunks,
+            "replayed_chunks": self.replayed_chunks,
         }
 
 

@@ -7,11 +7,23 @@ Three pieces, layered over :class:`repro.core.engine.DetectionEngine`:
 * :mod:`repro.serve.server` — an asyncio HTTP server ingesting npz
   packet chunks for many tenants concurrently, with bounded queues
   (back-pressure via 429), periodic snapshots, and live AH queries.
+* :mod:`repro.serve.journal` — the per-tenant write-ahead chunk
+  journal behind the durable-ack contract: a 202 means the chunk is
+  on disk and a restarted server replays whatever the last snapshot
+  missed.
 * :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` — a stdlib
   client and a load generator used by benchmarks and the serve-smoke
   CI job.
 """
 
+from repro.serve.journal import ChunkJournal, JournalError, chunk_digest
 from repro.serve.tenants import Tenant, TenantConfig, TenantRegistry
 
-__all__ = ["Tenant", "TenantConfig", "TenantRegistry"]
+__all__ = [
+    "ChunkJournal",
+    "JournalError",
+    "Tenant",
+    "TenantConfig",
+    "TenantRegistry",
+    "chunk_digest",
+]

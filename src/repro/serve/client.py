@@ -132,6 +132,7 @@ class ServeClient:
         batch,
         max_retries: int = 200,
         backoff: float = 0.05,
+        connect_retries: int = 8,
     ) -> int:
         """Ingest with 429 slow-down; returns the number of retries.
 
@@ -139,13 +140,34 @@ class ServeClient:
         (falling back to the JSON ``retry_after`` hint, then to
         ``backoff``), stretched by a small random jitter so a burst of
         throttled clients does not retry in lockstep.
+
+        Connection failures (``ConnectionError``/``OSError``/dropped
+        HTTP exchanges) retry too, on their own ``connect_retries``
+        budget with capped exponential backoff — a server bouncing
+        through a restart looks like a long 429, not an error.  Safe to
+        resend: the server deduplicates an already-admitted chunk by
+        content digest, so a chunk whose ack was lost in the bounce is
+        re-acked, never folded twice.  The budget resets whenever any
+        response arrives.
         """
         body = (
             batch if isinstance(batch, bytes) else packets_to_npz_bytes(batch)
         )
         retries = 0
+        connect_failures = 0
         while True:
-            status, payload = self.ingest(tenant_id, body)
+            try:
+                status, payload = self.ingest(tenant_id, body)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if connect_failures >= connect_retries:
+                    raise
+                delay = min(2.0, backoff * (2.0**connect_failures))
+                connect_failures += 1
+                retries += 1
+                time.sleep(delay * (1.0 + 0.25 * random.random()))
+                continue
+            connect_failures = 0
             if status == 202:
                 return retries
             if status != 429:

@@ -76,7 +76,9 @@ def drive(
     *,
     max_retries: int = 1_000,
     backoff: float = 0.05,
+    connect_retries: int = 8,
     sync: bool = True,
+    on_ack: Optional[callable] = None,
 ) -> DriveStats:
     """Send every payload in order, sleeping through 429s.
 
@@ -84,19 +86,30 @@ def drive(
     :func:`chunk_payloads`).  With ``sync`` (default) the call returns
     only after the server has *folded* every chunk, not merely queued
     them — the state a subsequent AH query answers from is then
-    deterministic.
+    deterministic.  ``connect_retries`` bounds how long each chunk
+    survives a server bounce (passed through to
+    :meth:`ServeClient.ingest_blocking`).  ``on_ack``, if given, is
+    called as ``on_ack(index, n_packets)`` after each chunk's 202 —
+    the chaos harness uses it to track exactly which chunks the server
+    promised to keep before it was killed.
     """
     stats = DriveStats()
     t0 = time.perf_counter()
-    for n_packets, payload in payloads:
+    for index, (n_packets, payload) in enumerate(payloads):
         sent_at = time.perf_counter()
         stats.retries += client.ingest_blocking(
-            tenant_id, payload, max_retries=max_retries, backoff=backoff
+            tenant_id,
+            payload,
+            max_retries=max_retries,
+            backoff=backoff,
+            connect_retries=connect_retries,
         )
         stats.ack_seconds.append(time.perf_counter() - sent_at)
         stats.chunks += 1
         stats.packets += int(n_packets)
         stats.bytes_sent += len(payload)
+        if on_ack is not None:
+            on_ack(index, int(n_packets))
     if sync:
         client.sync(tenant_id)
     stats.seconds = time.perf_counter() - t0

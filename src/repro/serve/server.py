@@ -8,10 +8,19 @@ AH queries from live detector state.
 Concurrency model — one bounded queue and one worker task per tenant:
 
 * The HTTP handlers never touch detector state.  ``POST .../chunks``
-  only enqueues the raw npz bytes; when the tenant's queue is full the
-  server answers **429** with a ``Retry-After`` hint instead of
-  buffering unboundedly — back-pressure reaches the client, memory
-  stays bounded.
+  appends the raw npz bytes to the tenant's write-ahead journal
+  (:mod:`repro.serve.journal`) and enqueues them — in that order,
+  under a per-tenant admission lock, so a **202 means the chunk is
+  durable** and journal sequence order equals fold order.  When the
+  tenant's queue is full the server answers **429** with a
+  ``Retry-After`` hint instead of buffering unboundedly —
+  back-pressure reaches the client, memory stays bounded.  A journal
+  append that fails (disk full, EIO) also answers 429 and flags the
+  tenant ``journal_degraded`` on ``/health`` until a write succeeds:
+  the server never acks what it could not persist.  Retransmits of an
+  already-admitted chunk (a client that lost its ack) are detected by
+  content digest and re-acked without a second journal record or
+  fold.
 * The tenant worker drains its queue in order — and *adaptively
   micro-batches*: on wake-up it dequeues every already-queued chunk up
   to the tenant's ``coalesce_chunks``/``coalesce_bytes`` budgets and
@@ -54,13 +63,16 @@ format of :func:`repro.io.packetlog.packets_to_npz_bytes`):
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
+import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.serve.foldpool import FoldPool, FoldPoolError, auto_processes
+from repro.serve.journal import JournalError
 from repro.serve.tenants import Tenant, TenantConfig, TenantRegistry
 
 _REASONS = {
@@ -140,6 +152,13 @@ class ScannerServer:
         )
         self._queues: Dict[str, asyncio.Queue] = {}
         self._workers: Dict[str, asyncio.Task] = {}
+        #: per-tenant admission locks: the queue-full check, the
+        #: journal append, and the enqueue must be one atomic step so
+        #: journal sequence order always equals queue (= fold) order.
+        self._ingest_locks: Dict[str, asyncio.Lock] = {}
+        #: tenants whose last journal append failed (disk full, EIO):
+        #: they answer 429 and flag ``/health`` until a write succeeds.
+        self._journal_degraded: Dict[str, str] = {}
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------------
@@ -212,6 +231,11 @@ class ScannerServer:
             await loop.run_in_executor(
                 self._executor, self.registry.snapshot_all
             )
+        # Snapshots (if taken) just covered — and truncated — the
+        # journals; close whatever segments remain either way.
+        await loop.run_in_executor(
+            self._executor, self.registry.close_journals
+        )
         self._executor.shutdown(wait=True)
 
     async def serve_forever(self) -> None:
@@ -234,6 +258,8 @@ class ScannerServer:
 
     def _drop_worker(self, tenant_id: str) -> None:
         self._queues.pop(tenant_id, None)
+        self._ingest_locks.pop(tenant_id, None)
+        self._journal_degraded.pop(tenant_id, None)
         task = self._workers.pop(tenant_id, None)
         if task is not None:
             task.cancel()
@@ -282,13 +308,27 @@ class ScannerServer:
             items.append(nxt)
             n_bytes += len(nxt[1])
         blobs = [item[1] for item in items]
+        # The newest journal sequence in the batch — queue order equals
+        # sequence order (admission lock), so the last chunk's seq
+        # covers the whole batch once folded.
+        last_seq = next(
+            (
+                item[4]
+                for item in reversed(items)
+                if len(item) > 4 and item[4] is not None
+            ),
+            None,
+        )
         # FIFO: the first item waited longest.
         queue_wait = (
             loop.time() - first[3] if first[3] is not None else 0.0
         )
         try:
             report = await loop.run_in_executor(
-                self._executor, tenant.ingest_payloads, blobs
+                self._executor,
+                functools.partial(
+                    tenant.ingest_payloads, blobs, last_seq=last_seq
+                ),
             )
             tenant.serve_stats.record_fold(
                 chunks=len(blobs),
@@ -468,7 +508,7 @@ class ScannerServer:
             return 404, {"error": f"unknown tenant: {tenant_id}"}, {}
 
         if action == "chunks" and method == "POST":
-            return self._enqueue_chunk(tenant, body)
+            return await self._enqueue_chunk(tenant, body)
         if action == "ah" and method == "GET":
             definition = None
             if "definition" in params:
@@ -535,24 +575,57 @@ class ScannerServer:
             return 200, {"removed": tenant_id}, {}
         return 405, {"error": "PUT, GET or DELETE"}, {}
 
-    def _enqueue_chunk(
+    @staticmethod
+    def _backpressure(message: str) -> Tuple[int, dict, dict]:
+        return (
+            429,
+            {"error": message, "retry_after": RETRY_AFTER_SECONDS},
+            {"Retry-After": str(RETRY_AFTER_SECONDS)},
+        )
+
+    async def _enqueue_chunk(
         self, tenant: Tenant, body: bytes
     ) -> Tuple[int, dict, dict]:
+        """Admit one chunk: journal it durably, then queue it, then 202.
+
+        The whole admission runs under the tenant's ingest lock so the
+        journal's sequence order is exactly the queue's fold order —
+        two concurrent POSTs can never journal in one order and fold
+        in the other (which would let a snapshot's sequence watermark
+        claim coverage of a chunk that was still queued when the
+        process died).  The journal append itself (disk I/O, possibly
+        an fsync) runs on the ingest executor, off the event loop.
+        """
         if not body:
             return 400, {"error": "empty chunk body"}, {}
         queue = self._ensure_worker(tenant.tenant_id)
-        now = asyncio.get_running_loop().time()
-        try:
-            queue.put_nowait(("chunk", body, None, now))
-        except asyncio.QueueFull:
-            return (
-                429,
-                {
-                    "error": "ingest queue full",
-                    "retry_after": RETRY_AFTER_SECONDS,
-                },
-                {"Retry-After": str(RETRY_AFTER_SECONDS)},
-            )
+        loop = asyncio.get_running_loop()
+        lock = self._ingest_locks.setdefault(
+            tenant.tenant_id, asyncio.Lock()
+        )
+        async with lock:
+            if queue.full():
+                return self._backpressure("ingest queue full")
+            try:
+                seq, duplicate = await loop.run_in_executor(
+                    self._executor, tenant.accept_chunk, body
+                )
+            except JournalError as exc:
+                # Could not make the chunk durable — refusing with 429
+                # (so the client retries) beats acking a chunk a crash
+                # would lose.  Flagged on /health until a write lands.
+                self._journal_degraded[tenant.tenant_id] = str(exc)
+                return self._backpressure(f"journal unavailable: {exc}")
+            self._journal_degraded.pop(tenant.tenant_id, None)
+            if duplicate:
+                # Retransmit after a lost ack: already durable, already
+                # queued or folded — ack again without doing it twice.
+                return 202, {"queued": queue.qsize(), "duplicate": True}, {}
+            try:
+                queue.put_nowait(("chunk", body, None, loop.time(), seq))
+            except asyncio.QueueFull:  # pragma: no cover — lock-prevented
+                tenant.forget_payload(body)
+                return self._backpressure("ingest queue full")
         tenant.serve_stats.record_enqueued(len(body))
         return 202, {"queued": queue.qsize()}, {}
 
@@ -568,12 +641,19 @@ class ScannerServer:
                 "queue_depth": tenant.config.queue_depth,
                 "errors": len(tenant.errors),
                 "degraded": tenant.engine.degraded,
+                "journal_degraded": tenant_id in self._journal_degraded,
+                "journal": (
+                    tenant.journal.stats()
+                    if tenant.journal is not None
+                    else None
+                ),
                 "recycles": tenant.recycles,
                 "health": tenant.telemetry.health.as_dict(),
                 "serve": tenant.serve_stats.as_dict(),
             }
         return {
-            "ok": True,
+            "ok": not self._journal_degraded,
+            "journal_degraded": sorted(self._journal_degraded),
             "fold_processes": (
                 self._fold_pool.processes
                 if self._fold_pool is not None
@@ -596,17 +676,25 @@ def run_server(
     unix_socket: Optional[str] = None,
     ingest_threads: int = 2,
     fold_processes: Optional[int] = None,
+    journal: bool = True,
+    journal_fsync: str = "batch",
     ready: Optional[callable] = None,
 ) -> None:
     """Run a server until interrupted (the ``repro serve`` CLI path).
 
     ``ready`` (if given) is called with the bound ``(host, port)`` once
     the socket is listening — the serve-smoke driver uses it to print a
-    parseable readiness line.
+    parseable readiness line.  SIGTERM and SIGINT both trigger the
+    graceful path: stop accepting, drain every queue, snapshot, close
+    the journals — so a production ``kill`` (or ctrl-C) is
+    indistinguishable from a planned shutdown.  Only SIGKILL skips it,
+    and the journal exists for exactly that case.
     """
 
     async def _main():
-        registry = TenantRegistry(snapshot_dir)
+        registry = TenantRegistry(
+            snapshot_dir, journal=journal, journal_fsync=journal_fsync
+        )
         server = ScannerServer(
             registry,
             host,
@@ -615,14 +703,31 @@ def run_server(
             ingest_threads=ingest_threads,
             fold_processes=fold_processes,
         )
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        hooked = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
         await server.start()
         if ready is not None:
             ready((server.host, server.port))
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopping = asyncio.ensure_future(shutdown.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+            )
         except asyncio.CancelledError:
             pass
         finally:
+            for task in (serving, stopping):
+                task.cancel()
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
             await server.stop()
 
     try:

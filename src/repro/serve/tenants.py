@@ -9,20 +9,32 @@ whose engine is recycled never perturbs another tenant's results.
 The registry persists tenant configurations to ``tenants.json``
 (written atomically) next to the per-tenant snapshot directories, so a
 restarted server rebuilds every tenant — engine state included, from
-each tenant's last engine snapshot — before accepting traffic.
+each tenant's last engine snapshot — before accepting traffic.  With
+journaling on (the default when a snapshot dir exists), each tenant
+also owns a write-ahead chunk journal
+(:mod:`repro.serve.journal`): every acked chunk is on disk before its
+202, and :meth:`TenantRegistry.restore_all` replays the journal suffix
+the last snapshot misses — so a crash loses nothing that was acked.
 """
 
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import DetectionConfig
 from repro.core.engine import DetectionEngine, EngineQuery, IngestReport
 from repro.core.faults import CheckpointStore, atomic_write_json
 from repro.core.telemetry import PipelineTelemetry, ServeStats
+from repro.serve.journal import (
+    JOURNAL_DIR_NAME,
+    ChunkJournal,
+    JournalError,
+    chunk_digest,
+)
 
 #: Registry filename under the snapshot root.
 REGISTRY_NAME = "tenants.json"
@@ -93,24 +105,140 @@ class Tenant:
     #: fold pool this tenant's engine routes through (``None`` = local
     #: in-process folds); set via :meth:`attach_pool`, never persisted.
     fold_pool: Optional[object] = field(default=None, repr=False)
+    #: write-ahead chunk journal (``None`` = ingest is not durable).
+    journal: Optional[ChunkJournal] = field(default=None, repr=False)
+    #: LRU of recently admitted chunk digests — a client retransmitting
+    #: after a lost ack gets 202 again without re-journaling or
+    #: double-folding.  Bounded; the watermark gate backstops evictions.
+    admitted: "OrderedDict[bytes, int]" = field(
+        default_factory=OrderedDict, repr=False
+    )
 
     _MAX_ERRORS = 32
+    _DEDUP_CAPACITY = 512
 
     def ingest(self, batch) -> None:
         """Fold one chunk into the tenant's engine (synchronous)."""
         self.engine.ingest(batch)
 
-    def ingest_payloads(self, blobs: List[bytes]) -> IngestReport:
+    def ingest_payloads(
+        self, blobs: List[bytes], last_seq: Optional[int] = None
+    ) -> IngestReport:
         """Fold a coalesced micro-batch of npz wire chunks.
 
         Individual bad chunks are recorded on the tenant's error list
         (and excluded from the folded-chunk count) without failing the
-        rest of the batch.
+        rest of the batch.  ``last_seq`` — the journal sequence of the
+        newest blob in the batch — advances the engine's durability
+        watermark so snapshots record exactly which journal suffix
+        still needs boot-time replay.
         """
-        report = self.engine.ingest_payloads(blobs)
+        report = self.engine.ingest_payloads(blobs, last_seq=last_seq)
         for message in report.errors:
             self.record_error(f"chunk rejected: {message}")
+        self.maybe_truncate_journal()
         return report
+
+    # ------------------------------------------------------------------
+    # Durable admission (the write-ahead journal path)
+    # ------------------------------------------------------------------
+    def _remember(self, digest: bytes, seq: Optional[int]) -> None:
+        self.admitted[digest] = seq
+        self.admitted.move_to_end(digest)
+        while len(self.admitted) > self._DEDUP_CAPACITY:
+            self.admitted.popitem(last=False)
+
+    def accept_chunk(self, payload: bytes) -> Tuple[Optional[int], bool]:
+        """Admit one wire chunk durably; ``(seq, duplicate)``.
+
+        The ack contract lives here: the chunk's bytes are appended to
+        the journal (per its fsync policy) *before* this returns, so a
+        202 sent afterwards promises the chunk survives a crash.  A
+        digest already admitted returns ``(its seq, True)`` without a
+        second journal record — the retransmit-after-lost-ack path.
+        :class:`~repro.serve.journal.JournalError` propagates (the
+        server answers 429); the chunk is then *not* admitted.
+        """
+        digest = chunk_digest(payload)
+        if digest in self.admitted:
+            self.admitted.move_to_end(digest)
+            self.serve_stats.record_duplicate()
+            return self.admitted[digest], True
+        seq = None
+        if self.journal is not None:
+            bytes_before = self.journal.bytes_appended
+            fsyncs_before = self.journal.fsyncs
+            try:
+                seq = self.journal.append(payload, digest)
+            except JournalError as exc:
+                self.serve_stats.record_journal_failure()
+                self.record_error(f"journal: {exc}")
+                raise
+            self.serve_stats.record_journal_append(
+                self.journal.bytes_appended - bytes_before,
+                self.journal.fsyncs - fsyncs_before,
+            )
+        self._remember(digest, seq)
+        return seq, False
+
+    def forget_payload(self, payload: bytes) -> None:
+        """Drop a payload's digest from the dedup LRU.
+
+        The defensive un-admit for the (lock-prevented) case where a
+        journaled chunk could not be queued: forgetting the digest
+        makes the client's retry re-admit it instead of getting a
+        duplicate-202 for a chunk that never reached the fold path.
+        The orphan journal record is harmless — replay dedups it.
+        """
+        self.admitted.pop(chunk_digest(payload), None)
+
+    def replay_journal(self) -> int:
+        """Re-fold the journal suffix the last snapshot doesn't cover.
+
+        The boot/heal-time completion of the ack contract: every intact
+        journal record with a sequence past the restored engine's
+        ``last_seq`` goes back through the normal fold path, in journal
+        order.  Idempotent — a digest already replayed in this pass
+        only advances the sequence watermark (the retransmit-dedup
+        case: same chunk journaled twice folds once, exactly as it
+        would have live).  Records at or below ``last_seq`` only seed
+        the dedup LRU.  Returns the number of chunks re-folded.
+        """
+        if self.journal is None:
+            return 0
+        covered = self.engine.last_seq
+        seen = set()
+        replayed = 0
+        for record in self.journal.replay():
+            if record.seq <= covered:
+                self._remember(record.digest, record.seq)
+                continue
+            if record.digest in seen:
+                self.engine.advance_seq(record.seq)
+                continue
+            seen.add(record.digest)
+            self._remember(record.digest, record.seq)
+            self.engine.ingest_payloads([record.payload], last_seq=record.seq)
+            replayed += 1
+        # New appends must continue past everything the engine has
+        # already folded, even when truncation emptied the journal.
+        self.journal.ensure_next_seq(self.engine.last_seq + 1)
+        if replayed:
+            self.serve_stats.record_replay(replayed)
+            if self.store is not None:
+                self.engine.save_snapshot()
+        self.maybe_truncate_journal()
+        return replayed
+
+    def maybe_truncate_journal(self) -> None:
+        """Drop journal segments the last persisted snapshot covers."""
+        if self.journal is not None and self.engine.snapshot_seq > 0:
+            self.journal.truncate_through(self.engine.snapshot_seq)
+
+    def close_journal(self) -> None:
+        """Flush and close the journal file (graceful shutdown)."""
+        if self.journal is not None:
+            self.journal.close()
 
     def attach_pool(self, pool) -> None:
         """Route this tenant's folds through a fold pool."""
@@ -140,6 +268,8 @@ class Tenant:
             health=self.telemetry.health.as_dict(),
             serve=self.serve_stats.as_dict(),
         )
+        if self.journal is not None:
+            status["journal"] = self.journal.stats()
         return status
 
     def record_error(self, message: str) -> None:
@@ -150,7 +280,9 @@ class Tenant:
         """Persist the engine now; returns the checkpoint path."""
         if self.store is None:
             return None
-        return str(self.engine.save_snapshot())
+        path = str(self.engine.save_snapshot())
+        self.maybe_truncate_journal()
+        return path
 
     def recycle(self) -> None:
         """Rebuild the engine from its own snapshot bytes.
@@ -204,6 +336,9 @@ class Tenant:
         self.recycles += 1
         if self.fold_pool is not None:
             self.engine.attach_pool(self.fold_pool, self.tenant_id)
+        # The journal still holds every acked chunk past that snapshot:
+        # replaying it makes even a fold-worker death lossless.
+        self.replay_journal()
 
 
 class TenantRegistry:
@@ -217,10 +352,23 @@ class TenantRegistry:
     restarts that tenant empty — and counts on its health).
     """
 
-    def __init__(self, snapshot_dir: Optional[str] = None):
+    def __init__(
+        self,
+        snapshot_dir: Optional[str] = None,
+        *,
+        journal: bool = True,
+        journal_fsync: str = "batch",
+        journal_segment_bytes: Optional[int] = None,
+    ):
         self.snapshot_dir = (
             Path(snapshot_dir) if snapshot_dir is not None else None
         )
+        #: write-ahead journal toggle + fsync policy for every tenant
+        #: (journals need a snapshot dir; without one ingest is
+        #: memory-only and nothing is durable to begin with).
+        self.journal_enabled = bool(journal)
+        self.journal_fsync = journal_fsync
+        self.journal_segment_bytes = journal_segment_bytes
         self._tenants: Dict[str, Tenant] = {}
         #: fold pool every current and future tenant routes through
         #: (``None`` = in-process folds); set via :meth:`attach_pool`.
@@ -283,6 +431,7 @@ class TenantRegistry:
         if tenant is None:
             return False
         tenant.abandon_pool()
+        tenant.close_journal()
         self._persist()
         return True
 
@@ -320,12 +469,28 @@ class TenantRegistry:
                 snapshot_every_chunks=config.snapshot_every_chunks,
                 max_ecdf_samples=config.max_ecdf_samples,
             )
+        journal = None
+        if self.snapshot_dir is not None and self.journal_enabled:
+            kwargs = {}
+            if self.journal_segment_bytes is not None:
+                kwargs["segment_bytes"] = self.journal_segment_bytes
+            journal = ChunkJournal(
+                self.snapshot_dir / tenant_id / JOURNAL_DIR_NAME,
+                fsync=self.journal_fsync,
+                health=telemetry.health,
+                **kwargs,
+            )
+            if not restore:
+                # A *fresh* tenant must not inherit segments left by an
+                # earlier same-named tenant: its engine starts empty.
+                journal.reset()
         tenant = Tenant(
             tenant_id=tenant_id,
             config=config,
             engine=engine,
             telemetry=telemetry,
             store=store,
+            journal=journal,
         )
         if self.fold_pool is not None:
             tenant.attach_pool(self.fold_pool)
@@ -374,9 +539,14 @@ class TenantRegistry:
         restored = []
         for tenant_id, config_dict in payload.get("tenants", {}).items():
             config = TenantConfig.from_dict(config_dict)
-            self._tenants[tenant_id] = self._build(
-                tenant_id, config, restore=True
-            )
+            tenant = self._build(tenant_id, config, restore=True)
+            # Reconcile the snapshot's sequence watermark against the
+            # journal tail: every acked chunk the snapshot missed is
+            # re-folded here, before the tenant takes traffic.  One
+            # tenant's damaged journal (torn tails are quarantined on
+            # its own health) never blocks its siblings.
+            tenant.replay_journal()
+            self._tenants[tenant_id] = tenant
             restored.append(tenant_id)
         return restored
 
@@ -386,3 +556,8 @@ class TenantRegistry:
             tenant_id: tenant.save_snapshot()
             for tenant_id, tenant in sorted(self._tenants.items())
         }
+
+    def close_journals(self) -> None:
+        """Flush and close every tenant's journal (graceful stop)."""
+        for tenant in self._tenants.values():
+            tenant.close_journal()

@@ -1,0 +1,232 @@
+"""Tests for the write-ahead chunk journal (repro.serve.journal)."""
+
+import os
+
+import pytest
+
+from repro.core.telemetry import RunHealth
+from repro.serve.journal import (
+    BATCH_FSYNC_RECORDS,
+    ChunkJournal,
+    JournalError,
+    chunk_digest,
+    pack_record,
+    scan_segment,
+    segment_path,
+)
+
+
+def _records(journal, after=0):
+    return list(journal.replay(after))
+
+
+class TestFraming:
+    def test_pack_scan_round_trip(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        payloads = [b"alpha", b"beta" * 100, b"\x00" * 7]
+        path.write_bytes(
+            b"".join(pack_record(i + 1, p) for i, p in enumerate(payloads))
+        )
+        records, good, torn = scan_segment(path)
+        assert not torn
+        assert good == path.stat().st_size
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert [r.payload for r in records] == payloads
+        assert all(r.digest == chunk_digest(r.payload) for r in records)
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        assert scan_segment(tmp_path / "ghost.wal") == ([], 0, False)
+
+    def test_short_header_is_torn(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(pack_record(1, b"ok") + b"RJ1")
+        records, good, torn = scan_segment(path)
+        assert torn and len(records) == 1
+        assert good == len(pack_record(1, b"ok"))
+
+    def test_truncated_payload_is_torn(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        whole = pack_record(1, b"ok") + pack_record(2, b"x" * 64)
+        path.write_bytes(whole[:-5])
+        records, good, torn = scan_segment(path)
+        assert torn and [r.seq for r in records] == [1]
+
+    def test_bad_magic_is_torn(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        second = bytearray(pack_record(2, b"two"))
+        second[:4] = b"XXXX"
+        path.write_bytes(pack_record(1, b"one") + bytes(second))
+        records, _, torn = scan_segment(path)
+        assert torn and [r.seq for r in records] == [1]
+
+    def test_flipped_payload_bit_is_torn(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        raw = bytearray(pack_record(1, b"payload-bytes"))
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        records, good, torn = scan_segment(path)
+        assert torn and records == [] and good == 0
+
+    def test_torn_tail_quarantined_on_health(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        good = pack_record(1, b"fine")
+        path.write_bytes(good + b"garbage")
+        health = RunHealth()
+        scan_segment(path, health=health)
+        assert health.quarantined_chunks == [f"{path}@+{len(good)}"]
+
+
+class TestAppendReplay:
+    def test_round_trip_and_sequencing(self, tmp_path):
+        journal = ChunkJournal(tmp_path)
+        assert journal.append(b"a") == 1
+        assert journal.append(b"b") == 2
+        got = _records(journal)
+        assert [(r.seq, r.payload) for r in got] == [(1, b"a"), (2, b"b")]
+        assert _records(journal, after=1)[0].payload == b"b"
+
+    def test_empty_payload_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ChunkJournal(tmp_path).append(b"")
+
+    def test_bad_fsync_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            ChunkJournal(tmp_path, fsync="sometimes")
+
+    def test_rotation_spreads_segments(self, tmp_path):
+        journal = ChunkJournal(tmp_path, segment_bytes=1)
+        for i in range(5):
+            journal.append(bytes([65 + i]) * 10)
+        assert len(list(tmp_path.glob("segment-*.wal"))) == 5
+        assert [r.seq for r in _records(journal)] == [1, 2, 3, 4, 5]
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        journal = ChunkJournal(tmp_path)
+        journal.append(b"one")
+        journal.append(b"two")
+        journal.close()
+        reopened = ChunkJournal(tmp_path)
+        assert reopened.next_seq == 3
+        assert reopened.append(b"three") == 3
+        assert [r.payload for r in _records(reopened)] == [
+            b"one",
+            b"two",
+            b"three",
+        ]
+
+    def test_reopen_truncates_torn_tail_and_quarantines(self, tmp_path):
+        journal = ChunkJournal(tmp_path)
+        journal.append(b"keep-me")
+        journal.close()
+        path = next(tmp_path.glob("segment-*.wal"))
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(pack_record(2, b"torn")[:-2])
+        health = RunHealth()
+        reopened = ChunkJournal(tmp_path, health=health)
+        # The damaged suffix is gone from disk, accounted on health,
+        # and new appends continue cleanly after the last good record.
+        assert path.stat().st_size == intact
+        assert health.quarantined_chunks == [f"{path}@+{intact}"]
+        assert reopened.append(b"after") == 2
+        assert [r.payload for r in _records(reopened)] == [
+            b"keep-me",
+            b"after",
+        ]
+
+    def test_append_failure_raises_journal_error(self, tmp_path):
+        journal = ChunkJournal(tmp_path)
+        journal.append(b"fine")
+
+        class _FullDisk:
+            def write(self, data):
+                raise OSError(28, "No space left on device")
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+            def fileno(self):
+                raise OSError(9, "Bad file descriptor")
+
+        journal._file = _FullDisk()
+        with pytest.raises(JournalError, match="No space left"):
+            journal.append(b"doomed")
+
+
+class TestFsyncPolicies:
+    def test_always_fsyncs_every_record(self, tmp_path):
+        journal = ChunkJournal(tmp_path, fsync="always")
+        for _ in range(3):
+            journal.append(b"x")
+        assert journal.fsyncs == 3
+
+    def test_off_never_fsyncs(self, tmp_path):
+        journal = ChunkJournal(tmp_path, fsync="off")
+        for _ in range(3):
+            journal.append(b"x")
+        journal.close()
+        assert journal.fsyncs == 0
+
+    def test_batch_amortizes(self, tmp_path):
+        journal = ChunkJournal(tmp_path, fsync="batch")
+        for _ in range(BATCH_FSYNC_RECORDS + 1):
+            journal.append(b"x")
+        assert journal.fsyncs == 1
+        # ...but the records are already in the kernel: a scan of the
+        # file (what a crash-restarted process does) sees all of them.
+        assert len(_records(journal)) == BATCH_FSYNC_RECORDS + 1
+
+
+class TestTruncation:
+    def test_truncate_through_deletes_covered_segments(self, tmp_path):
+        journal = ChunkJournal(tmp_path, segment_bytes=1)
+        for i in range(4):
+            journal.append(bytes([97 + i]))
+        assert journal.truncate_through(2) == 2
+        assert [r.seq for r in _records(journal)] == [3, 4]
+        # Idempotent; covering everything empties the directory.
+        assert journal.truncate_through(2) == 0
+        journal.truncate_through(4)
+        assert list(tmp_path.glob("segment-*.wal")) == []
+
+    def test_active_segment_survives_partial_coverage(self, tmp_path):
+        journal = ChunkJournal(tmp_path)  # one big active segment
+        for i in range(3):
+            journal.append(bytes([97 + i]))
+        # seq 2 < last seq 3: the active segment must stay.
+        assert journal.truncate_through(2) == 0
+        assert [r.seq for r in _records(journal)] == [1, 2, 3]
+
+    def test_ensure_next_seq_after_total_truncation(self, tmp_path):
+        journal = ChunkJournal(tmp_path)
+        for _ in range(3):
+            journal.append(b"x")
+        journal.truncate_through(3)
+        journal.close()
+        reopened = ChunkJournal(tmp_path)
+        assert reopened.next_seq == 1  # nothing on disk to resume from
+        reopened.ensure_next_seq(4)  # ...so the engine's watermark rules
+        assert reopened.append(b"new") == 4
+
+    def test_reset_clears_everything(self, tmp_path):
+        journal = ChunkJournal(tmp_path)
+        journal.append(b"stale")
+        journal.reset()
+        assert _records(journal) == []
+        assert journal.append(b"fresh") == 1
+
+    def test_stats_shape(self, tmp_path):
+        journal = ChunkJournal(tmp_path, fsync="always")
+        journal.append(b"x")
+        stats = journal.stats()
+        assert stats["appends"] == 1
+        assert stats["fsyncs"] == 1
+        assert stats["segments"] == 1
+        assert stats["next_seq"] == 2
+        assert stats["fsync"] == "always"
+        assert stats["bytes_appended"] == os.path.getsize(
+            segment_path(journal.directory, 1)
+        )

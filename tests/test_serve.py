@@ -267,10 +267,10 @@ class TestBackPressure:
         started = threading.Event()
         real_ingest = tenant.ingest_payloads
 
-        def gated(blobs):
+        def gated(blobs, **kwargs):
             started.set()
             gate.wait(timeout=30)
-            return real_ingest(blobs)
+            return real_ingest(blobs, **kwargs)
 
         tenant.ingest_payloads = gated
         pairs = list(chunk_payloads(_capture(45), 600.0))
@@ -325,6 +325,140 @@ class TestBackPressure:
         assert stats.ack_p50 is not None and stats.ack_p99 is not None
         assert stats.ack_p99 >= stats.ack_p50 >= 0.0
         assert len(stats.ack_seconds) == stats.chunks
+
+
+class TestDurableIngest:
+    def test_duplicate_post_acked_but_not_refolded(self, server):
+        client, _, _ = server
+        client.create_tenant("t", _tenant_config())
+        payload = next(chunk_payloads(_capture(91), 3_600.0))[1]
+        status, body = client.ingest("t", payload)
+        assert status == 202 and "duplicate" not in body
+        status, body = client.ingest("t", payload)
+        assert status == 202 and body["duplicate"] is True
+        client.sync("t")
+        tenant_status = client.status("t")
+        assert tenant_status["chunks"] == 1
+        assert tenant_status["serve"]["duplicate_chunks"] == 1
+
+    def test_journal_failure_answers_429_and_flags_health(self, server):
+        client, thread, _ = server
+        client.create_tenant("t", _tenant_config())
+        tenant = thread.registry.get("t")
+        payloads = [p for _, p in chunk_payloads(_capture(92), 3_600.0)]
+        assert client.ingest("t", payloads[0])[0] == 202
+
+        from repro.serve.journal import JournalError
+
+        real_append = tenant.journal.append
+
+        def _full_disk(payload, digest=None):
+            raise JournalError("append failed: ENOSPC")
+
+        tenant.journal.append = _full_disk
+        status, body = client.ingest("t", payloads[1])
+        assert status == 429
+        assert "journal" in body["error"]
+        assert float(client.last_headers["retry-after"]) > 0
+        health = client.health()
+        assert health["ok"] is False
+        assert health["journal_degraded"] == ["t"]
+        assert health["tenants"]["t"]["journal_degraded"] is True
+
+        # The disk comes back: the same chunk is admitted and the
+        # degraded flag clears.
+        tenant.journal.append = real_append
+        assert client.ingest("t", payloads[1])[0] == 202
+        health = client.health()
+        assert health["ok"] is True
+        assert health["journal_degraded"] == []
+        client.sync("t")
+        serve = client.status("t")["serve"]
+        assert serve["journal_failures"] == 1
+        assert serve["journal_appends"] == 2
+
+    def test_kill_without_snapshot_loses_nothing(self, server, tmp_path):
+        # The pre-journal serve layer lost everything since the last
+        # snapshot on an abrupt stop; now the journal carries it.
+        client, thread, snap_dir = server
+        batch = _capture(93)
+        client.create_tenant("t", _tenant_config(workers=2))
+        payloads = list(chunk_payloads(batch, 3_600.0))
+        drive(client, "t", payloads, sync=True)
+        client.close()
+        thread.stop(snapshot=False)  # no graceful snapshot — a "crash"
+
+        registry = TenantRegistry(snap_dir)
+        revived = ServerThread(registry)
+        host, port = revived.start()
+        try:
+            with ServeClient(host, port) as client2:
+                status = client2.status("t")
+                assert status["packets"] == len(batch)
+                assert status["serve"]["replayed_chunks"] > 0
+                for definition in (1, 2, 3):
+                    assert client2.ah_sources(
+                        "t", definition
+                    ) == _offline_ah(batch, definition)
+        finally:
+            revived.stop()
+
+    def test_journal_truncated_after_snapshot(self, server):
+        client, thread, snap_dir = server
+        client.create_tenant("t", _tenant_config())
+        drive(client, "t", chunk_payloads(_capture(94), 3_600.0))
+        client.snapshot("t")
+        journal_dir = snap_dir / "t" / "journal"
+        tenant = thread.registry.get("t")
+        assert tenant.serve_stats.journal_appends > 0
+        # Everything folded is snapshot-covered: no segments remain.
+        assert list(journal_dir.glob("segment-*.wal")) == []
+
+
+class TestClientBounceTolerance:
+    def test_ingest_blocking_retries_connection_errors(self, server):
+        client, _, _ = server
+        client.create_tenant("t", _tenant_config())
+        payload = next(chunk_payloads(_capture(95), 3_600.0))[1]
+        real_ingest = client.ingest
+        failures = iter([ConnectionResetError, OSError])
+
+        def _flaky(tenant_id, body):
+            exc = next(failures, None)
+            if exc is not None:
+                raise exc("server bouncing")
+            return real_ingest(tenant_id, body)
+
+        client.ingest = _flaky
+        retries = client.ingest_blocking(
+            "t", payload, backoff=0.001, connect_retries=4
+        )
+        assert retries == 2
+        client.ingest = real_ingest
+        client.sync("t")
+        assert client.status("t")["chunks"] == 1
+
+    def test_connect_retry_budget_exhausts(self):
+        # No server at all: the budget bounds the failure.
+        client = ServeClient("127.0.0.1", 1)  # port 1: nothing listens
+        with pytest.raises(OSError):
+            client.ingest_blocking(
+                "t", b"x", backoff=0.001, connect_retries=2
+            )
+
+    def test_drive_reports_acks_via_callback(self, server):
+        client, _, _ = server
+        client.create_tenant("t", _tenant_config(queue_depth=16))
+        acked = []
+        stats = drive(
+            client,
+            "t",
+            chunk_payloads(_capture(96), 3_600.0),
+            on_ack=lambda index, n: acked.append((index, n)),
+        )
+        assert len(acked) == stats.chunks
+        assert [i for i, _ in acked] == list(range(stats.chunks))
+        assert sum(n for _, n in acked) == stats.packets
 
 
 class TestKillAndRestore:

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.config import DetectionConfig
+from repro.io.packetlog import packets_to_npz_bytes
 from repro.packet import PacketBatch, Protocol
+from repro.serve.journal import JOURNAL_DIR_NAME
 from repro.serve.tenants import TenantConfig, TenantRegistry
 from tests.test_streaming import _assert_detections_identical
 
@@ -161,6 +163,178 @@ class TestDurability:
         after = revived.get("t")
         assert after.engine.packets_seen == 0
         assert after.telemetry.health.checkpoint_corrupt == 1
+
+
+def _wire_chunks(batch, chunk_seconds=3_600.0):
+    """The capture as npz wire payloads, like a client would POST."""
+    return [
+        packets_to_npz_bytes(chunk)
+        for _, _, chunk in batch.iter_time_chunks(chunk_seconds)
+    ]
+
+
+def _serve_feed(tenant, payloads):
+    """Feed payloads through the durable serve path (journal + fold)."""
+    for payload in payloads:
+        seq, duplicate = tenant.accept_chunk(payload)
+        if not duplicate:
+            tenant.ingest_payloads([payload], last_seq=seq)
+
+
+class TestJournalDurability:
+    """restore_all reconciles snapshots against the journal tail."""
+
+    def test_journal_replay_without_any_snapshot(self, tmp_path):
+        # The acked-chunk contract with no snapshot at all: the whole
+        # journal replays and the state equals a serial feed.
+        registry = TenantRegistry(tmp_path / "snap")
+        tenant = registry.create("t", _config())
+        batch = _capture(21)
+        _serve_feed(tenant, _wire_chunks(batch))
+        before = tenant.query()
+        assert tenant.engine.last_seq == len(_wire_chunks(batch))
+        # No snapshot_all(), no close: simulate a SIGKILL.
+
+        revived = TenantRegistry(tmp_path / "snap")
+        assert revived.restore_all() == ["t"]
+        after = revived.get("t")
+        assert after.engine.packets_seen == len(batch)
+        assert after.serve_stats.replayed_chunks > 0
+        _assert_detections_identical(
+            after.query().detections, before.detections
+        )
+
+    def test_journal_replays_only_uncovered_suffix(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        tenant = registry.create("t", _config())
+        payloads = _wire_chunks(_capture(22))
+        half = len(payloads) // 2
+        _serve_feed(tenant, payloads[:half])
+        tenant.save_snapshot()  # covers (and truncates) the prefix
+        _serve_feed(tenant, payloads[half:])
+        expected = tenant.query()
+
+        revived = TenantRegistry(tmp_path / "snap")
+        revived.restore_all()
+        after = revived.get("t")
+        # Only the unsnapshotted suffix was re-folded.
+        assert after.serve_stats.replayed_chunks == len(payloads) - half
+        _assert_detections_identical(
+            after.query().detections, expected.detections
+        )
+
+    def test_truncated_journal_tail_keeps_intact_prefix(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        tenant = registry.create("t", _config())
+        payloads = _wire_chunks(_capture(23))
+        _serve_feed(tenant, payloads)
+        segments = sorted(
+            (tmp_path / "snap" / "t" / JOURNAL_DIR_NAME).glob("*.wal")
+        )
+        # Tear the final record in half, as a crash mid-write would.
+        last = segments[-1]
+        raw = last.read_bytes()
+        last.write_bytes(raw[: len(raw) - 10])
+
+        revived = TenantRegistry(tmp_path / "snap")
+        revived.restore_all()
+        after = revived.get("t")
+        # Every chunk but the torn one replayed; the damage is
+        # quarantined on this tenant's health, not raised.
+        assert after.serve_stats.replayed_chunks == len(payloads) - 1
+        assert any(
+            str(last) in q
+            for q in after.telemetry.health.quarantined_chunks
+        )
+
+    def test_duplicate_records_replay_once(self, tmp_path):
+        # A client that never saw its ack may get the same chunk
+        # journaled twice (e.g. after the dedup LRU aged it out);
+        # replay must fold it exactly once.
+        registry = TenantRegistry(tmp_path / "snap")
+        tenant = registry.create("t", _config())
+        batch = _capture(24)
+        payloads = _wire_chunks(batch)
+        for payload in payloads:
+            tenant.journal.append(payload)  # journal only — no folds
+        tenant.journal.append(payloads[-1])  # the retransmit
+
+        revived = TenantRegistry(tmp_path / "snap")
+        revived.restore_all()
+        after = revived.get("t")
+        assert after.engine.packets_seen == len(batch)
+        assert after.serve_stats.replayed_chunks == len(payloads)
+        solo = TenantRegistry().create("solo", _config())
+        _feed(solo, batch)
+        _assert_detections_identical(
+            after.query().detections, solo.query().detections
+        )
+
+    def test_corrupt_segment_isolated_from_sibling_tenants(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        broken = registry.create("broken", _config())
+        clean = registry.create("clean", _config())
+        batch = _capture(25)
+        payloads = _wire_chunks(batch)
+        _serve_feed(broken, payloads)
+        _serve_feed(clean, payloads)
+        segment = next(
+            (tmp_path / "snap" / "broken" / JOURNAL_DIR_NAME).glob("*.wal")
+        )
+        segment.write_bytes(b"not a journal segment at all")
+
+        revived = TenantRegistry(tmp_path / "snap")
+        assert sorted(revived.restore_all()) == ["broken", "clean"]
+        assert revived.get("clean").engine.packets_seen == len(batch)
+        assert revived.get("broken").engine.packets_seen == 0
+        assert (
+            revived.get("broken").telemetry.health.quarantined_chunks != []
+        )
+        assert (
+            revived.get("clean").telemetry.health.quarantined_chunks == []
+        )
+
+    def test_replay_then_retransmit_is_deduplicated(self, tmp_path):
+        # After a restart the server re-acks retransmits of replayed
+        # chunks without folding them again.
+        registry = TenantRegistry(tmp_path / "snap")
+        tenant = registry.create("t", _config())
+        payloads = _wire_chunks(_capture(26))
+        _serve_feed(tenant, payloads)
+
+        revived = TenantRegistry(tmp_path / "snap")
+        revived.restore_all()
+        after = revived.get("t")
+        packets = after.engine.packets_seen
+        seq, duplicate = after.accept_chunk(payloads[-1])
+        assert duplicate
+        assert after.engine.packets_seen == packets
+        assert after.serve_stats.duplicate_chunks == 1
+
+    def test_fresh_create_resets_stale_journal(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap")
+        old = registry.create("t", _config())
+        _serve_feed(old, _wire_chunks(_capture(27)))
+        registry.remove("t")
+        # Same id, fresh tenant: the old segments must not replay.
+        again = TenantRegistry(tmp_path / "snap")
+        tenant = again.create("t", _config())
+        assert tenant.engine.packets_seen == 0
+        assert list(tenant.journal.replay()) == []
+
+    def test_journal_disabled_keeps_old_semantics(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "snap", journal=False)
+        tenant = registry.create("t", _config())
+        assert tenant.journal is None
+        payload = _wire_chunks(_capture(28))[0]
+        seq, duplicate = tenant.accept_chunk(payload)
+        assert seq is None and not duplicate
+        # Unsnapshotted state really is lost — that is the trade-off
+        # --no-journal buys.
+        tenant.ingest_payloads([payload])
+        revived = TenantRegistry(tmp_path / "snap", journal=False)
+        revived.restore_all()
+        assert revived.get("t").engine.packets_seen == 0
 
 
 class TestRecycle:
